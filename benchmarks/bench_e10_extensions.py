@@ -1,0 +1,90 @@
+"""E10 — Section 7 extensions: disjunction (DNF + UNION) and negation.
+
+Claims: the DNF split produces one conjunctive query per branch whose
+UNION equals the view's Prolog semantics; negation via NOT IN matches
+set-difference semantics; contradictory branches are pruned before SQL.
+"""
+
+from conftest import make_session
+from repro.extensions import translate_disjunctive, translate_with_negation
+from repro.prolog import var
+from repro.sql import print_union
+
+DISJUNCTIVE_VIEW = """
+notable(X) :- empl(_, X, S, _), geq(S, 70000).
+notable(X) :- dept(_, _, M), empl(M, X, _, _).
+"""
+
+
+def test_e10_disjunction_union(medium_session, benchmark):
+    session, org = medium_session
+    session.consult(DISJUNCTIVE_VIEW)
+
+    translation = benchmark(
+        lambda: translate_disjunctive(
+            session.metaevaluator, "notable(X)", session.constraints,
+            targets=[var("X")],
+        )
+    )
+    rows = session.database.execute(translation.union)
+    managers = {
+        next(e.nam for e in org.employees if e.eno == d.mgr)
+        for d in org.departments
+    }
+    wellpaid = {e.nam for e in org.employees if e.sal >= 70000}
+    print(f"\n[E10] disjunction: {translation.live_branch_count} branches, "
+          f"{len(set(rows))} distinct answers "
+          f"(oracle: {len(managers | wellpaid)})")
+    assert {r[0] for r in rows} == managers | wellpaid
+
+
+def test_e10_branch_pruning(medium_session):
+    session, org = medium_session
+    session.consult(
+        """
+        oddity(X) :- empl(_, X, S, _), less(S, 2000).
+        oddity(X) :- dept(_, _, M), empl(M, X, _, _).
+        """
+    )
+    translation = translate_disjunctive(
+        session.metaevaluator, "oddity(X)", session.constraints,
+        targets=[var("X")],
+    )
+    print(f"\n[E10] contradictory branch pruned: "
+          f"{translation.pruned_branch_count} of {len(translation.branches)}")
+    assert translation.pruned_branch_count == 1
+
+
+def test_e10_negation_not_in(medium_session, benchmark):
+    session, org = medium_session
+    boss = org.root_manager_name()
+
+    translation = benchmark(
+        lambda: translate_with_negation(
+            session.metaevaluator,
+            f"empl(E, N, S, D), not(works_dir_for(N, {boss}))",
+            session.constraints,
+            targets=[var("N")],
+        )
+    )
+    rows = session.database.execute(translation.query)
+    under_boss = {l for l, h in org.works_dir_for_pairs() if h == boss}
+    all_names = {e.nam for e in org.employees}
+    print(f"\n[E10] negation: {len(set(rows))} answers "
+          f"(oracle: {len(all_names - under_boss)})")
+    assert {r[0] for r in rows} == all_names - under_boss
+
+
+def test_e10_stepwise_tradeoff(medium_session, benchmark):
+    """Tuple substitution: more queries, bounded live tuples."""
+    session, org = medium_session
+    boss = org.root_manager_name()
+    goal = f"works_dir_for(X, {boss}), empl(_, X, S, _), less(S, 60000)"
+
+    answers, stats = benchmark(lambda: session.ask_stepwise(goal))
+    direct = session.ask(goal)
+    print(f"\n[E10] stepwise: {stats.queries_issued} queries, "
+          f"max {stats.max_live_tuples} live tuples, "
+          f"{stats.cache_hits} cache hits; answers match direct: "
+          f"{ {a['X'] for a in answers} == {a['X'] for a in direct} }")
+    assert {a["X"] for a in answers} == {a["X"] for a in direct}

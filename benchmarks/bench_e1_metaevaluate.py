@@ -1,0 +1,46 @@
+"""E1 — Examples 3-3 / 4-1: Prolog-to-DBCL metaevaluation.
+
+Paper claim: ``works_dir_for`` + query metaevaluates to a 4-row tableau
+with one comparison; ``same_manager(t_X, jones)`` yields 6 relation rows.
+The benchmark times the metaevaluation itself (the delayed-execution
+collection machinery of section 4).
+"""
+
+from repro.metaevaluate import Metaevaluator
+from repro.prolog import var
+
+
+def test_e1_works_dir_for_tableau(small_session, benchmark):
+    session, org = small_session
+    evaluator = session.metaevaluator
+    employee = org.employees[0].nam
+    goal = (
+        f"works_dir_for(X, {employee}), empl(_, X, S, _), less(S, 40000)"
+    )
+
+    predicate = benchmark(
+        lambda: evaluator.metaevaluate(goal, targets=[var("X")])
+    )
+    rows = [row.tag for row in predicate.rows]
+    print(f"\n[E1] works_dir_for tableau rows: {rows}, "
+          f"comparisons: {len(predicate.comparisons)}")
+    assert rows == ["empl", "dept", "empl", "empl"]
+    assert len(predicate.comparisons) == 1
+
+
+def test_e1_same_manager_tableau(small_session, benchmark):
+    session, org = small_session
+    evaluator = session.metaevaluator
+    employee = org.employees[0].nam
+
+    predicate = benchmark(
+        lambda: evaluator.metaevaluate(
+            f"same_manager(X, {employee})", targets=[var("X")]
+        )
+    )
+    print(f"\n[E1] same_manager rows: {len(predicate.rows)} "
+          f"(paper: 6), joins: {predicate.join_count()}")
+    assert len(predicate.rows) == 6
+    assert [row.tag for row in predicate.rows] == [
+        "empl", "dept", "empl", "empl", "dept", "empl",
+    ]

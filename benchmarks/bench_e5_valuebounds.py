@@ -1,0 +1,86 @@
+"""E5 — Section 6.1: value-bound contradiction and redundancy detection.
+
+Paper claims: with ``valuebound(empl, sal, 10000, 90000)``, a salary test
+above the maximum (< 200000) is dropped as redundant, and one below the
+minimum (< 2000) proves the query empty before any database call.
+The sweep measures how many queries of a threshold workload are
+short-circuited entirely and how many shed their comparison.
+"""
+
+import pytest
+
+from repro.optimize import simplify
+from repro.prolog import var
+
+
+@pytest.mark.parametrize("threshold,expected", [
+    (2000, "empty"),        # below the declared minimum: contradiction
+    (10000, "empty"),       # equal to the minimum: sal < 10000 impossible
+    (40000, "kept"),        # inside the domain: genuinely restrictive
+    (90001, "dropped"),     # above the maximum: redundant
+    (200000, "dropped"),    # far above: redundant (the paper's number)
+])
+def test_e5_threshold_outcomes(small_session, threshold, expected):
+    session, org = small_session
+    employee = org.employees[0].nam
+    predicate = session.metaevaluator.metaevaluate(
+        f"works_dir_for(X, {employee}), empl(_, X, S, _), less(S, {threshold})",
+        targets=[var("X")],
+    )
+    result = simplify(predicate, session.constraints)
+    if expected == "empty":
+        outcome = "empty"
+    elif any(c.op == "less" for c in result.predicate.comparisons):
+        outcome = "kept"
+    else:
+        outcome = "dropped"
+    print(f"\n[E5] less(S, {threshold}): {outcome}")
+    assert outcome == expected
+
+
+def test_e5_detection_rate_over_workload(small_session, benchmark):
+    """Fraction of a random threshold workload resolved without the DBMS."""
+    session, org = small_session
+    employee = org.employees[0].nam
+    thresholds = list(range(0, 260000, 10000))
+    predicates = [
+        session.metaevaluator.metaevaluate(
+            f"works_dir_for(X, {employee}), empl(_, X, S, _), less(S, {t})",
+            targets=[var("X")],
+        )
+        for t in thresholds
+    ]
+
+    def run():
+        empty = dropped = kept = 0
+        for predicate in predicates:
+            result = simplify(predicate, session.constraints)
+            if result.is_empty:
+                empty += 1
+            elif any(c.op == "less" for c in result.predicate.comparisons):
+                kept += 1
+            else:
+                dropped += 1
+        return empty, dropped, kept
+
+    empty, dropped, kept = benchmark(run)
+    total = len(thresholds)
+    print(f"\n[E5] thresholds swept: {total}; proven empty: {empty}, "
+          f"comparison dropped: {dropped}, kept: {kept}")
+    # Bounds are [10000, 90000]: thresholds <= 10000 are empty, > 90000 dropped.
+    assert empty == sum(1 for t in thresholds if t <= 10000)
+    assert dropped == sum(1 for t in thresholds if t > 90000)
+    assert kept == total - empty - dropped
+
+
+def test_e5_contradiction_saves_database_work(small_session):
+    session, org = small_session
+    employee = org.employees[0].nam
+    session.database.stats.reset()
+    answers = session.ask(
+        f"works_dir_for(X, {employee}), empl(_, X, S, _), less(S, 2000)"
+    )
+    print(f"\n[E5] contradictory query: answers={len(answers)}, "
+          f"external queries={session.database.stats.queries_executed}")
+    assert answers == []
+    assert session.database.stats.queries_executed == 0

@@ -1,0 +1,73 @@
+"""E6 — Section 6.3: referential integrity (Algorithm 1 + dangling rows).
+
+Paper claims: derived (indirect) referential constraints are found by a
+chase-like procedure that uses each stored rule at most once; dangling-row
+deletion cascades recursively (Example 6-2 removes the manager ``empl``
+row and only then the ``dept`` row).  The chain sweep measures
+Algorithm 1 on rule chains of growing length.
+"""
+
+import pytest
+
+from repro.dbcl import parse_dbcl
+from repro.optimize import remove_dangling_rows
+from repro.schema import RefInt, RefIntHypothesis, derive_refint, make_schema
+
+
+def test_e6_cascading_deletion(small_session, benchmark):
+    session, org = small_session
+    predicate = parse_dbcl(
+        """
+        dbcl(
+          [empdep, eno, nam, sal, dno, fct, mgr],
+          [same_manager, *, t_X, *, *, *, *],
+          [[empl, v_Eno1, t_X, v_Sal1, v_D1, *, *],
+           [dept, *, *, *, v_D1, v_Fct2, v_M1],
+           [empl, v_M1, v_M, v_Sal3, v_Dno3, *, *],
+           [empl, v_Eno4, jones, v_Sal4, v_D1, *, *]],
+          [[neq, t_X, jones]]).
+        """,
+        session.schema,
+    )
+
+    outcome = benchmark(lambda: remove_dangling_rows(predicate, session.constraints))
+    print(f"\n[E6] cascade: removed {outcome.removed_rows} rows in order "
+          f"{outcome.deletions} (paper: empl row, then dept row)")
+    assert outcome.removed_rows == 2
+    assert outcome.deletions == [("empl", "dept"), ("dept", "empl")]
+
+
+@pytest.mark.parametrize("length", [1, 4, 16, 64])
+def test_e6_algorithm1_chain_sweep(length, benchmark):
+    """Derivation across refint chains r0 -> r1 -> ... -> rN."""
+    relations = {f"r{i}": [f"a{i}"] for i in range(length + 1)}
+    schema = make_schema("chain", relations)
+    rules = [
+        RefInt(f"r{i}", (f"a{i}",), f"r{i+1}", (f"a{i+1}",))
+        for i in range(length)
+    ]
+    hypothesis = RefIntHypothesis(
+        "r0", ("a0",), f"r{length}", (f"a{length}",)
+    )
+
+    result = benchmark(lambda: derive_refint(schema, hypothesis, rules))
+    print(f"\n[E6] chain length {length}: derivable={result.success}, "
+          f"rules used={len(result.chain)}")
+    assert result.success
+    assert len(result.chain) == length
+
+
+def test_e6_underivable_fails_fast(benchmark):
+    length = 64
+    relations = {f"r{i}": [f"a{i}"] for i in range(length + 1)}
+    schema = make_schema("chain", relations)
+    rules = [
+        RefInt(f"r{i}", (f"a{i}",), f"r{i+1}", (f"a{i+1}",))
+        for i in range(length)
+    ]
+    # Reversed hypothesis: no rule ever applies.
+    hypothesis = RefIntHypothesis(
+        f"r{length}", (f"a{length}",), "r0", ("a0",)
+    )
+    result = benchmark(lambda: derive_refint(schema, hypothesis, rules))
+    assert not result.success

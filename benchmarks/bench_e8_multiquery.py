@@ -1,0 +1,68 @@
+"""E8 — Section 7 / [Jarke 84]: multiple-query common subexpression isolation.
+
+Claim: recognizing shared subexpressions across a query batch reduces the
+number of DBMS queries (and total work) versus independent execution,
+with identical answers.
+"""
+
+from conftest import make_session
+from repro.coupling import BatchExecutor
+from repro.prolog import var
+
+
+def _threshold_batch(session, thresholds):
+    return [
+        session.metaevaluator.metaevaluate(
+            f"empl(E, N, S, D), less(S, {t})", targets=[var("N")]
+        )
+        for t in thresholds
+    ]
+
+
+def test_e8_shared_vs_unshared_queries(medium_session, benchmark):
+    session, org = medium_session
+    thresholds = list(range(20000, 90000, 5000))
+    predicates = _threshold_batch(session, thresholds)
+
+    shared = BatchExecutor(session.database, session.constraints, share=True)
+    unshared = BatchExecutor(session.database, session.constraints, share=False)
+
+    shared_answers, shared_report = shared.execute(predicates)
+    unshared_answers, unshared_report = unshared.execute(predicates)
+    for a, b in zip(shared_answers, unshared_answers):
+        assert set(a) == set(b)
+
+    print(f"\n[E8] batch of {len(predicates)}: shared issued "
+          f"{shared_report.queries_issued} queries, unshared issued "
+          f"{unshared_report.queries_issued} (saved "
+          f"{shared_report.queries_saved})")
+    assert shared_report.queries_issued < unshared_report.queries_issued
+    assert shared_report.queries_issued == 1  # one widened core scan
+
+    benchmark(lambda: shared.execute(predicates))
+
+
+def test_e8_unshared_baseline(medium_session, benchmark):
+    session, org = medium_session
+    thresholds = list(range(20000, 90000, 5000))
+    predicates = _threshold_batch(session, thresholds)
+    unshared = BatchExecutor(session.database, session.constraints, share=False)
+    benchmark(lambda: unshared.execute(predicates))
+
+
+def test_e8_duplicate_heavy_batch(medium_session, benchmark):
+    """Repeated identical queries (a common expert-system pattern)."""
+    session, org = medium_session
+    boss = org.root_manager_name()
+    predicates = [
+        session.metaevaluator.metaevaluate(
+            f"works_dir_for(X, {boss})", targets=[var("X")]
+        )
+        for _ in range(10)
+    ]
+    executor = BatchExecutor(session.database, session.constraints)
+    answers, report = benchmark(lambda: executor.execute(predicates))
+    print(f"\n[E8] 10 identical queries -> {report.queries_issued} executed, "
+          f"{report.duplicates_shared} shared")
+    assert report.queries_issued == 1
+    assert report.duplicates_shared == 9

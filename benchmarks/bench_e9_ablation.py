@@ -1,0 +1,74 @@
+"""E9 — Section 6.4 ablation: what each Algorithm-2 stage contributes.
+
+For a generated workload of conjunctive queries over the empdep views,
+run the simplification pipeline at each cumulative stage level and report
+the total rows and join terms remaining — the series DESIGN.md's
+experiment index promises.  More stages must never leave more rows.
+"""
+
+from conftest import random_conjunctive_goals
+from repro.optimize import ABLATION_LEVELS, simplify
+from repro.sql import translate
+
+LEVELS = ["none", "bounds", "bounds+ineq", "bounds+ineq+chase",
+          "bounds+ineq+chase+refint", "full"]
+
+
+def _workload(session, org, count=20):
+    predicates = []
+    for goal in random_conjunctive_goals(org, count=count, seed=5):
+        predicates.append(session.metaevaluator.metaevaluate(goal))
+    return predicates
+
+
+def test_e9_stage_contributions(small_session, benchmark):
+    session, org = small_session
+    predicates = _workload(session, org)
+
+    def measure():
+        table = {}
+        for level in LEVELS:
+            rows = joins = empties = comparisons = 0
+            for predicate in predicates:
+                result = simplify(
+                    predicate, session.constraints, ABLATION_LEVELS[level]
+                )
+                if result.is_empty:
+                    empties += 1
+                    continue
+                rows += len(result.predicate.rows)
+                joins += translate(result.predicate).join_term_count
+                comparisons += len(result.predicate.comparisons)
+            table[level] = (rows, joins, empties, comparisons)
+        return table
+
+    table = benchmark(measure)
+    print(f"\n[E9] ablation over {len(predicates)} queries "
+          "(rows / joins / empty / comparisons):")
+    for level in LEVELS:
+        rows, joins, empties, comparisons = table[level]
+        print(f"     {level:<28} rows={rows:<4} joins={joins:<4} "
+              f"empty={empties:<2} comparisons={comparisons}")
+
+    # Monotonicity: adding stages never increases remaining rows.
+    for earlier, later in zip(LEVELS, LEVELS[1:]):
+        assert table[later][0] <= table[earlier][0], (earlier, later)
+    assert table["full"][0] < table["none"][0]
+    assert table["full"][1] < table["none"][1]
+    # The inequality stage's contribution: redundant comparisons dropped
+    # (and possibly some queries proven empty).
+    ineq = table["bounds+ineq"]
+    base = table["none"]
+    assert ineq[3] < base[3] or ineq[2] > base[2]
+
+
+def test_e9_full_pipeline_cost(small_session, benchmark):
+    """Optimizer overhead itself (the price paid before the DBMS is hit)."""
+    session, org = small_session
+    predicates = _workload(session, org, count=10)
+    benchmark(
+        lambda: [
+            simplify(p, session.constraints, ABLATION_LEVELS["full"])
+            for p in predicates
+        ]
+    )

@@ -1,0 +1,76 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Each ``bench_eN_*`` module regenerates one experiment row/series from
+DESIGN.md's per-experiment index; EXPERIMENTS.md records paper-claim
+versus measured for each.  Benchmarks print their series (visible with
+``pytest benchmarks/ --benchmark-only -s``) and *assert* the paper's
+qualitative claims, so a regression in any reproduced shape fails CI.
+"""
+
+import random
+
+import pytest
+
+from repro import PrologDbSession, generate_org
+from repro.prolog import var
+from repro.schema import (
+    ALL_VIEWS_SOURCE,
+    SAME_MANAGER_SOURCE,
+    WORKS_DIR_FOR_SOURCE,
+    empdep_constraints,
+    empdep_schema,
+)
+
+
+def make_session(depth=3, branching=2, staff_per_dept=4, seed=0, views=None):
+    """A loaded session over a generated org; caller owns closing."""
+    session = PrologDbSession()
+    org = generate_org(
+        depth=depth, branching=branching, staff_per_dept=staff_per_dept, seed=seed
+    )
+    session.load_org(org)
+    session.consult(views if views is not None else ALL_VIEWS_SOURCE)
+    return session, org
+
+
+@pytest.fixture(scope="module")
+def small_session():
+    session, org = make_session(depth=3, branching=2, staff_per_dept=4, seed=0)
+    yield session, org
+    session.close()
+
+
+@pytest.fixture(scope="module")
+def medium_session():
+    session, org = make_session(depth=4, branching=3, staff_per_dept=5, seed=0)
+    yield session, org
+    session.close()
+
+
+def random_conjunctive_goals(org, count=20, seed=0):
+    """A workload of random conjunctive queries over the empdep views.
+
+    Mixes view calls with constants drawn from the generated data and
+    salary comparisons at random thresholds — every optimizer stage gets
+    exercised somewhere in the batch.
+    """
+    rng = random.Random(seed)
+    names = [e.nam for e in org.employees]
+    goals = []
+    for i in range(count):
+        shape = rng.randrange(4)
+        name = rng.choice(names)
+        threshold = rng.randrange(5000, 250000, 5000)
+        if shape == 0:
+            goals.append(f"same_manager(X, {name})")
+        elif shape == 1:
+            goals.append(
+                f"works_dir_for(X, {name}), empl(_, X, S, _), less(S, {threshold})"
+            )
+        elif shape == 2:
+            goals.append(
+                f"works_dir_for(X, Y), empl(_, X, S, _), less(S, {threshold})"
+            )
+        else:
+            goals.append(f"works_dir_for(X, {name}), works_dir_for(Y, X)")
+    return goals

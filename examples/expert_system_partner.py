@@ -1,0 +1,65 @@
+"""Example 4-1: an expert system finding task partners through the DBMS.
+
+The paper's motivating scenario: employee W must perform a task needing a
+certain skill and looks for a partner X with that skill working for the
+same manager.  Skills are *internal* expert-system knowledge
+(``specialist`` facts); the org chart lives in the *external* relational
+database.  The ``partner`` rule bridges the two with the amalgamated
+``metaevaluate/4`` predicate and a cut, exactly as printed in the paper.
+
+Run with::
+
+    python examples/expert_system_partner.py
+"""
+
+from repro import PrologDbSession, generate_org
+from repro.schema import SAME_MANAGER_SOURCE, WORKS_DIR_FOR_SOURCE
+
+PARTNER_RULE = """
+partner(W, X, Skill) :-
+    metaevaluate(pr5, [same_manager(X, W)], no_optim, DBCL), !,
+    same_manager(X, W),
+    specialist(X, Skill).
+"""
+
+
+def main() -> None:
+    session = PrologDbSession()
+    org = generate_org(depth=3, branching=2, staff_per_dept=5, seed=7)
+    session.load_org(org)
+    session.consult(WORKS_DIR_FOR_SOURCE)
+    session.consult(SAME_MANAGER_SOURCE)
+    session.consult(PARTNER_RULE)
+
+    # Pick a team: the direct reports of the root manager.
+    boss = org.root_manager_name()
+    team = sorted(low for low, high in org.works_dir_for_pairs() if high == boss)
+    asker, driver, thinker = team[0], team[1], team[2]
+
+    # Internal expert-system knowledge (paper: jones/guns, miller/driving,
+    # smiley/thinking).
+    session.assert_fact("specialist", driver, "driving")
+    session.assert_fact("specialist", thinker, "thinking")
+    session.assert_fact("specialist", "outsider", "driving")  # wrong team
+
+    print(f"Org: {org.employee_count} employees, {org.department_count} departments")
+    print(f"{asker} needs a partner who is a specialist in driving.\n")
+
+    goal = f"partner({asker}, X, driving)"
+    print(f"Query: :- {goal}.")
+    answers = session.ask(goal)
+    for answer in answers:
+        print(f"  -> partner found: {answer['X']}")
+    assert answers and answers[0]["X"] == driver
+
+    # The database was consulted once (the cut after metaevaluate), and the
+    # same_manager answers now live in the internal Prolog database:
+    facts = session.kb.fact_count(("same_manager", 2))
+    print(f"\nInternal database now holds {facts} same_manager facts")
+    print(f"External queries executed: {session.database.stats.queries_executed}")
+
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

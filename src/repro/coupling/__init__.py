@@ -1,0 +1,35 @@
+"""The coupling layer: session front-end and global optimization (paper §2, §7)."""
+
+from .global_opt import (
+    CachePolicy,
+    CacheStats,
+    ExecutionPlan,
+    ResultCache,
+    classify_conjuncts,
+    plan_goal,
+)
+from .multi_query import BatchExecutor, BatchReport
+from .recursion_exec import (
+    RecursionRun,
+    RecursionStats,
+    TransitiveClosure,
+    schema_with_intermediate,
+)
+from .session import PrologDbSession, TranslationTrace
+
+__all__ = [
+    "CachePolicy",
+    "CacheStats",
+    "ExecutionPlan",
+    "ResultCache",
+    "classify_conjuncts",
+    "plan_goal",
+    "BatchExecutor",
+    "BatchReport",
+    "RecursionRun",
+    "RecursionStats",
+    "TransitiveClosure",
+    "schema_with_intermediate",
+    "PrologDbSession",
+    "TranslationTrace",
+]

@@ -1,0 +1,245 @@
+"""Global optimization: splitting goals between PROLOG and the DBMS.
+
+Paper section 2 assigns "global optimize" two functions: decide which
+parts of a DBCL expression can be evaluated using the internal PROLOG
+database versus the external DBMS, and decide whether query results
+should be stored for future reference.
+
+:func:`classify_conjuncts` sorts the conjuncts of a goal by where their
+evaluation must happen (reachability over the view call graph), and
+:func:`plan_goal` produces an execution plan: one *external block* to be
+metaevaluated, simplified, translated, and fetched, plus the *internal
+remainder* to be resolved tuple-at-a-time over the fetched answers.
+
+:class:`ResultCache` implements the storage decision with a simple,
+inspectable policy (cache results up to a row bound, keyed by the
+canonicalised DBCL predicate), which is what the recursion strategies and
+the multiple-query optimizer build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import networkx as nx
+
+from ..dbcl.predicate import DbclPredicate
+from ..errors import CouplingError
+from ..metaevaluate.recursion import view_call_graph
+from ..prolog.knowledge_base import KnowledgeBase
+from ..prolog.terms import (
+    COMPARISON_PREDICATES,
+    Atom,
+    Struct,
+    Term,
+    Variable,
+    conjuncts,
+    goal_indicator,
+    variables_of,
+)
+from ..schema.catalog import DatabaseSchema
+
+Kind = str  # 'external' | 'internal' | 'comparison' | 'mixed'
+
+
+def _is_database_indicator(schema: DatabaseSchema, indicator: tuple[str, int]) -> bool:
+    name, arity = indicator
+    return schema.has_relation(name) and schema.relation(name).arity == arity
+
+
+def classify_conjuncts(
+    kb: KnowledgeBase, schema: DatabaseSchema, goal: Term
+) -> list[tuple[Term, Kind]]:
+    """Label each conjunct of ``goal``.
+
+    * ``external`` — bottoms out exclusively in database relations and
+      comparisons: the metaevaluator can compile it away entirely;
+    * ``internal`` — never reaches a database relation (pure expert-system
+      knowledge such as the ``specialist`` facts of Example 4-1);
+    * ``comparison`` — a builtin comparison, attachable to either side;
+    * ``mixed`` — reaches both kinds of leaves; the caller must restructure
+      (the paper's stepwise-evaluation extension handles these).
+    """
+    graph = view_call_graph(kb, schema)
+    classified: list[tuple[Term, Kind]] = []
+    for subgoal in conjuncts(goal):
+        try:
+            indicator = goal_indicator(subgoal)
+        except ValueError:
+            raise CouplingError(f"cannot classify non-callable goal {subgoal}")
+        name, arity = indicator
+        if arity == 2 and name in COMPARISON_PREDICATES:
+            classified.append((subgoal, "comparison"))
+            continue
+        if _is_database_indicator(schema, indicator):
+            classified.append((subgoal, "external"))
+            continue
+        reachable = {indicator}
+        if graph.has_node(indicator):
+            reachable |= set(nx.descendants(graph, indicator))
+        db_leaves = {i for i in reachable if _is_database_indicator(schema, i)}
+        defined = {i for i in reachable if kb.has_procedure(i)}
+        plain_leaves = {
+            i
+            for i in reachable
+            if i not in db_leaves
+            and not kb.has_procedure(i)
+            and not (i[1] == 2 and i[0] in COMPARISON_PREDICATES)
+        }
+        if db_leaves and not plain_leaves:
+            # Distinguish "compiles fully to the database" from "also uses
+            # internal facts": a view whose every non-database callee is
+            # itself database-translatable is external.
+            internal_fact_preds = {
+                i for i in defined if not _reaches_database(graph, schema, i)
+            }
+            if internal_fact_preds - {indicator}:
+                classified.append((subgoal, "mixed"))
+            else:
+                classified.append((subgoal, "external"))
+        elif db_leaves:
+            classified.append((subgoal, "mixed"))
+        else:
+            classified.append((subgoal, "internal"))
+    return classified
+
+
+def _reaches_database(
+    graph: "nx.DiGraph", schema: DatabaseSchema, indicator: tuple[str, int]
+) -> bool:
+    if _is_database_indicator(schema, indicator):
+        return True
+    if not graph.has_node(indicator):
+        return False
+    return any(
+        _is_database_indicator(schema, other)
+        for other in nx.descendants(graph, indicator)
+    )
+
+
+@dataclass
+class ExecutionPlan:
+    """How a goal will be evaluated across the coupling boundary."""
+
+    #: conjuncts shipped to the metaevaluator (order preserved)
+    external: list[Term]
+    #: conjuncts resolved in Prolog after the fetch (order preserved)
+    internal: list[Term]
+    #: variables shared between the two sides (must be fetched)
+    interface_variables: list[Variable]
+    #: target variables of the whole goal
+    goal_variables: list[Variable]
+
+    @property
+    def is_pure_external(self) -> bool:
+        return not self.internal
+
+    @property
+    def is_pure_internal(self) -> bool:
+        return not self.external
+
+
+def plan_goal(kb: KnowledgeBase, schema: DatabaseSchema, goal: Term) -> ExecutionPlan:
+    """Split a conjunctive goal into external and internal parts.
+
+    Comparisons join the external block when every variable they use is
+    produced there (the DBMS can evaluate them); otherwise they stay
+    internal.  Mixed conjuncts are rejected with guidance.
+    """
+    classified = classify_conjuncts(kb, schema, goal)
+    for subgoal, kind in classified:
+        if kind == "mixed":
+            raise CouplingError(
+                f"goal {subgoal} mixes database and internal knowledge; "
+                "split the view or use repro.extensions.stepwise"
+            )
+
+    external = [g for g, kind in classified if kind == "external"]
+    internal = [g for g, kind in classified if kind == "internal"]
+    external_vars = {v for g in external for v in variables_of(g)}
+
+    for subgoal, kind in classified:
+        if kind != "comparison":
+            continue
+        used = set(variables_of(subgoal))
+        if external and used <= external_vars:
+            external.append(subgoal)
+        else:
+            internal.append(subgoal)
+
+    goal_vars = [v for v in variables_of(goal) if not v.is_anonymous]
+    internal_vars = {v for g in internal for v in variables_of(g)}
+    interface = [
+        v
+        for v in goal_vars
+        if v in external_vars and (v in internal_vars or not internal)
+    ]
+    # Variables shared between blocks but not in the answer still must
+    # cross the interface.
+    for variable in sorted(external_vars & internal_vars, key=str):
+        if variable not in interface and not variable.is_anonymous:
+            interface.append(variable)
+
+    return ExecutionPlan(
+        external=external,
+        internal=internal,
+        interface_variables=interface,
+        goal_variables=goal_vars,
+    )
+
+
+@dataclass
+class CachePolicy:
+    """When is a query result worth storing? (paper section 2, function 2)"""
+
+    max_rows: int = 10_000
+    enabled: bool = True
+
+    def should_store(self, row_count: int) -> bool:
+        return self.enabled and row_count <= self.max_rows
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0
+    rejected: int = 0
+
+
+class ResultCache:
+    """Query-result store keyed by the canonicalised DBCL predicate.
+
+    Canonical keys are invariant under variable renaming, so two goals
+    that compile to isomorphic tableaux share one entry — the paper's
+    motivation for storing intermediate results across related queries.
+    """
+
+    def __init__(self, policy: Optional[CachePolicy] = None):
+        self.policy = policy if policy is not None else CachePolicy()
+        self._entries: dict[tuple, list[tuple]] = {}
+        self.stats = CacheStats()
+
+    def lookup(self, predicate: DbclPredicate) -> Optional[list[tuple]]:
+        entry = self._entries.get(predicate.canonical_key())
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def store(self, predicate: DbclPredicate, rows: Sequence[tuple]) -> bool:
+        if not self.policy.should_store(len(rows)):
+            self.stats.rejected += 1
+            return False
+        self._entries[predicate.canonical_key()] = list(rows)
+        self.stats.stored += 1
+        return True
+
+    def invalidate(self) -> None:
+        """Drop everything (call after base data changes)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

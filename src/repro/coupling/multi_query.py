@@ -1,0 +1,234 @@
+"""Multiple-query optimization: common subexpression isolation (paper §7).
+
+"Often, it is advantageous to process multiple database queries
+simultaneously by recognizing common subexpressions [Jarke 1984]."  The
+batch executor here implements two levels of sharing over a batch of DBCL
+predicates:
+
+1. **duplicate elimination** — queries with identical canonical forms
+   execute once;
+2. **common-core isolation** — queries whose tableaux (rows + targets)
+   coincide and that differ only in their Relcomparisons share one
+   *widened* scan: the common core executes once with the compared
+   variables promoted into the SELECT list, and each member's comparisons
+   are applied to the fetched tuples (the stored intermediate result
+   playing the role of the paper's ``setrel`` relation).
+
+The report records how many DBMS queries were issued against the
+unshared baseline, which is the series Experiment E8 regenerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..dbcl.predicate import Comparison, DbclPredicate
+from ..dbcl.symbols import ConstSymbol, JoinableSymbol, TargetSymbol, VarSymbol
+from ..errors import CouplingError
+from ..dbms.sqlite_backend import ExternalDatabase
+from ..optimize.pipeline import SimplifyOptions, simplify
+from ..schema.constraints import ConstraintSet
+from ..sql.translate import translate
+
+Value = Union[int, float, str, None]
+
+
+@dataclass
+class BatchReport:
+    """What the batch executor did, versus the unshared baseline."""
+
+    batch_size: int = 0
+    queries_issued: int = 0
+    duplicates_shared: int = 0
+    cores_shared: int = 0
+
+    @property
+    def baseline_queries(self) -> int:
+        return self.batch_size
+
+    @property
+    def queries_saved(self) -> int:
+        return self.batch_size - self.queries_issued
+
+
+def _evaluate_comparison(op: str, left: Value, right: Value) -> bool:
+    if left is None or right is None:
+        return False  # SQL NULL semantics: comparisons are never true
+    from ..dbcl.symbols import compare_values
+
+    ordering = compare_values(left, right)
+    return {
+        "eq": ordering == 0,
+        "neq": ordering != 0,
+        "less": ordering < 0,
+        "greater": ordering > 0,
+        "leq": ordering <= 0,
+        "geq": ordering >= 0,
+    }[op]
+
+
+@dataclass
+class _CoreGroup:
+    """Queries sharing one comparison-free core."""
+
+    core: DbclPredicate  # canonical rows/targets, no comparisons
+    members: list[int] = field(default_factory=list)  # batch positions
+    member_comparisons: list[tuple[Comparison, ...]] = field(default_factory=list)
+    member_arity: int = 0
+
+
+class BatchExecutor:
+    """Evaluates a batch of DBCL predicates with subexpression sharing."""
+
+    def __init__(
+        self,
+        database: ExternalDatabase,
+        constraints: ConstraintSet,
+        optimize: bool = True,
+        share: bool = True,
+    ):
+        self.database = database
+        self.constraints = constraints
+        self.options = SimplifyOptions() if optimize else SimplifyOptions.none()
+        self.share = share
+
+    # -- public API -----------------------------------------------------------------
+
+    def execute(
+        self, predicates: Sequence[DbclPredicate]
+    ) -> tuple[list[list[tuple]], BatchReport]:
+        """Run the whole batch; returns per-query answers plus the report."""
+        report = BatchReport(batch_size=len(predicates))
+        simplified: list[Optional[DbclPredicate]] = []
+        for predicate in predicates:
+            result = simplify(predicate, self.constraints, self.options)
+            simplified.append(None if result.is_empty else result.predicate)
+
+        answers: list[Optional[list[tuple]]] = [None] * len(predicates)
+
+        if not self.share:
+            for position, predicate in enumerate(simplified):
+                if predicate is None:
+                    answers[position] = []
+                else:
+                    answers[position] = self.database.execute(
+                        translate(predicate, distinct=True)
+                    )
+                    report.queries_issued += 1
+            return [a if a is not None else [] for a in answers], report
+
+        # -- level 1: duplicate elimination over canonical forms -----------------
+        by_key: dict[tuple, list[int]] = {}
+        for position, predicate in enumerate(simplified):
+            if predicate is None:
+                answers[position] = []
+                continue
+            by_key.setdefault(predicate.canonical_key(), []).append(position)
+
+        # -- level 2: group by comparison-free core -------------------------------
+        groups: dict[tuple, _CoreGroup] = {}
+        for key, positions in by_key.items():
+            representative = simplified[positions[0]]
+            assert representative is not None
+            canonical = representative.canonical_form()
+            core = canonical.replace(comparisons=())
+            core_key = core.canonical_key()
+            group = groups.get(core_key)
+            if group is None:
+                group = _CoreGroup(core=core, member_arity=len(canonical.targets))
+                groups[core_key] = group
+            group.members.extend(positions)
+            group.member_comparisons.extend(
+                [tuple(canonical.comparisons)] * len(positions)
+            )
+            report.duplicates_shared += len(positions) - 1
+
+        for group in groups.values():
+            distinct_comparison_sets = {
+                comparisons for comparisons in group.member_comparisons
+            }
+            if len(distinct_comparison_sets) <= 1:
+                # No comparison variance: run each distinct query directly
+                # (it is one query thanks to level-1 dedup).
+                rows = self.database.execute(
+                    translate(
+                        group.core.replace(
+                            comparisons=group.member_comparisons[0]
+                        ),
+                        distinct=True,
+                    )
+                )
+                report.queries_issued += 1
+                for position in group.members:
+                    answers[position] = rows
+                continue
+
+            report.cores_shared += len(group.members) - 1
+            widened, column_of = self._widen(group)
+            all_rows = self.database.execute(translate(widened, distinct=True))
+            report.queries_issued += 1
+            arity = group.member_arity
+            for position, comparisons in zip(
+                group.members, group.member_comparisons
+            ):
+                kept = []
+                seen: set[tuple] = set()
+                for row in all_rows:
+                    if all(
+                        _evaluate_comparison(
+                            c.op,
+                            self._operand_value(c.left, row, column_of),
+                            self._operand_value(c.right, row, column_of),
+                        )
+                        for c in comparisons
+                    ):
+                        projected = row[:arity]
+                        if projected not in seen:
+                            seen.add(projected)
+                            kept.append(projected)
+                answers[position] = kept
+
+        return [a if a is not None else [] for a in answers], report
+
+    # -- core widening -----------------------------------------------------------------
+
+    def _widen(
+        self, group: _CoreGroup
+    ) -> tuple[DbclPredicate, dict[JoinableSymbol, int]]:
+        """Promote compared variables into the SELECT list of the core."""
+        core = group.core
+        compared: list[VarSymbol] = []
+        for comparisons in group.member_comparisons:
+            for comparison in comparisons:
+                for side in comparison.symbols():
+                    if isinstance(side, VarSymbol) and side not in compared:
+                        compared.append(side)
+
+        mapping = {
+            symbol: TargetSymbol(f"Aux{i}") for i, symbol in enumerate(compared)
+        }
+        widened = core.rename(mapping)
+        new_targets = list(widened.targets) + [mapping[s] for s in compared]
+        widened = widened.replace(targets=new_targets)
+
+        column_of: dict[JoinableSymbol, int] = {}
+        for i, target in enumerate(widened.targets):
+            column_of[target] = i
+        for symbol, target in mapping.items():
+            column_of[symbol] = column_of[target]
+        # Original targets keep their positions for comparisons against them.
+        for i, target in enumerate(core.targets):
+            column_of.setdefault(target, i)
+        return widened, column_of
+
+    @staticmethod
+    def _operand_value(
+        symbol: JoinableSymbol, row: tuple, column_of: dict[JoinableSymbol, int]
+    ) -> Value:
+        if isinstance(symbol, ConstSymbol):
+            return symbol.value
+        column = column_of.get(symbol)
+        if column is None:
+            raise CouplingError(f"comparison symbol {symbol} not in widened SELECT")
+        return row[column]

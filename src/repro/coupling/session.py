@@ -1,0 +1,501 @@
+"""The coupled PROLOG–DBMS session (the whole of paper Figure 1).
+
+:class:`PrologDbSession` is the public front door of this library.  It
+owns the internal Prolog engine and knowledge base, the external SQLite
+database, the metaevaluator, the local optimizer, and the global
+optimizer, and it wires up the paper's ``metaevaluate/4`` amalgamated
+predicate so expert-system programs can trigger database fetches from
+inside Prolog clauses (the ``partner`` rule of Example 4-1).
+
+Typical use::
+
+    session = PrologDbSession()
+    session.load_org(generate_org(depth=3, branching=2, staff_per_dept=4))
+    session.consult(WORKS_DIR_FOR_SOURCE)
+    answers = session.ask("works_dir_for(X, 'emp00001')")
+
+``ask`` classifies the goal (internal / external / recursive), runs the
+appropriate pipeline, and returns answer bindings as plain Python dicts.
+``explain`` returns the full translation trace (DBCL, simplified DBCL,
+SQL) without executing, which the examples and EXPERIMENTS.md use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Union
+
+from ..dbcl.grammar import format_dbcl
+from ..dbcl.predicate import DbclPredicate
+from ..dbms.internal_db import assert_answers, term_to_value
+from ..dbms.merge import SegmentMerger
+from ..dbms.sqlite_backend import ExternalDatabase
+from ..dbms.workload import OrgHierarchy, load_org
+from ..errors import CouplingError, MetaevaluationError
+from ..metaevaluate.recursion import (
+    is_recursive_goal,
+    recursive_indicators,
+)
+from ..metaevaluate.translator import Metaevaluator
+from ..optimize.pipeline import SimplificationResult, SimplifyOptions, simplify
+from ..prolog.engine import Engine
+from ..prolog.knowledge_base import KnowledgeBase
+from ..prolog.reader import parse_goal
+from ..prolog.terms import (
+    Atom,
+    Struct,
+    Term,
+    Variable,
+    conjoin,
+    goal_indicator,
+    list_items,
+    variables_of,
+)
+from ..prolog.unify import Substitution, unify
+from ..schema.catalog import DatabaseSchema
+from ..schema.constraints import ConstraintSet
+from ..schema.empdep import empdep_constraints, empdep_schema
+from ..sql.ast import SqlQuery
+from ..sql.printer import print_sql
+from ..sql.translate import translate
+from .global_opt import CachePolicy, ExecutionPlan, ResultCache, plan_goal
+from .recursion_exec import RecursionRun, TransitiveClosure
+
+Value = Union[int, float, str, None]
+
+
+@dataclass
+class TranslationTrace:
+    """Everything the pipeline produced for one goal (``explain``)."""
+
+    goal: Term
+    dbcl: DbclPredicate
+    simplification: SimplificationResult
+    sql: SqlQuery
+
+    @property
+    def dbcl_text(self) -> str:
+        return format_dbcl(self.dbcl)
+
+    @property
+    def optimized_dbcl_text(self) -> str:
+        return format_dbcl(self.simplification.predicate)
+
+    @property
+    def sql_text(self) -> str:
+        return print_sql(self.sql)
+
+
+class PrologDbSession:
+    """A tightly-coupled expert-system / relational-database session."""
+
+    def __init__(
+        self,
+        schema: Optional[DatabaseSchema] = None,
+        constraints: Optional[ConstraintSet] = None,
+        database: Optional[ExternalDatabase] = None,
+        optimize: bool = True,
+        cache_policy: Optional[CachePolicy] = None,
+    ):
+        self.schema = schema if schema is not None else empdep_schema()
+        self.constraints = (
+            constraints
+            if constraints is not None
+            else empdep_constraints(self.schema)
+        )
+        self.database = (
+            database if database is not None else ExternalDatabase(self.schema)
+        )
+        self.optimize = optimize
+        self.kb = KnowledgeBase()
+        self.engine = Engine(self.kb)
+        self.metaevaluator = Metaevaluator(self.schema, self.kb)
+        self.merger = SegmentMerger(self.kb, self.database)
+        self.cache = ResultCache(cache_policy)
+        self._closures: dict[tuple[str, int], TransitiveClosure] = {}
+        self._register_metaevaluate_builtin()
+
+    # -- program loading ---------------------------------------------------------
+
+    def consult(self, source: str) -> None:
+        """Load Prolog clauses (views, rules, facts) into the session."""
+        self.kb.consult(source)
+        self._closures.clear()
+
+    def load_org(self, org: OrgHierarchy) -> None:
+        """Load a generated organisation into the external database."""
+        load_org(self.database, org)
+        self.cache.invalidate()
+
+    def assert_fact(self, functor: str, *values) -> None:
+        """Add an internal fact (expert-system knowledge).
+
+        Facts asserted under a *base relation* name form an internal
+        database segment; the merge procedure (paper section 2) pushes
+        them to the external DBMS before the next query over that
+        relation, so cached results covering it are invalidated here.
+        """
+        self.kb.assert_fact(functor, *values)
+        if self.schema.has_relation(functor):
+            self.cache.invalidate()
+
+    def _merge_internal_segments(self, predicate: DbclPredicate) -> None:
+        """Push internal facts for the predicate's relations to the DBMS.
+
+        The paper's alternative storage strategy ("storing query results
+        in the external database system, to keep a clean separation"):
+        any base relation with internally asserted tuples is materialised
+        externally so the generated SQL sees the union of both segments.
+        """
+        for tag in {row.tag for row in predicate.rows}:
+            if not self.schema.has_relation(tag):
+                continue
+            relation = self.schema.relation(tag)
+            if self.kb.fact_count((tag, relation.arity)):
+                self.merger.materialise_internal(tag)
+
+    # -- the paper's amalgamated metaevaluate/4 ------------------------------------
+
+    def _register_metaevaluate_builtin(self) -> None:
+        session = self
+
+        def builtin_metaevaluate(engine, goal, subst, depth):
+            """metaevaluate(Program, [Goal], Options, DBCL) — paper §4."""
+            assert isinstance(goal, Struct)
+            _program, goal_list, options, dbcl_out = goal.args
+            goals = list_items(subst.apply(goal_list))
+            if len(goals) != 1:
+                raise CouplingError("metaevaluate/4 expects a one-goal list")
+            inner = goals[0]
+            use_optim = subst.apply(options) != Atom("no_optim")
+            predicate, rows = session._fetch_view(inner, optimize=use_optim)
+            from ..prolog.reader import parse_term
+
+            if predicate is None:
+                # All branches were fact branches: the answers are already
+                # in the internal database from an earlier metaevaluation.
+                dbcl_term: Term = Atom("already_evaluated")
+            else:
+                dbcl_term = parse_term(format_dbcl(predicate).rstrip(". \n"))
+            extended = unify(dbcl_out, dbcl_term, subst)
+            if extended is not None:
+                yield extended
+
+        self.engine.register_builtin("metaevaluate", 4, builtin_metaevaluate)
+
+    def _fetch_view(
+        self, goal: Term, optimize: bool = True
+    ) -> tuple[Optional[DbclPredicate], list[tuple]]:
+        """Metaevaluate a single-view goal, execute it, assert the answers.
+
+        A view that was metaevaluated before carries its previous answers
+        as asserted facts; unfolding now yields extra *fact branches* with
+        no database calls.  Those answers are already in the internal
+        database, so only the rule branch is compiled.
+        """
+        targets = [v for v in variables_of(goal) if not v.is_anonymous]
+        name = self.metaevaluator._default_name(goal)
+        branches = [
+            branch
+            for branch in self.metaevaluator.collect_branches(goal)
+            if branch.dbcalls
+        ]
+        if not branches:
+            return None, []  # everything already answered internally
+        if len(branches) > 1:
+            raise CouplingError(
+                f"metaevaluate/4 on disjunctive view {name}; use "
+                "ask_disjunctive instead"
+            )
+        predicate = self.metaevaluator.branch_to_dbcl(branches[0], name, targets)
+        options = (
+            SimplifyOptions()
+            if (optimize and self.optimize)
+            else SimplifyOptions.none()
+        )
+        result = simplify(predicate, self.constraints, options)
+        if result.is_empty:
+            return result.original, []
+        final = result.predicate
+        rows = self.cache.lookup(final)
+        if rows is None:
+            self._merge_internal_segments(final)
+            rows = self.database.execute(translate(final, distinct=True))
+            self.cache.store(final, rows)
+        assert_answers(self.kb, goal, final, targets, rows)
+        return final, rows
+
+    # -- query answering --------------------------------------------------------------
+
+    def ask(
+        self, goal: Union[str, Term], max_solutions: Optional[int] = None
+    ) -> list[dict[str, Value]]:
+        """Answer a goal, routing each part to the right evaluator."""
+        if isinstance(goal, str):
+            goal = parse_goal(goal)
+        goal_vars = [v for v in variables_of(goal) if not v.is_anonymous]
+
+        if self._is_recursive(goal):
+            return self._ask_recursive(goal)
+
+        try:
+            plan = plan_goal(self.kb, self.schema, goal)
+        except CouplingError:
+            # A "mixed" goal interleaves database and internal knowledge in
+            # one view — the paper's programs handle these themselves by
+            # calling metaevaluate/4 inside the rule (the partner example),
+            # so ordinary Prolog resolution is the correct evaluator.
+            return self._answers_from_engine(goal, goal_vars, max_solutions)
+        if plan.is_pure_internal:
+            return self._answers_from_engine(goal, goal_vars, max_solutions)
+
+        external_goal = conjoin(plan.external)
+        fetch_targets = [
+            v
+            for v in variables_of(external_goal)
+            if not v.is_anonymous and v in set(plan.interface_variables)
+        ]
+        predicate = self.metaevaluator.metaevaluate(
+            external_goal, targets=fetch_targets
+        )
+        options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
+        result = simplify(predicate, self.constraints, options)
+        if result.is_empty:
+            return []
+        final = result.predicate
+        rows = self.cache.lookup(final)
+        if rows is None:
+            self._merge_internal_segments(final)
+            rows = self.database.execute(translate(final, distinct=True))
+            self.cache.store(final, rows)
+
+        if plan.is_pure_external:
+            answers = self._rows_to_answers(final, fetch_targets, rows, goal_vars)
+            if max_solutions is not None:
+                return answers[:max_solutions]
+            return answers
+
+        # Mixed: assert the external answers under a fresh interface
+        # predicate, then let Prolog combine them with internal knowledge.
+        interface_name = f"$ext_{abs(hash(final.canonical_key())) % 10_000_000}"
+        interface_goal = Struct(
+            interface_name, tuple(fetch_targets)
+        )
+        self.kb.retract_all((interface_name, len(fetch_targets)))
+        assert_answers(self.kb, interface_goal, final, fetch_targets, rows)
+        rewritten = conjoin([interface_goal] + plan.internal)
+        return self._answers_from_engine(rewritten, goal_vars, max_solutions)
+
+    def _answers_from_engine(
+        self,
+        goal: Term,
+        goal_vars: Sequence[Variable],
+        max_solutions: Optional[int],
+    ) -> list[dict[str, Value]]:
+        def lenient(term: Term) -> Value:
+            # Constants convert to plain values; anything else (an unbound
+            # variable, a structured term such as a bound DBCL predicate)
+            # is rendered as text so answers stay JSON-friendly.
+            try:
+                return term_to_value(term)
+            except CouplingError:
+                if isinstance(term, Variable):
+                    return None
+                from ..prolog.writer import term_to_string
+
+                return term_to_string(term)
+
+        answers = []
+        wanted = set(goal_vars)
+        for binding in self.engine.solve(goal, max_solutions=max_solutions):
+            answers.append(
+                {
+                    variable.name: lenient(term)
+                    for variable, term in binding.items()
+                    if variable in wanted
+                }
+            )
+        return answers
+
+    def _rows_to_answers(
+        self,
+        predicate: DbclPredicate,
+        targets: Sequence[Variable],
+        rows: Sequence[tuple],
+        goal_vars: Sequence[Variable],
+    ) -> list[dict[str, Value]]:
+        names = [t.name for t in predicate.target_symbols()]
+        wanted = {v.name for v in goal_vars}
+        answers = []
+        seen: set[tuple] = set()
+        for row in rows:
+            answer = {
+                name: value for name, value in zip(names, row) if name in wanted
+            }
+            key = tuple(sorted(answer.items()))
+            if key not in seen:
+                seen.add(key)
+                answers.append(answer)
+        return answers
+
+    # -- recursion -----------------------------------------------------------------------
+
+    def _is_recursive(self, goal: Term) -> bool:
+        return is_recursive_goal(self.kb, self.schema, goal)
+
+    def closure_for(self, view_name: str) -> TransitiveClosure:
+        """The (cached) transitive-closure executor for a recursive view."""
+        indicator = (view_name, 2)
+        executor = self._closures.get(indicator)
+        if executor is None:
+            executor = TransitiveClosure(
+                self.kb,
+                self.schema,
+                self.constraints,
+                self.database,
+                indicator,
+                optimize=self.optimize,
+            )
+            self._closures[indicator] = executor
+        return executor
+
+    def _ask_recursive(self, goal: Term) -> list[dict[str, Value]]:
+        from ..prolog.terms import conjuncts
+
+        goals = conjuncts(goal)
+        if len(goals) != 1 or not isinstance(goals[0], Struct):
+            raise CouplingError(
+                "recursive goals must be a single view call; combine "
+                "results in Prolog afterwards"
+            )
+        call = goals[0]
+        indicator = call.indicator
+        if indicator not in recursive_indicators(self.kb, self.schema):
+            raise CouplingError(
+                f"goal reaches recursion through {indicator}; call the "
+                "recursive view directly"
+            )
+        low_arg, high_arg = call.args
+        low = low_arg.name if isinstance(low_arg, Atom) else None
+        high = high_arg.name if isinstance(high_arg, Atom) else None
+        run = self.closure_for(indicator[0]).solve(low=low, high=high)
+        answers = []
+        for pair_low, pair_high in sorted(run.pairs):
+            answer: dict[str, Value] = {}
+            if isinstance(low_arg, Variable):
+                answer[low_arg.name] = pair_low
+            if isinstance(high_arg, Variable):
+                answer[high_arg.name] = pair_high
+            answers.append(answer)
+        return answers
+
+    def solve_recursive(
+        self,
+        view_name: str,
+        low: Optional[str] = None,
+        high: Optional[str] = None,
+        strategy: str = "auto",
+        max_levels: int = 64,
+    ) -> RecursionRun:
+        """Direct access to the recursion strategies (benchmarks use this)."""
+        return self.closure_for(view_name).solve(
+            low=low, high=high, strategy=strategy, max_levels=max_levels
+        )
+
+    # -- extensions (paper section 7) ------------------------------------------------------
+
+    def ask_disjunctive(self, goal: Union[str, Term]) -> list[dict[str, Value]]:
+        """Answer a goal over a disjunctive view via per-conjunct UNION."""
+        from ..extensions.disjunction import translate_disjunctive
+
+        if isinstance(goal, str):
+            goal = parse_goal(goal)
+        targets = [v for v in variables_of(goal) if not v.is_anonymous]
+        options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
+        translation = translate_disjunctive(
+            self.metaevaluator, goal, self.constraints, targets=targets,
+            options=options,
+        )
+        rows = self.database.execute(translation.union)
+        live = [p for p in translation.simplified if p is not None]
+        if not live:
+            return []
+        names = [t.name for t in live[0].target_symbols()]
+        seen: set[tuple] = set()
+        answers = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                answers.append(dict(zip(names, row)))
+        return answers
+
+    def ask_with_negation(self, goal: Union[str, Term]) -> list[dict[str, Value]]:
+        """Answer ``positive, not(view(...))`` via a NOT IN complement."""
+        from ..extensions.negation import translate_with_negation
+
+        if isinstance(goal, str):
+            goal = parse_goal(goal)
+        targets = [v for v in variables_of(goal) if not v.is_anonymous]
+        options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
+        translation = translate_with_negation(
+            self.metaevaluator, goal, self.constraints, targets=targets,
+            options=options,
+        )
+        rows = self.database.execute(translation.query)
+        names = [item.label or item.column.attribute for item in translation.query.select]
+        # Targets were projected in goal-variable order by the translator.
+        target_names = [
+            t.name
+            for t in translation.positive.target_symbols()
+            if t.name in {v.name for v in targets}
+        ]
+        answers = []
+        seen: set[tuple] = set()
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                answers.append(dict(zip(target_names, row)))
+        return answers
+
+    def ask_stepwise(self, goal: Union[str, Term]):
+        """Tuple-substitution evaluation for mixed conjunctions."""
+        from ..extensions.stepwise import StepwiseEvaluator
+
+        options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
+        evaluator = StepwiseEvaluator(
+            self.metaevaluator,
+            self.engine,
+            self.database,
+            self.constraints,
+            options=options,
+        )
+        return evaluator.evaluate(goal)
+
+    # -- inspection ------------------------------------------------------------------------
+
+    def explain(self, goal: Union[str, Term]) -> TranslationTrace:
+        """The full translation trace for an external goal (no execution)."""
+        if isinstance(goal, str):
+            goal = parse_goal(goal)
+        targets = [v for v in variables_of(goal) if not v.is_anonymous]
+        predicate = self.metaevaluator.metaevaluate(goal, targets=targets)
+        options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
+        result = simplify(predicate, self.constraints, options)
+        if result.is_empty:
+            from ..sql.ast import empty_query
+
+            sql = empty_query()
+        else:
+            sql = translate(result.predicate, distinct=True)
+        return TranslationTrace(
+            goal=goal, dbcl=predicate, simplification=result, sql=sql
+        )
+
+    def close(self) -> None:
+        self.database.close()
+
+    def __enter__(self) -> "PrologDbSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

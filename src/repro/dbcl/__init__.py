@@ -1,0 +1,54 @@
+"""DBCL: the set-oriented, variable-free intermediate language (paper §3)."""
+
+from .builder import TableauBuilder
+from .containment import contains, equivalent, find_homomorphism
+from .grammar import format_dbcl, parse_dbcl
+from .predicate import (
+    COMPARISON_OPS,
+    MIRRORED_OPS,
+    NEGATED_OPS,
+    Comparison,
+    DbclPredicate,
+    Occurrence,
+    RelRow,
+)
+from .symbols import (
+    STAR,
+    ConstSymbol,
+    JoinableSymbol,
+    Star,
+    Symbol,
+    TargetSymbol,
+    VarSymbol,
+    is_constant_symbol,
+    is_star,
+    is_variable_symbol,
+    parse_symbol,
+)
+
+__all__ = [
+    "TableauBuilder",
+    "contains",
+    "equivalent",
+    "find_homomorphism",
+    "format_dbcl",
+    "parse_dbcl",
+    "COMPARISON_OPS",
+    "MIRRORED_OPS",
+    "NEGATED_OPS",
+    "Comparison",
+    "DbclPredicate",
+    "Occurrence",
+    "RelRow",
+    "STAR",
+    "ConstSymbol",
+    "JoinableSymbol",
+    "Star",
+    "Symbol",
+    "TargetSymbol",
+    "VarSymbol",
+    "is_constant_symbol",
+    "is_star",
+    "is_variable_symbol",
+    "parse_symbol",
+]

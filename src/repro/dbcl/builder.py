@@ -1,0 +1,135 @@
+"""Programmatic construction of DBCL predicates.
+
+:class:`TableauBuilder` is the convenience layer used by tests, examples,
+and the metaevaluator to assemble tableaux attribute-by-attribute instead
+of spelling out full-width rows.  Cells not mentioned are filled with
+fresh singleton ``v_`` symbols (for covered attributes) or ``*``.
+
+The naming convention mirrors the paper's examples: machine-generated
+variables are named after their attribute with the 1-based row number
+appended (``v_Eno1``, ``v_Sal3``); caller-supplied names are kept as-is
+(``v_D``, ``v_M``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from ..errors import DbclError
+from ..schema.catalog import DatabaseSchema
+from .predicate import COMPARISON_OPS, Comparison, DbclPredicate, RelRow
+from .symbols import (
+    STAR,
+    ConstSymbol,
+    JoinableSymbol,
+    Symbol,
+    TargetSymbol,
+    VarSymbol,
+)
+
+CellSpec = Union[Symbol, int, float, str]
+
+
+def _capitalise(attribute: str) -> str:
+    return attribute[:1].upper() + attribute[1:]
+
+
+class TableauBuilder:
+    """Accumulates rows and comparisons, then builds a :class:`DbclPredicate`."""
+
+    def __init__(self, schema: DatabaseSchema, name: str):
+        self.schema = schema
+        self.name = name
+        self._targets: dict[TargetSymbol, None] = {}  # ordered set
+        self._rows: list[RelRow] = []
+        self._comparisons: list[Comparison] = []
+
+    # -- symbols ---------------------------------------------------------------
+
+    def target(self, name: str, attribute: Optional[str] = None) -> TargetSymbol:
+        """Declare (or fetch) a target symbol.
+
+        ``attribute`` is accepted for call-site clarity but the output
+        column is always the symbol's first row occurrence.
+        """
+        symbol = TargetSymbol(name)
+        self._targets.setdefault(symbol)
+        return symbol
+
+    def var(self, name: str, number: int = 0) -> VarSymbol:
+        """A named existential symbol (``v_<name><number>``)."""
+        return VarSymbol(name, number)
+
+    def const(self, value: Union[int, float, str]) -> ConstSymbol:
+        return ConstSymbol(value)
+
+    def _coerce(self, spec: CellSpec) -> Symbol:
+        if isinstance(spec, (TargetSymbol, VarSymbol, ConstSymbol)):
+            return spec
+        if isinstance(spec, (int, float, str)):
+            return ConstSymbol(spec)
+        raise DbclError(f"cannot use {spec!r} as a tableau cell")
+
+    # -- rows --------------------------------------------------------------------
+
+    def row(self, tag: str, cells: Optional[Mapping[str, CellSpec]] = None, **kw: CellSpec) -> "TableauBuilder":
+        """Add a row for relation ``tag``.
+
+        ``cells`` maps attribute names to symbols or plain Python constants;
+        keyword arguments are merged in.  Unspecified attributes of the
+        relation receive fresh ``v_<Attr><rownum>`` symbols.
+        """
+        relation = self.schema.relation(tag)
+        spec: dict[str, CellSpec] = dict(cells or {})
+        spec.update(kw)
+        unknown = set(spec) - set(relation.attributes)
+        if unknown:
+            raise DbclError(f"relation {tag} has no attributes {sorted(unknown)}")
+
+        row_number = len(self._rows) + 1
+        entries: list[Symbol] = [STAR] * self.schema.width
+        for attribute in relation.attributes:
+            column = self.schema.column_of(attribute)
+            if attribute in spec:
+                symbol = self._coerce(spec[attribute])
+            else:
+                symbol = VarSymbol(_capitalise(attribute), row_number)
+            entries[column] = symbol
+            if isinstance(symbol, TargetSymbol):
+                self._targets.setdefault(symbol)
+        self._rows.append(RelRow(tag, tuple(entries)))
+        return self
+
+    # -- comparisons ----------------------------------------------------------------
+
+    def compare(self, op: str, left: CellSpec, right: CellSpec) -> "TableauBuilder":
+        """Add a Relcomparisons entry."""
+        if op not in COMPARISON_OPS:
+            raise DbclError(f"unknown comparison operator {op!r}")
+        left_symbol = self._coerce(left)
+        right_symbol = self._coerce(right)
+        self._comparisons.append(Comparison(op, left_symbol, right_symbol))  # type: ignore[arg-type]
+        return self
+
+    def less(self, left: CellSpec, right: CellSpec) -> "TableauBuilder":
+        return self.compare("less", left, right)
+
+    def greater(self, left: CellSpec, right: CellSpec) -> "TableauBuilder":
+        return self.compare("greater", left, right)
+
+    def neq(self, left: CellSpec, right: CellSpec) -> "TableauBuilder":
+        return self.compare("neq", left, right)
+
+    def leq(self, left: CellSpec, right: CellSpec) -> "TableauBuilder":
+        return self.compare("leq", left, right)
+
+    def geq(self, left: CellSpec, right: CellSpec) -> "TableauBuilder":
+        return self.compare("geq", left, right)
+
+    # -- building -----------------------------------------------------------------
+
+    def build(self) -> DbclPredicate:
+        """Assemble the predicate (validates against the schema)."""
+        return DbclPredicate(
+            self.schema, self.name, list(self._targets), self._rows, self._comparisons
+        )

@@ -1,0 +1,154 @@
+"""Containment mappings (homomorphisms) between DBCL tableaux.
+
+Syntactic tableau minimization (paper section 6.0/6.4 step 6, following
+Aho–Sagiv–Ullman and Sagiv 1983) rests on *containment mappings*: a row of
+a tableau is redundant exactly when the tableau maps homomorphically onto
+the sub-tableau without that row, fixing target symbols and constants.
+
+Because our DBCL subset includes inequality comparisons, a mapping must
+also respect them; we use the standard conservative condition (Klug): the
+image of every comparison must be syntactically present in (or be a ground
+comparison that evaluates to true in) the target predicate.  This preserves
+soundness — a removed row can never change the answer — at the cost of
+occasionally keeping a removable row, which matches the paper's own
+"prototype ... covers a large class of possible improvements" stance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from .predicate import Comparison, DbclPredicate, RelRow
+from .symbols import (
+    ConstSymbol,
+    JoinableSymbol,
+    Symbol,
+    TargetSymbol,
+    VarSymbol,
+    is_star,
+)
+
+HomMapping = dict[JoinableSymbol, JoinableSymbol]
+
+
+def _extend_for_rows(
+    source_row: RelRow,
+    target_row: RelRow,
+    mapping: HomMapping,
+    frozen: frozenset[JoinableSymbol],
+) -> Optional[HomMapping]:
+    """Extend ``mapping`` so that h(source_row) == target_row, or None."""
+    if source_row.tag != target_row.tag:
+        return None
+    extended = dict(mapping)
+    for source_cell, target_cell in zip(source_row.entries, target_row.entries):
+        if is_star(source_cell) and is_star(target_cell):
+            continue
+        if is_star(source_cell) != is_star(target_cell):
+            return None
+        source_sym: JoinableSymbol = source_cell  # type: ignore[assignment]
+        target_sym: JoinableSymbol = target_cell  # type: ignore[assignment]
+        if isinstance(source_sym, (ConstSymbol, TargetSymbol)) or source_sym in frozen:
+            # Constants, targets, and frozen symbols must map to themselves.
+            if source_sym != target_sym:
+                return None
+            continue
+        bound = extended.get(source_sym)
+        if bound is None:
+            extended[source_sym] = target_sym
+        elif bound != target_sym:
+            return None
+    return extended
+
+
+def _comparison_image(comparison: Comparison, mapping: HomMapping) -> Comparison:
+    def image(symbol: JoinableSymbol) -> JoinableSymbol:
+        if isinstance(symbol, (ConstSymbol, TargetSymbol)):
+            return symbol
+        return mapping.get(symbol, symbol)
+
+    return Comparison(comparison.op, image(comparison.left), image(comparison.right))
+
+
+def _comparisons_satisfied(
+    source: DbclPredicate, target: DbclPredicate, mapping: HomMapping
+) -> bool:
+    """Every source comparison must hold in the target under the mapping."""
+    available = set()
+    for comparison in target.comparisons:
+        available.add((comparison.op, comparison.left, comparison.right))
+        mirrored = comparison.mirrored()
+        available.add((mirrored.op, mirrored.left, mirrored.right))
+    for comparison in source.comparisons:
+        mapped = _comparison_image(comparison, mapping)
+        if mapped.is_ground:
+            if mapped.evaluate_ground():
+                continue
+            return False
+        if (mapped.op, mapped.left, mapped.right) in available:
+            continue
+        return False
+    return True
+
+
+def find_homomorphism(
+    source: DbclPredicate,
+    target: DbclPredicate,
+    frozen: Iterable[JoinableSymbol] = (),
+) -> Optional[HomMapping]:
+    """A containment mapping from ``source`` onto ``target``.
+
+    The mapping fixes constants and target symbols (and any extra
+    ``frozen`` symbols), sends every source row onto some target row of the
+    same tag, and satisfies all source comparisons.  Returns the symbol
+    mapping, or ``None`` if no such mapping exists.
+
+    Search is backtracking over row images with a most-constrained-first
+    row order; tableaux here are small (a handful of rows), so this is
+    comfortably fast despite NP-hardness in general.
+    """
+    frozen_set = frozenset(frozen)
+    targets_by_tag: dict[str, list[RelRow]] = {}
+    for row in target.rows:
+        targets_by_tag.setdefault(row.tag, []).append(row)
+
+    # Order source rows by how few candidate images they have.
+    order = sorted(
+        range(len(source.rows)),
+        key=lambda i: len(targets_by_tag.get(source.rows[i].tag, ())),
+    )
+
+    def search(position: int, mapping: HomMapping) -> Optional[HomMapping]:
+        if position == len(order):
+            if _comparisons_satisfied(source, target, mapping):
+                return mapping
+            return None
+        source_row = source.rows[order[position]]
+        for candidate in targets_by_tag.get(source_row.tag, ()):
+            extended = _extend_for_rows(source_row, candidate, mapping, frozen_set)
+            if extended is not None:
+                found = search(position + 1, extended)
+                if found is not None:
+                    return found
+        return None
+
+    return search(0, {})
+
+
+def contains(general: DbclPredicate, specific: DbclPredicate) -> bool:
+    """Conservative containment test: answers(specific) ⊆ answers(general)?
+
+    True when a containment mapping exists from ``general`` onto
+    ``specific``.  For pure conjunctive queries this is exact
+    (Chandra–Merlin); with comparisons it is sound but not complete.
+    Both predicates must share target symbols for the comparison to make
+    sense; differing target sets are never contained.
+    """
+    if set(general.target_symbols()) != set(specific.target_symbols()):
+        return False
+    return find_homomorphism(general, specific) is not None
+
+
+def equivalent(left: DbclPredicate, right: DbclPredicate) -> bool:
+    """Conservative equivalence: mutual containment."""
+    return contains(left, right) and contains(right, left)

@@ -1,0 +1,170 @@
+"""Textual DBCL: parsing and formatting of ``dbcl(...)`` terms.
+
+DBCL statements are, by design, ordinary (variable-free) Prolog terms —
+that is what lets the paper manipulate them in Prolog as its own
+metalanguage.  This module round-trips :class:`DbclPredicate` through that
+textual form using the package's Prolog reader::
+
+    dbcl(
+      [empdep, eno, nam, sal, dno, fct, mgr],
+      [works_dir_for, *, t_X, *, *, *, *],
+      [[empl, v_Eno1, t_X, v_Sal1, v_D, *, *],
+       [dept, *, *, *, v_D, v_Fct2, v_M],
+       [empl, v_M, smiley, v_Sal3, v_Eno3, *, *]],
+      [[less, v_Sal1, 40000]]).
+
+The grammar implemented is the conjunctive, metaterm-only subset of paper
+Figure 2 that the rest of the paper uses: general predreferences, negation,
+and disjunction inside DBCL are handled a level up (see
+:mod:`repro.extensions`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import DbclSyntaxError
+from ..prolog.reader import parse_term
+from ..prolog.terms import Atom, Number, PString, Struct, Term, list_items
+from ..schema.catalog import DatabaseSchema
+from .predicate import COMPARISON_OPS, Comparison, DbclPredicate, RelRow
+from .symbols import (
+    STAR,
+    ConstSymbol,
+    JoinableSymbol,
+    Star,
+    Symbol,
+    TargetSymbol,
+    VarSymbol,
+    is_star,
+    parse_symbol,
+)
+
+
+def _symbol_from_term(term: Term) -> Symbol:
+    """Convert a parsed Prolog term into a DBCL symbol."""
+    if isinstance(term, Atom):
+        return parse_symbol(term.name)
+    if isinstance(term, Number):
+        return ConstSymbol(term.value)
+    if isinstance(term, PString):
+        return ConstSymbol(term.value)
+    raise DbclSyntaxError(f"not a DBCL symbol: {term}")
+
+
+def _joinable_from_term(term: Term) -> JoinableSymbol:
+    symbol = _symbol_from_term(term)
+    if is_star(symbol):
+        raise DbclSyntaxError("'*' cannot appear in a comparison")
+    return symbol  # type: ignore[return-value]
+
+
+def _atom_name(term: Term, context: str) -> str:
+    if not isinstance(term, Atom):
+        raise DbclSyntaxError(f"{context}: expected an atom, got {term}")
+    return term.name
+
+
+def parse_dbcl(text: str, schema: DatabaseSchema) -> DbclPredicate:
+    """Parse textual DBCL against a known schema.
+
+    The schema list inside the term is checked against ``schema`` — the
+    textual form is self-describing, and silently accepting a mismatched
+    catalog would produce wrong column mappings.
+    """
+    term = parse_term(text)
+    if not isinstance(term, Struct) or term.functor != "dbcl" or term.arity != 4:
+        raise DbclSyntaxError("expected a dbcl/4 term")
+
+    schema_items = _parse_list(term.args[0], "schema")
+    declared = [_atom_name(item, "schema entry") for item in schema_items]
+    if declared != schema.schema_list():
+        raise DbclSyntaxError(
+            f"schema list {declared} does not match catalog {schema.schema_list()}"
+        )
+
+    target_items = _parse_list(term.args[1], "targetlist")
+    if not target_items:
+        raise DbclSyntaxError("targetlist must start with the predicate name")
+    name = _atom_name(target_items[0], "predicate name")
+    # Either the paper's full-width row ([q, *, t_X, *...]) or an explicit
+    # ordered target list ([q, t_X, t_Y]); DbclPredicate disambiguates.
+    targetlist = [_symbol_from_term(item) for item in target_items[1:]]
+
+    row_terms = _parse_list(term.args[2], "relreferences")
+    rows = []
+    for row_term in row_terms:
+        row_items = _parse_list(row_term, "relreference row")
+        if not row_items:
+            raise DbclSyntaxError("empty relreference row")
+        tag = _atom_name(row_items[0], "row tag")
+        entries = [_symbol_from_term(item) for item in row_items[1:]]
+        rows.append(RelRow(tag, tuple(entries)))
+
+    comparison_terms = _parse_list(term.args[3], "relcomparisons")
+    comparisons = []
+    for comparison_term in comparison_terms:
+        items = _parse_list(comparison_term, "comparison")
+        if len(items) != 3:
+            raise DbclSyntaxError(f"comparison must be [op, left, right]: {comparison_term}")
+        op = _atom_name(items[0], "comparison operator")
+        if op not in COMPARISON_OPS:
+            raise DbclSyntaxError(f"unknown comparison operator {op!r}")
+        comparisons.append(
+            Comparison(op, _joinable_from_term(items[1]), _joinable_from_term(items[2]))
+        )
+
+    return DbclPredicate(schema, name, targetlist, rows, comparisons)
+
+
+def _parse_list(term: Term, context: str) -> list[Term]:
+    try:
+        return list_items(term)
+    except ValueError:
+        raise DbclSyntaxError(f"{context}: expected a list, got {term}") from None
+
+
+def _format_symbol(symbol: Symbol) -> str:
+    if isinstance(symbol, ConstSymbol) and isinstance(symbol.value, str):
+        # Quote constants that would not re-read as the same atom.
+        from ..prolog.writer import atom_to_string
+
+        return atom_to_string(symbol.value)
+    return str(symbol)
+
+
+def format_dbcl(predicate: DbclPredicate, indent: str = "  ") -> str:
+    """Render a predicate in the paper's textual layout."""
+    schema_line = ", ".join(predicate.schema.schema_list())
+    # The paper's row form is used whenever it is faithful (at most one
+    # target per column); otherwise the explicit ordered list is emitted.
+    row_form = predicate.targetlist
+    row_targets = [e for e in row_form if not isinstance(e, Star)]
+    if len(row_targets) == len(predicate.targets):
+        target_cells = ", ".join(_format_symbol(e) for e in row_form)
+    else:
+        target_cells = ", ".join(_format_symbol(e) for e in predicate.targets)
+    lines = [
+        "dbcl(",
+        f"{indent}[{schema_line}],",
+        f"{indent}[{predicate.name}, {target_cells}],",
+    ]
+    if predicate.rows:
+        row_texts = []
+        for row in predicate.rows:
+            cells = ", ".join(_format_symbol(e) for e in row.entries)
+            row_texts.append(f"[{row.tag}, {cells}]")
+        joined = f",\n{indent} ".join(row_texts)
+        lines.append(f"{indent}[{joined}],")
+    else:
+        lines.append(f"{indent}[],")
+    if predicate.comparisons:
+        comparison_texts = [
+            f"[{c.op}, {_format_symbol(c.left)}, {_format_symbol(c.right)}]"
+            for c in predicate.comparisons
+        ]
+        joined = f",\n{indent} ".join(comparison_texts)
+        lines.append(f"{indent}[{joined}]).")
+    else:
+        lines.append(f"{indent}[]).")
+    return "\n".join(lines)

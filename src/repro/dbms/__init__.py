@@ -1,0 +1,35 @@
+"""The DBMS substrate: sqlite backend, internal-DB bridge, merge, workload."""
+
+from .internal_db import (
+    answer_substitutions,
+    assert_answers,
+    term_to_value,
+    value_to_term,
+)
+from .merge import MergeReport, SegmentMerger
+from .sqlite_backend import ExecutionStats, ExternalDatabase
+from .workload import (
+    Department,
+    Employee,
+    OrgHierarchy,
+    generate_org,
+    load_org,
+    make_loaded_database,
+)
+
+__all__ = [
+    "answer_substitutions",
+    "assert_answers",
+    "term_to_value",
+    "value_to_term",
+    "MergeReport",
+    "SegmentMerger",
+    "ExecutionStats",
+    "ExternalDatabase",
+    "Department",
+    "Employee",
+    "OrgHierarchy",
+    "generate_org",
+    "load_org",
+    "make_loaded_database",
+]

@@ -1,0 +1,179 @@
+"""The external relational DBMS, backed by ``sqlite3``.
+
+The paper's system talks to an SQL DBMS it does not control ("we assume
+the use of an existing database system").  This module is that substitute
+substrate: it creates tables from the catalog, loads tuples, executes the
+generated SQL text, and supports the *intermediate relations* that the
+recursion strategies create with ``setrel`` (paper section 7).
+
+The interface is deliberately narrow — SQL text in, tuples out — so the
+translation layers above cannot accidentally depend on anything a 1984
+mainframe DBMS would not have offered.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import ExecutionError, SchemaError
+from ..schema.catalog import DatabaseSchema, Relation
+from ..sql.ast import SqlQuery, UnionQuery
+from ..sql.dialects import SqliteDialect
+from ..sql.printer import print_sql, print_union
+
+Row = tuple
+Value = Union[int, float, str, None]
+
+
+@dataclass
+class ExecutionStats:
+    """Cumulative counters a session exposes for benchmarks."""
+
+    queries_executed: int = 0
+    rows_fetched: int = 0
+    statements: list[str] = field(default_factory=list)
+    keep_statements: bool = False
+
+    def record(self, statement: str, rows: int) -> None:
+        self.queries_executed += 1
+        self.rows_fetched += rows
+        if self.keep_statements:
+            self.statements.append(statement)
+
+    def reset(self) -> None:
+        self.queries_executed = 0
+        self.rows_fetched = 0
+        self.statements.clear()
+
+
+class ExternalDatabase:
+    """An SQLite-backed relational store for one catalog."""
+
+    def __init__(self, schema: DatabaseSchema, path: str = ":memory:"):
+        self.schema = schema
+        self._connection = sqlite3.connect(path)
+        self._dialect = SqliteDialect()
+        self.stats = ExecutionStats()
+        self._intermediates: dict[str, tuple[str, ...]] = {}
+        self._create_tables()
+
+    # -- DDL -----------------------------------------------------------------
+
+    def _create_tables(self) -> None:
+        cursor = self._connection.cursor()
+        for relation in self.schema.relations.values():
+            columns = ", ".join(
+                f"{attribute} {self.schema.attribute(attribute).sql_type}"
+                for attribute in relation.attributes
+            )
+            cursor.execute(f"CREATE TABLE IF NOT EXISTS {relation.name} ({columns})")
+        self._connection.commit()
+
+    def create_intermediate(
+        self, name: str, attributes: Sequence[str]
+    ) -> None:
+        """``setrel``: create (or reset) an intermediate relation."""
+        if self.schema.has_relation(name):
+            raise SchemaError(f"{name!r} clashes with a base relation")
+        column_defs = ", ".join(
+            f"{attribute} {self.schema.attribute(attribute).sql_type}"
+            if attribute in self.schema.attribute_names
+            else f"{attribute} TEXT"
+            for attribute in attributes
+        )
+        cursor = self._connection.cursor()
+        cursor.execute(f"DROP TABLE IF EXISTS {name}")
+        cursor.execute(f"CREATE TABLE {name} ({column_defs})")
+        self._connection.commit()
+        self._intermediates[name] = tuple(attributes)
+
+    def drop_intermediate(self, name: str) -> None:
+        if name not in self._intermediates:
+            return
+        self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+        self._connection.commit()
+        del self._intermediates[name]
+
+    def set_intermediate_rows(self, name: str, rows: Iterable[Row]) -> int:
+        """Replace the contents of an intermediate relation; returns count."""
+        if name not in self._intermediates:
+            raise ExecutionError(f"unknown intermediate relation {name!r}")
+        attributes = self._intermediates[name]
+        cursor = self._connection.cursor()
+        cursor.execute(f"DELETE FROM {name}")
+        placeholders = ", ".join("?" * len(attributes))
+        data = [tuple(row) for row in rows]
+        cursor.executemany(f"INSERT INTO {name} VALUES ({placeholders})", data)
+        self._connection.commit()
+        return len(data)
+
+    # -- loading ---------------------------------------------------------------
+
+    def insert_rows(self, relation_name: str, rows: Iterable[Sequence[Value]]) -> int:
+        """Bulk-load tuples into a base relation; returns the count."""
+        relation = self.schema.relation(relation_name)
+        placeholders = ", ".join("?" * relation.arity)
+        data = [tuple(row) for row in rows]
+        for row in data:
+            if len(row) != relation.arity:
+                raise ExecutionError(
+                    f"{relation_name}: expected {relation.arity} values, got {len(row)}"
+                )
+        cursor = self._connection.cursor()
+        cursor.executemany(
+            f"INSERT INTO {relation_name} VALUES ({placeholders})", data
+        )
+        self._connection.commit()
+        return len(data)
+
+    def clear_relation(self, relation_name: str) -> None:
+        self.schema.relation(relation_name)  # validates
+        self._connection.execute(f"DELETE FROM {relation_name}")
+        self._connection.commit()
+
+    def row_count(self, relation_name: str) -> int:
+        cursor = self._connection.execute(f"SELECT COUNT(*) FROM {relation_name}")
+        return cursor.fetchone()[0]
+
+    # -- query execution -----------------------------------------------------------
+
+    def execute(self, query: Union[SqlQuery, UnionQuery, str]) -> list[Row]:
+        """Run a generated query and fetch all result tuples."""
+        if isinstance(query, SqlQuery):
+            if query.is_empty:
+                return []  # proven empty: never hits the DBMS
+            text = print_sql(query, oneline=True, dialect=self._dialect)
+        elif isinstance(query, UnionQuery):
+            if not query.live_branches:
+                return []
+            text = print_union(query, oneline=True)
+        else:
+            text = query
+        try:
+            cursor = self._connection.execute(text)
+            rows = cursor.fetchall()
+        except sqlite3.Error as error:
+            raise ExecutionError(f"SQLite rejected {text!r}: {error}") from error
+        self.stats.record(text, len(rows))
+        return rows
+
+    def execute_scalar(self, sql_text: str) -> Value:
+        rows = self.execute(sql_text)
+        return rows[0][0] if rows else None
+
+    def fetch_relation(self, relation_name: str) -> list[Row]:
+        """All tuples of a base relation (used by the merge procedure)."""
+        relation = self.schema.relation(relation_name)
+        columns = ", ".join(relation.attributes)
+        return self.execute(f"SELECT {columns} FROM {relation_name}")
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ExternalDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,270 @@
+"""Synthetic ``empdep`` workload generator.
+
+The paper evaluates against a corporate employee/department database we do
+not have; this generator produces seeded organisational hierarchies that
+satisfy every integrity constraint of Example 3-2:
+
+* ``eno`` and ``nam`` are both keys of ``empl`` (``funcdep`` pairs);
+* salaries respect ``valuebound(empl, sal, 10000, 90000)``;
+* every ``empl.dno`` references a ``dept`` (``refint``);
+* every ``dept.mgr`` references an ``empl.eno`` and no two departments
+  share a manager (``funcdep(dept, [mgr], [dno])``).
+
+Departments form a tree of configurable ``depth`` and ``branching``; the
+manager of a department is an employee of its *parent* department, so
+``works_dir_for`` chains walk the tree and recursion depth is exactly
+controllable — the knob Experiment E7 sweeps.  The root department's
+manager belongs to the root itself (the self-managed "top manager" every
+real org chart has), which recursion executors must survive via
+seen-set cycle handling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..schema.catalog import DatabaseSchema
+from ..schema.empdep import empdep_schema
+from .sqlite_backend import ExternalDatabase
+
+FUNCTIONS = (
+    "sales", "research", "production", "finance", "legal",
+    "marketing", "support", "logistics",
+)
+
+
+@dataclass(frozen=True)
+class Employee:
+    eno: int
+    nam: str
+    sal: int
+    dno: int
+
+    def as_row(self) -> tuple:
+        return (self.eno, self.nam, self.sal, self.dno)
+
+
+@dataclass(frozen=True)
+class Department:
+    dno: int
+    fct: str
+    mgr: int
+
+    def as_row(self) -> tuple:
+        return (self.dno, self.fct, self.mgr)
+
+
+@dataclass
+class OrgHierarchy:
+    """A generated organisation with its tree structure kept for oracles."""
+
+    employees: list[Employee]
+    departments: list[Department]
+    #: dno -> parent dno (root maps to itself)
+    parent_dept: dict[int, int]
+    #: dno -> depth in the tree (root = 0)
+    dept_depth: dict[int, int]
+    seed: int
+
+    @property
+    def employee_count(self) -> int:
+        return len(self.employees)
+
+    @property
+    def department_count(self) -> int:
+        return len(self.departments)
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.dept_depth.values())
+
+    def employee_by_name(self, name: str) -> Optional[Employee]:
+        for employee in self.employees:
+            if employee.nam == name:
+                return employee
+        return None
+
+    def manager_name_of(self, employee: Employee) -> str:
+        """The name works_dir_for pairs ``employee`` with."""
+        department = next(
+            d for d in self.departments if d.dno == employee.dno
+        )
+        manager = next(e for e in self.employees if e.eno == department.mgr)
+        return manager.nam
+
+    def works_dir_for_pairs(self) -> set[tuple[str, str]]:
+        """Oracle for the works_dir_for view.
+
+        With ``acyclic_top`` data the root department's manager id has no
+        ``empl`` tuple, so root staff have no superior and drop out —
+        matching the view's join semantics.
+        """
+        managers = {d.dno: d.mgr for d in self.departments}
+        by_eno = {e.eno: e for e in self.employees}
+        return {
+            (e.nam, by_eno[managers[e.dno]].nam)
+            for e in self.employees
+            if managers[e.dno] in by_eno
+        }
+
+    def works_for_pairs(self) -> set[tuple[str, str]]:
+        """Oracle for the transitive works_for view (cycle-safe)."""
+        direct = self.works_dir_for_pairs()
+        successors: dict[str, set[str]] = {}
+        for low, high in direct:
+            successors.setdefault(low, set()).add(high)
+        closure: set[tuple[str, str]] = set()
+        for start in successors:
+            seen: set[str] = set()
+            frontier = set(successors.get(start, ()))
+            while frontier:
+                next_frontier: set[str] = set()
+                for high in frontier:
+                    if high in seen:
+                        continue
+                    seen.add(high)
+                    closure.add((start, high))
+                    next_frontier.update(successors.get(high, ()))
+                frontier = next_frontier
+        return closure
+
+    def root_manager_name(self) -> str:
+        """The top human manager.
+
+        For cyclic orgs this is the root department's own manager; for
+        ``acyclic_top`` orgs (ghost root manager) it is the manager of the
+        first child department — the highest employee with subordinates.
+        """
+        root = next(d for d, p in self.parent_dept.items() if d == p)
+        department = next(d for d in self.departments if d.dno == root)
+        by_eno = {e.eno: e for e in self.employees}
+        manager = by_eno.get(department.mgr)
+        if manager is not None:
+            return manager.nam
+        child = next(
+            d for d in self.departments
+            if self.parent_dept[d.dno] == root and d.dno != root
+        )
+        return by_eno[child.mgr].nam
+
+    def leaf_employee_name(self) -> str:
+        """Some employee at maximal depth (longest upward chain)."""
+        deepest = max(self.dept_depth, key=self.dept_depth.get)
+        employee = next(e for e in self.employees if e.dno == deepest)
+        return employee.nam
+
+
+def generate_org(
+    depth: int = 3,
+    branching: int = 2,
+    staff_per_dept: int = 3,
+    seed: int = 0,
+    acyclic_top: bool = False,
+) -> OrgHierarchy:
+    """Generate a department tree with the given shape.
+
+    ``depth`` levels below the root; each department has ``branching``
+    children (until ``depth`` is reached) and ``staff_per_dept`` employees
+    beyond its managerial duties.
+
+    ``acyclic_top`` gives the root department a *ghost* manager id carried
+    by no employee, making the management graph acyclic as Example 7-1's
+    narrative assumes.  This deliberately violates
+    ``refint(dept,[mgr],empl,[eno])`` — pair it with
+    ``empdep_constraints(include_mgr_refint=False)``.
+    """
+    if depth < 0 or branching < 1 or staff_per_dept < 1:
+        raise ValueError("depth >= 0, branching >= 1, staff_per_dept >= 1 required")
+    rng = random.Random(seed)
+
+    parent_dept: dict[int, int] = {}
+    dept_depth: dict[int, int] = {}
+    next_dno = [1]
+
+    def make_dept(parent: Optional[int], level: int) -> int:
+        dno = next_dno[0]
+        next_dno[0] += 1
+        parent_dept[dno] = parent if parent is not None else dno
+        dept_depth[dno] = level
+        if level < depth:
+            for _ in range(branching):
+                make_dept(dno, level + 1)
+        return dno
+
+    root = make_dept(None, 0)
+
+    employees: list[Employee] = []
+    staff_of: dict[int, list[int]] = {}
+    next_eno = [1]
+    for dno in sorted(dept_depth):
+        members = []
+        for _ in range(staff_per_dept):
+            eno = next_eno[0]
+            next_eno[0] += 1
+            employees.append(
+                Employee(
+                    eno=eno,
+                    nam=f"emp{eno:05d}",
+                    sal=rng.randrange(10000, 90001, 500),
+                    dno=dno,
+                )
+            )
+            members.append(eno)
+        staff_of[dno] = members
+
+    # Managers: dept d is managed by an employee of parent(d); each
+    # employee manages at most one department (mgr is a key of dept).
+    used_managers: set[int] = set()
+    departments: list[Department] = []
+    ghost_manager = 0  # an eno no employee carries (enos start at 1)
+    for dno in sorted(dept_depth):
+        if acyclic_top and dno == root:
+            departments.append(
+                Department(dno=dno, fct=rng.choice(FUNCTIONS), mgr=ghost_manager)
+            )
+            continue
+        pool = [e for e in staff_of[parent_dept[dno]] if e not in used_managers]
+        if not pool:
+            raise ValueError(
+                "staff_per_dept too small to give every department a "
+                "distinct manager from its parent; increase staff_per_dept "
+                f"above branching={branching}"
+            )
+        manager = rng.choice(pool)
+        used_managers.add(manager)
+        departments.append(
+            Department(dno=dno, fct=rng.choice(FUNCTIONS), mgr=manager)
+        )
+
+    return OrgHierarchy(
+        employees=employees,
+        departments=departments,
+        parent_dept=parent_dept,
+        dept_depth=dept_depth,
+        seed=seed,
+    )
+
+
+def load_org(database: ExternalDatabase, org: OrgHierarchy) -> None:
+    """Load a generated organisation into the external database."""
+    database.clear_relation("empl")
+    database.clear_relation("dept")
+    database.insert_rows("empl", [e.as_row() for e in org.employees])
+    database.insert_rows("dept", [d.as_row() for d in org.departments])
+
+
+def make_loaded_database(
+    depth: int = 3,
+    branching: int = 2,
+    staff_per_dept: int = 3,
+    seed: int = 0,
+    schema: Optional[DatabaseSchema] = None,
+) -> tuple[ExternalDatabase, OrgHierarchy]:
+    """Convenience: a fresh in-memory empdep database with generated data."""
+    schema = schema if schema is not None else empdep_schema()
+    database = ExternalDatabase(schema)
+    org = generate_org(depth, branching, staff_per_dept, seed)
+    load_org(database, org)
+    return database, org

@@ -1,0 +1,119 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError`, so
+applications embedding the front-end can catch a single base class at the
+coupling boundary while tests can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class PrologError(ReproError):
+    """Base class for errors in the Prolog substrate."""
+
+
+class PrologSyntaxError(PrologError):
+    """Raised by the reader when source text is not valid Prolog.
+
+    Carries the offending line/column so interactive callers can point at
+    the problem.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        base = super().__str__()
+        if self.line:
+            return f"{base} (line {self.line}, column {self.column})"
+        return base
+
+
+class UnificationError(PrologError):
+    """Raised when a caller requires unification to succeed and it cannot."""
+
+
+class ExistenceError(PrologError):
+    """Raised when a goal refers to an unknown procedure."""
+
+
+class InstantiationError(PrologError):
+    """Raised when a builtin needs a bound argument but got a variable."""
+
+
+class CutSignal(Exception):
+    """Internal control-flow signal implementing the Prolog cut.
+
+    Not a :class:`ReproError`: it must never escape the engine, and making
+    it a sibling of the package hierarchy guarantees generic ``except
+    ReproError`` handlers cannot swallow it by accident.
+    """
+
+    def __init__(self, depth: int):
+        super().__init__(f"cut to depth {depth}")
+        self.depth = depth
+
+
+class SchemaError(ReproError):
+    """Raised for inconsistent schema or integrity-constraint definitions."""
+
+
+class DbclError(ReproError):
+    """Base class for DBCL construction and validation errors."""
+
+
+class DbclSyntaxError(DbclError):
+    """Raised when textual DBCL cannot be parsed."""
+
+
+class MetaevaluationError(ReproError):
+    """Raised when a Prolog goal cannot be compiled into DBCL."""
+
+
+class UnsupportedFeatureError(MetaevaluationError):
+    """Raised for constructs outside the supported DBCL subset.
+
+    The paper restricts the optimizable subset to function-free conjunctive
+    queries; goals outside the subset (embedded function symbols, unknown
+    predicates) surface here rather than silently producing wrong SQL.
+    """
+
+
+class OptimizationError(ReproError):
+    """Raised when an optimizer stage detects an internal inconsistency."""
+
+
+class ContradictionDetected(ReproError):
+    """Raised internally when simplification proves the result empty.
+
+    Algorithm 2 (paper section 6.4) stops with an empty query result when
+    value bounds or the chase derive a contradiction.  The pipeline converts
+    this signal into an explicit empty-result marker instead of letting it
+    escape to callers.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class TranslationError(ReproError):
+    """Raised when a DBCL predicate cannot be rendered in the target language."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the external DBMS rejects or fails a generated query."""
+
+
+class CouplingError(ReproError):
+    """Raised by the session layer for protocol misuse (e.g. closed session)."""
+
+
+class RecursionLimitExceeded(CouplingError):
+    """Raised when recursive evaluation does not converge within its bound."""

@@ -1,0 +1,19 @@
+"""Extensions beyond the conjunctive core (paper section 7)."""
+
+from .disjunction import DisjunctiveTranslation, translate_disjunctive
+from .negation import (
+    NegationTranslation,
+    split_negation,
+    translate_with_negation,
+)
+from .stepwise import StepwiseEvaluator, StepwiseStats
+
+__all__ = [
+    "DisjunctiveTranslation",
+    "translate_disjunctive",
+    "NegationTranslation",
+    "split_negation",
+    "translate_with_negation",
+    "StepwiseEvaluator",
+    "StepwiseStats",
+]

@@ -1,0 +1,77 @@
+"""Disjunction: DNF conversion and UNION generation (paper section 7).
+
+"The simplest way to handle disjunction is converting the DBCL predicate
+into disjunctive normal form, and generating a query for each of these
+conjunctions" — the approach of SDD-1, which the paper adopts while noting
+it may not always be optimal.
+
+The metaevaluator already enumerates one derivation branch per disjunct
+(several clauses for a view, or explicit ``;`` in a goal); this module
+simplifies each branch independently — a branch may be proven empty and
+drop out of the union — and renders the rest as a UNION query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..dbcl.predicate import DbclPredicate
+from ..errors import MetaevaluationError
+from ..metaevaluate.translator import Metaevaluator
+from ..optimize.pipeline import SimplifyOptions, simplify
+from ..prolog.terms import Term, Variable
+from ..schema.constraints import ConstraintSet
+from ..sql.ast import SqlQuery, UnionQuery
+from ..sql.translate import translate
+
+
+@dataclass
+class DisjunctiveTranslation:
+    """The per-branch pipeline results plus the final UNION."""
+
+    branches: list[DbclPredicate]
+    simplified: list[Optional[DbclPredicate]]  # None where proven empty
+    union: UnionQuery
+
+    @property
+    def live_branch_count(self) -> int:
+        return sum(1 for p in self.simplified if p is not None)
+
+    @property
+    def pruned_branch_count(self) -> int:
+        return sum(1 for p in self.simplified if p is None)
+
+
+def translate_disjunctive(
+    metaevaluator: Metaevaluator,
+    goal: Union[Term, str],
+    constraints: ConstraintSet,
+    targets: Optional[Sequence[Variable]] = None,
+    options: SimplifyOptions = SimplifyOptions(),
+    name: Optional[str] = None,
+) -> DisjunctiveTranslation:
+    """Metaevaluate a (possibly disjunctive) goal into a UNION query.
+
+    Branch order follows clause order; branches proven empty by the local
+    optimizer are pruned before any SQL is generated.
+    """
+    branches = metaevaluator.metaevaluate_all(goal, name=name, targets=targets)
+    if not branches:
+        raise MetaevaluationError("goal has no derivation branches")
+
+    simplified: list[Optional[DbclPredicate]] = []
+    queries: list[SqlQuery] = []
+    for branch in branches:
+        result = simplify(branch, constraints, options)
+        if result.is_empty:
+            simplified.append(None)
+            continue
+        simplified.append(result.predicate)
+        queries.append(translate(result.predicate, distinct=True))
+
+    return DisjunctiveTranslation(
+        branches=branches,
+        simplified=simplified,
+        union=UnionQuery(tuple(queries)),
+    )

@@ -1,0 +1,188 @@
+"""Negation through complement computation / NOT IN (paper section 7).
+
+The paper observes that negating a multi-relation view is ambiguous
+("should ``not(manager(jones, M))`` return managers who do not manage
+Jones, or also employees who are not managers at all?") and that, once a
+reading is fixed, evaluation "involves first computing the positive
+result, and then its complement in the appropriate set — instead of set
+difference, SQL's nested expressions (NOT IN (...)) can also be used".
+
+We implement the *safe, range-restricted* reading: every variable of the
+negated call must also occur in the positive part, whose result supplies
+the universe; the negated view contributes a ``NOT IN`` subquery over the
+shared variables.  Unsafe negations are rejected with the paper's
+ambiguity in the error message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..dbcl.predicate import DbclPredicate
+from ..dbcl.symbols import TargetSymbol
+from ..errors import UnsupportedFeatureError
+from ..metaevaluate.translator import Metaevaluator
+from ..optimize.pipeline import SimplifyOptions, simplify
+from ..prolog.reader import parse_goal
+from ..prolog.terms import Struct, Term, Variable, conjoin, conjuncts, variables_of
+from ..schema.constraints import ConstraintSet
+from ..sql.ast import ColumnRef, NotInCondition, SqlQuery
+from ..sql.translate import SqlTranslator, translate
+
+
+@dataclass
+class NegationTranslation:
+    """Positive block, negated block, and the combined query."""
+
+    positive: DbclPredicate
+    negated: DbclPredicate
+    query: SqlQuery
+
+
+def split_negation(goal: Union[Term, str]) -> tuple[list[Term], list[Term]]:
+    """Separate positive conjuncts from ``not(...)`` conjuncts."""
+    if isinstance(goal, str):
+        goal = parse_goal(goal)
+    positive: list[Term] = []
+    negated: list[Term] = []
+    for subgoal in conjuncts(goal):
+        if isinstance(subgoal, Struct) and subgoal.functor == "not" and subgoal.arity == 1:
+            negated.append(subgoal.args[0])
+        else:
+            positive.append(subgoal)
+    return positive, negated
+
+
+def translate_with_negation(
+    metaevaluator: Metaevaluator,
+    goal: Union[Term, str],
+    constraints: ConstraintSet,
+    targets: Optional[Sequence[Variable]] = None,
+    options: SimplifyOptions = SimplifyOptions(),
+) -> NegationTranslation:
+    """Compile ``positive, not(view(...))`` into one query with NOT IN.
+
+    Restrictions (all checked):
+
+    * exactly one negated conjunct;
+    * the negated call's variables all occur in the positive part
+      (range restriction — this pins down the paper's ambiguity to the
+      "complement within the positive result" reading);
+    * both parts are conjunctive and database-translatable.
+    """
+    if isinstance(goal, str):
+        goal = parse_goal(goal)
+    positive_goals, negated_goals = split_negation(goal)
+    if len(negated_goals) != 1:
+        raise UnsupportedFeatureError(
+            f"expected exactly one negated conjunct, found {len(negated_goals)}"
+        )
+    if not positive_goals:
+        raise UnsupportedFeatureError(
+            "negation needs a positive part to complement against — "
+            "an unrestricted not(view(...)) is ambiguous (paper section 7)"
+        )
+    negated_goal = negated_goals[0]
+    positive_goal = conjoin(positive_goals)
+
+    positive_vars = {
+        v for v in variables_of(positive_goal) if not v.is_anonymous
+    }
+    negated_vars = [
+        v for v in variables_of(negated_goal) if not v.is_anonymous
+    ]
+    unsafe = [v for v in negated_vars if v not in positive_vars]
+    if unsafe:
+        raise UnsupportedFeatureError(
+            f"negated variables {sorted(map(str, unsafe))} do not occur "
+            "positively; the complement set is ambiguous (paper section 7)"
+        )
+
+    if targets is None:
+        targets = [v for v in variables_of(goal) if not v.is_anonymous]
+
+    # The positive query must expose the shared variables so the NOT IN
+    # columns can refer to them: add them to its targets.
+    fetch_targets = list(targets)
+    for variable in negated_vars:
+        if variable not in fetch_targets:
+            fetch_targets.append(variable)
+
+    positive_predicate = metaevaluator.metaevaluate(
+        positive_goal, targets=fetch_targets
+    )
+    positive_result = simplify(positive_predicate, constraints, options)
+    if positive_result.is_empty:
+        from ..sql.ast import empty_query
+
+        return NegationTranslation(
+            positive=positive_predicate,
+            negated=positive_predicate,
+            query=empty_query(),
+        )
+    positive_final = positive_result.predicate
+
+    negated_predicate = metaevaluator.metaevaluate(
+        negated_goal, targets=negated_vars
+    )
+    negated_result = simplify(negated_predicate, constraints, options)
+    negated_final = (
+        negated_result.predicate
+        if not negated_result.is_empty
+        else None
+    )
+
+    translator = SqlTranslator(distinct=True)
+    base_query = translator.translate(positive_final)
+    if negated_final is None:
+        # The negated side is provably empty: nothing to exclude.
+        return NegationTranslation(
+            positive=positive_final,
+            negated=negated_predicate,
+            query=base_query,
+        )
+
+    # Columns of the positive query corresponding to the shared variables,
+    # in the order the subquery SELECTs them.
+    subquery = SqlTranslator(distinct=True, alias_base="n").translate(
+        negated_final
+    )
+    shared_names = [t.name for t in negated_final.target_symbols()]
+    columns = []
+    for name in shared_names:
+        symbol = TargetSymbol(name)
+        occurrence = positive_final.first_occurrence(symbol)
+        columns.append(
+            ColumnRef(
+                f"v{occurrence.row + 1}",
+                positive_final.attribute_of_column(occurrence.column),
+            )
+        )
+
+    combined = SqlQuery(
+        select=base_query.select,
+        from_tables=base_query.from_tables,
+        where=base_query.where,
+        distinct=base_query.distinct,
+        extra_conditions=(
+            NotInCondition(tuple(columns), subquery),
+        ),
+    )
+    # Project the final SELECT back to the caller's targets only.
+    wanted = [t.name for t in targets]
+    projected_select = tuple(
+        item
+        for item, symbol in zip(combined.select, positive_final.targets)
+        if symbol.name in wanted
+    )
+    combined = SqlQuery(
+        select=projected_select,
+        from_tables=combined.from_tables,
+        where=combined.where,
+        distinct=combined.distinct,
+        extra_conditions=combined.extra_conditions,
+    )
+    return NegationTranslation(
+        positive=positive_final, negated=negated_final, query=combined
+    )

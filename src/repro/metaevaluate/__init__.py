@@ -1,0 +1,30 @@
+"""Metaevaluate: translation of PROLOG data requests into DBCL (paper §4)."""
+
+from .collector import CollectedQuery, GoalUnfolder, RecursiveViewDetected
+from .recursion import (
+    RecursionSignature,
+    expansion_at_level,
+    expansion_sequence,
+    is_linear_recursive,
+    is_recursive_goal,
+    recursion_signature,
+    recursive_indicators,
+    view_call_graph,
+)
+from .translator import Metaevaluator, metaevaluate
+
+__all__ = [
+    "CollectedQuery",
+    "GoalUnfolder",
+    "RecursiveViewDetected",
+    "RecursionSignature",
+    "expansion_at_level",
+    "expansion_sequence",
+    "is_linear_recursive",
+    "is_recursive_goal",
+    "recursion_signature",
+    "recursive_indicators",
+    "view_call_graph",
+    "Metaevaluator",
+    "metaevaluate",
+]

@@ -1,0 +1,261 @@
+"""Delayed execution and collection of database calls (paper section 4).
+
+``metaevaluate`` must *simulate PROLOG's deduction procedure* without
+executing database goals: view predicates are unfolded through their
+clauses exactly as SLD resolution would, while goals addressing base
+relations and comparison goals are **collected** instead of proven.  Each
+complete derivation branch yields one conjunctive query — the set of
+collected database calls and comparisons under the branch's substitution.
+
+Non-recursive, purely conjunctive views produce exactly one branch;
+disjunctive view definitions (several clauses) produce several (handled by
+the extensions layer as DNF); recursion is detected through the call stack
+and reported via :class:`RecursiveViewDetected` so the global optimizer can
+choose an iteration strategy (paper section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..errors import MetaevaluationError, UnsupportedFeatureError
+from ..prolog.knowledge_base import KnowledgeBase
+from ..prolog.terms import (
+    COMPARISON_PREDICATES,
+    CUT,
+    FAIL,
+    TRUE,
+    Atom,
+    Struct,
+    Term,
+    Variable,
+    conjuncts,
+    goal_indicator,
+    rename_apart,
+    variables_of,
+)
+from ..prolog.unify import EMPTY_SUBSTITUTION, Substitution, unify
+from ..schema.catalog import DatabaseSchema
+
+
+class RecursiveViewDetected(MetaevaluationError):
+    """Raised when unfolding re-enters a predicate already on the stack."""
+
+    def __init__(self, indicator: tuple[str, int]):
+        super().__init__(
+            f"view {indicator[0]}/{indicator[1]} is recursive; "
+            "use the recursion strategies of repro.coupling"
+        )
+        self.indicator = indicator
+
+
+@dataclass
+class CollectedQuery:
+    """One derivation branch: collected calls under a final substitution."""
+
+    dbcalls: list[Struct]
+    comparisons: list[Struct]
+    substitution: Substitution
+    #: How many times each recursive indicator was unfolded on this branch.
+    recursion_depths: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def resolved_dbcalls(self) -> list[Struct]:
+        """Database calls with the branch substitution applied."""
+        return [self.substitution.apply(call) for call in self.dbcalls]  # type: ignore[misc]
+
+    def resolved_comparisons(self) -> list[Struct]:
+        return [self.substitution.apply(call) for call in self.comparisons]  # type: ignore[misc]
+
+
+@dataclass(frozen=True)
+class _ScopeExit:
+    """Marker in the goal list: the unfolding of one call has finished.
+
+    The ancestry stack must reflect the *call chain*, not the flat goal
+    list — two sibling calls to the same view (``same_manager`` calls
+    ``works_dir_for`` twice) are not recursion.  When a clause body is
+    spliced into the goal list, a marker carrying the pre-call stack (and
+    recursion-depth map) follows it, restoring the ancestry once the body
+    has been fully unfolded.
+    """
+
+    stack: tuple[tuple[str, int], ...]
+
+
+class GoalUnfolder:
+    """Unfolds a goal into derivation branches, collecting database calls.
+
+    Parameters
+    ----------
+    schema:
+        Relations of ``schema`` (matched by name *and* arity) are database
+        calls and are collected, never unfolded.
+    kb:
+        The internal knowledge base holding view definitions.
+    recursion_budget:
+        Maximum number of times any single recursive predicate may be
+        unfolded on one branch.  ``None`` forbids recursion entirely
+        (raising :class:`RecursiveViewDetected`), which is the behaviour of
+        plain ``metaevaluate``; the recursion strategies pass a bound.
+    extra_relations:
+        Additional ``(name, arity) -> relation-name`` treated as database
+        calls — used for intermediate relations created by ``setrel``.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        kb: KnowledgeBase,
+        recursion_budget: Optional[int] = None,
+        extra_relations: Optional[dict[tuple[str, int], str]] = None,
+        max_branch_goals: int = 10_000,
+    ):
+        self.schema = schema
+        self.kb = kb
+        self.recursion_budget = recursion_budget
+        self.extra_relations = dict(extra_relations or {})
+        self.max_branch_goals = max_branch_goals
+
+    # -- classification ----------------------------------------------------------
+
+    def is_database_goal(self, goal: Term) -> bool:
+        indicator = goal_indicator(goal)
+        if indicator in self.extra_relations:
+            return True
+        name, arity = indicator
+        if not self.schema.has_relation(name):
+            return False
+        return self.schema.relation(name).arity == arity
+
+    def is_comparison_goal(self, goal: Term) -> bool:
+        name, arity = goal_indicator(goal)
+        return arity == 2 and name in COMPARISON_PREDICATES
+
+    # -- unfolding ------------------------------------------------------------------
+
+    def unfold(self, goal: Term) -> Iterator[CollectedQuery]:
+        """All derivation branches for ``goal``."""
+        yield from self._unfold_goals(
+            conjuncts(goal), EMPTY_SUBSTITUTION, (), [], [], {}
+        )
+
+    def _unfold_goals(
+        self,
+        goals: list,
+        subst: Substitution,
+        stack: tuple[tuple[str, int], ...],
+        dbcalls: list[Struct],
+        comparisons: list[Struct],
+        depths: dict[tuple[str, int], int],
+    ) -> Iterator[CollectedQuery]:
+        if len(dbcalls) + len(comparisons) > self.max_branch_goals:
+            raise MetaevaluationError(
+                f"branch exceeds {self.max_branch_goals} collected goals"
+            )
+        if not goals:
+            yield CollectedQuery(
+                list(dbcalls), list(comparisons), subst, dict(depths)
+            )
+            return
+
+        goal, rest = goals[0], goals[1:]
+
+        if isinstance(goal, _ScopeExit):
+            # A call finished unfolding: restore its caller's ancestry.
+            # Recursion depth counters are *not* restored — they report the
+            # total number of recursive unfoldings along the branch.
+            yield from self._unfold_goals(
+                rest, subst, goal.stack, dbcalls, comparisons, depths
+            )
+            return
+
+        goal = subst.walk(goal)
+
+        if isinstance(goal, Variable):
+            raise MetaevaluationError(f"unbound goal variable {goal}")
+
+        if goal == TRUE or goal == CUT:
+            # Cut has no effect on the *collection* semantics: the paper uses
+            # it around metaevaluate itself, not inside view bodies.
+            yield from self._unfold_goals(rest, subst, stack, dbcalls, comparisons, depths)
+            return
+        if goal == FAIL or goal == Atom("false"):
+            return
+
+        if isinstance(goal, Struct) and goal.functor == "," and goal.arity == 2:
+            yield from self._unfold_goals(
+                conjuncts(goal) + rest, subst, stack, dbcalls, comparisons, depths
+            )
+            return
+        if isinstance(goal, Struct) and goal.functor == ";" and goal.arity == 2:
+            left, right = goal.args
+            yield from self._unfold_goals(
+                [left] + rest, subst, stack, dbcalls, comparisons, depths
+            )
+            yield from self._unfold_goals(
+                [right] + rest, subst, stack, dbcalls, comparisons, depths
+            )
+            return
+        if isinstance(goal, Struct) and goal.functor == "not" and goal.arity == 1:
+            raise UnsupportedFeatureError(
+                "negation inside a metaevaluated goal is outside the "
+                "conjunctive DBCL subset; see repro.extensions.negation"
+            )
+
+        if self.is_comparison_goal(goal):
+            assert isinstance(goal, Struct)
+            self._check_function_free(goal)
+            comparisons.append(goal)
+            yield from self._unfold_goals(rest, subst, stack, dbcalls, comparisons, depths)
+            comparisons.pop()
+            return
+
+        if self.is_database_goal(goal):
+            assert isinstance(goal, Struct)
+            self._check_function_free(goal)
+            dbcalls.append(goal)
+            yield from self._unfold_goals(rest, subst, stack, dbcalls, comparisons, depths)
+            dbcalls.pop()
+            return
+
+        # A view predicate: unfold through its clauses.
+        indicator = goal_indicator(goal)
+        clauses = self.kb.all_clauses(indicator)
+        if not clauses:
+            raise UnsupportedFeatureError(
+                f"goal {indicator[0]}/{indicator[1]} is neither a database "
+                "relation, a comparison, nor a defined view"
+            )
+
+        if indicator in stack:
+            if self.recursion_budget is None:
+                raise RecursiveViewDetected(indicator)
+            if depths.get(indicator, 0) >= self.recursion_budget:
+                return  # prune branches beyond the expansion bound
+            depths = dict(depths)
+            depths[indicator] = depths.get(indicator, 0) + 1
+
+        inner_stack = stack + (indicator,)
+        for clause in clauses:
+            renamed = rename_apart(clause)
+            unified = unify(goal, renamed.head, subst)
+            if unified is None:
+                continue
+            yield from self._unfold_goals(
+                renamed.body_goals() + [_ScopeExit(stack)] + rest,
+                unified,
+                inner_stack,
+                dbcalls,
+                comparisons,
+                depths,
+            )
+
+    def _check_function_free(self, goal: Struct) -> None:
+        for argument in goal.args:
+            walked = argument
+            if isinstance(walked, Struct):
+                raise UnsupportedFeatureError(
+                    f"embedded function symbol {walked.functor}/{walked.arity} "
+                    f"in {goal.functor}: DBCL queries are function-free"
+                )

@@ -1,0 +1,296 @@
+"""Conversion of collected derivation branches into DBCL predicates.
+
+This implements the variable-free re-encoding of paper section 3: target
+variables of the original goal become ``t_`` symbols, every other Prolog
+variable becomes a ``v_`` symbol (named after the variable where the user
+named it, or after the attribute and row number where it was anonymous),
+and constants translate into themselves.
+
+The public entry point is :class:`Metaevaluator`, whose
+:meth:`~Metaevaluator.metaevaluate` mirrors the paper's
+``metaevaluate(Program, Goal, Options, DBCL)`` predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..dbcl.predicate import Comparison, DbclPredicate, RelRow
+from ..dbcl.symbols import (
+    STAR,
+    ConstSymbol,
+    JoinableSymbol,
+    Symbol,
+    TargetSymbol,
+    VarSymbol,
+)
+from ..errors import MetaevaluationError, UnsupportedFeatureError
+from ..prolog.knowledge_base import KnowledgeBase
+from ..prolog.reader import parse_goal
+from ..prolog.terms import (
+    COMPARISON_PREDICATES,
+    Atom,
+    Number,
+    PString,
+    Struct,
+    Term,
+    Variable,
+    goal_indicator,
+    variables_of,
+)
+from ..schema.catalog import DatabaseSchema
+from .collector import CollectedQuery, GoalUnfolder
+
+
+def _capitalise(attribute: str) -> str:
+    return attribute[:1].upper() + attribute[1:]
+
+
+@dataclass
+class _SymbolTable:
+    """Assigns DBCL symbols to Prolog variables, paper-style.
+
+    * target variables → ``t_<Name>``;
+    * named variables → ``v_<Name>`` (numbered only on collision);
+    * anonymous variables → ``v_<Attr><rownum>`` from their first position.
+    """
+
+    targets: dict[Variable, TargetSymbol]
+
+    def __post_init__(self):
+        self._assigned: dict[Variable, JoinableSymbol] = dict(self.targets)
+        self._used_names: set[str] = {str(s) for s in self.targets.values()}
+
+    def _claim(self, base: str, start: int = 0) -> VarSymbol:
+        number = start
+        while True:
+            candidate = VarSymbol(base, number)
+            if str(candidate) not in self._used_names:
+                self._used_names.add(str(candidate))
+                return candidate
+            number += 1
+
+    def symbol_for(
+        self, variable: Variable, attribute: str, row_number: int
+    ) -> JoinableSymbol:
+        existing = self._assigned.get(variable)
+        if existing is not None:
+            return existing
+        if variable.is_anonymous:
+            symbol = self._claim(_capitalise(attribute), row_number)
+        else:
+            symbol = self._claim(variable.name)
+        self._assigned[variable] = symbol
+        return symbol
+
+    def existing(self, variable: Variable) -> Optional[JoinableSymbol]:
+        return self._assigned.get(variable)
+
+
+def _constant_symbol(term: Term, context: str) -> ConstSymbol:
+    if isinstance(term, Atom):
+        return ConstSymbol(term.name)
+    if isinstance(term, Number):
+        return ConstSymbol(term.value)
+    if isinstance(term, PString):
+        return ConstSymbol(term.value)
+    raise UnsupportedFeatureError(
+        f"{context}: expected a constant or variable, got {term} "
+        "(DBCL queries are function-free)"
+    )
+
+
+class Metaevaluator:
+    """Translates Prolog goals over views into DBCL predicates."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        kb: KnowledgeBase,
+        extra_relations: Optional[dict[tuple[str, int], str]] = None,
+    ):
+        self.schema = schema
+        self.kb = kb
+        self.extra_relations = dict(extra_relations or {})
+
+    # -- public API --------------------------------------------------------------
+
+    def metaevaluate(
+        self,
+        goal: Union[Term, str],
+        name: Optional[str] = None,
+        targets: Optional[Sequence[Variable]] = None,
+    ) -> DbclPredicate:
+        """Translate a conjunctive goal into a single DBCL predicate.
+
+        ``targets`` defaults to every free variable of the goal (the
+        universally quantified variables of the original goal clause, in
+        the paper's terms).  Raises for goals whose view structure yields
+        more than one conjunctive branch — use :meth:`metaevaluate_all`
+        (or the extensions layer) for disjunctive views.
+        """
+        branches = self.metaevaluate_all(goal, name=name, targets=targets)
+        if len(branches) != 1:
+            raise MetaevaluationError(
+                f"goal produced {len(branches)} conjunctive branches; "
+                "disjunctive views need repro.extensions.disjunction"
+            )
+        return branches[0]
+
+    def metaevaluate_all(
+        self,
+        goal: Union[Term, str],
+        name: Optional[str] = None,
+        targets: Optional[Sequence[Variable]] = None,
+        recursion_budget: Optional[int] = None,
+    ) -> list[DbclPredicate]:
+        """Translate a goal into one DBCL predicate per derivation branch."""
+        if isinstance(goal, str):
+            goal = parse_goal(goal)
+        if targets is None:
+            targets = [v for v in variables_of(goal) if not v.is_anonymous]
+        predicate_name = name if name is not None else self._default_name(goal)
+
+        unfolder = GoalUnfolder(
+            self.schema,
+            self.kb,
+            recursion_budget=recursion_budget,
+            extra_relations=self.extra_relations,
+        )
+        predicates = []
+        for branch in unfolder.unfold(goal):
+            predicates.append(
+                self.branch_to_dbcl(branch, predicate_name, targets)
+            )
+        return predicates
+
+    def collect_branches(
+        self,
+        goal: Union[Term, str],
+        recursion_budget: Optional[int] = None,
+    ) -> list[CollectedQuery]:
+        """Raw derivation branches (used by the recursion strategies)."""
+        if isinstance(goal, str):
+            goal = parse_goal(goal)
+        unfolder = GoalUnfolder(
+            self.schema,
+            self.kb,
+            recursion_budget=recursion_budget,
+            extra_relations=self.extra_relations,
+        )
+        return list(unfolder.unfold(goal))
+
+    # -- branch conversion -----------------------------------------------------------
+
+    def _default_name(self, goal: Term) -> str:
+        from ..prolog.terms import conjuncts
+
+        goals = conjuncts(goal)
+        first = goals[0]
+        name, _arity = goal_indicator(first)
+        return name
+
+    def _relation_name_for(self, call: Struct) -> str:
+        indicator = call.indicator
+        if indicator in self.extra_relations:
+            return self.extra_relations[indicator]
+        return call.functor
+
+    def branch_to_dbcl(
+        self,
+        branch: CollectedQuery,
+        name: str,
+        targets: Sequence[Variable],
+    ) -> DbclPredicate:
+        """Build the tableau for one derivation branch."""
+        dbcalls = branch.resolved_dbcalls()
+        comparisons = branch.resolved_comparisons()
+        if not dbcalls:
+            raise MetaevaluationError(
+                "branch contains no database calls; nothing to translate"
+            )
+
+        # Target variables may have been unified with clause-head variables
+        # (or constants) during unfolding; the t_-symbol belongs to whatever
+        # variable the target resolves to under the branch substitution.
+        resolved_targets: dict[Variable, TargetSymbol] = {}
+        for variable in targets:
+            resolved = branch.substitution.apply(variable)
+            if isinstance(resolved, Variable):
+                resolved_targets[resolved] = TargetSymbol(variable.name)
+        table = _SymbolTable(resolved_targets)
+
+        width = self.schema.width
+        rows: list[RelRow] = []
+        placed_targets: set[TargetSymbol] = set()
+        row_variables: set[Variable] = set()
+
+        for row_number, call in enumerate(dbcalls, start=1):
+            relation = self.schema.relation(self._relation_name_for(call))
+            if len(call.args) != relation.arity:
+                raise MetaevaluationError(
+                    f"database call {call.functor}/{len(call.args)} does not "
+                    f"match relation {relation.name}/{relation.arity}"
+                )
+            entries: list[Symbol] = [STAR] * width
+            for position, argument in enumerate(call.args):
+                attribute = relation.attributes[position]
+                column = self.schema.column_of(attribute)
+                if isinstance(argument, Variable):
+                    symbol = table.symbol_for(argument, attribute, row_number)
+                    row_variables.add(argument)
+                else:
+                    symbol = _constant_symbol(argument, f"{call.functor} argument")
+                entries[column] = symbol
+                if isinstance(symbol, TargetSymbol):
+                    placed_targets.add(symbol)
+            rows.append(RelRow(relation.name, tuple(entries)))
+
+        dbcl_comparisons: list[Comparison] = []
+        for comparison in comparisons:
+            operator = comparison.functor
+            if operator not in COMPARISON_PREDICATES:
+                raise MetaevaluationError(f"unexpected comparison {comparison}")
+            sides: list[JoinableSymbol] = []
+            for argument in comparison.args:
+                if isinstance(argument, Variable):
+                    symbol = table.existing(argument)
+                    if symbol is None or argument not in row_variables:
+                        raise UnsupportedFeatureError(
+                            f"comparison {comparison} constrains a variable "
+                            "that appears in no database call; evaluate it in "
+                            "Prolog instead"
+                        )
+                    sides.append(symbol)
+                else:
+                    sides.append(_constant_symbol(argument, "comparison argument"))
+            dbcl_comparisons.append(Comparison(operator, sides[0], sides[1]))
+
+        # Targets in the caller's order; a target variable that never
+        # reached a database call (e.g. bound to a constant during
+        # unfolding) projects nothing — the constant restricts rows instead.
+        placed = placed_targets
+        ordered_targets = [
+            table.existing(branch.substitution.apply(variable))
+            for variable in targets
+        ]
+        final_targets = [
+            symbol
+            for symbol in ordered_targets
+            if isinstance(symbol, TargetSymbol) and symbol in placed
+        ]
+        return DbclPredicate(
+            self.schema, name, final_targets, rows, dbcl_comparisons
+        )
+
+
+def metaevaluate(
+    schema: DatabaseSchema,
+    kb: KnowledgeBase,
+    goal: Union[Term, str],
+    name: Optional[str] = None,
+    targets: Optional[Sequence[Variable]] = None,
+) -> DbclPredicate:
+    """Module-level convenience wrapper around :class:`Metaevaluator`."""
+    return Metaevaluator(schema, kb).metaevaluate(goal, name=name, targets=targets)

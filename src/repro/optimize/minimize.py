@@ -1,0 +1,69 @@
+"""Syntactic tableau minimization (paper sections 6.0 and 6.4 step 6).
+
+Join minimization "corresponds to the minimization of the number of rows"
+(Aho–Sagiv–Ullman); the algorithms follow Sagiv 1983, extended — as the
+paper requires — to the multi-relation setting where a symbol may appear
+in more than one tableau column (Johnson–Klug).
+
+A row is redundant when the full tableau has a containment mapping onto
+the tableau without that row, fixing target symbols, constants, and every
+symbol used in Relcomparisons (the conservative treatment of inequalities;
+see :mod:`repro.dbcl.containment`).  Rows are removed greedily until no
+row is removable; for conjunctive queries this reaches the unique core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dbcl.containment import find_homomorphism
+from ..dbcl.predicate import DbclPredicate
+from ..dbcl.symbols import JoinableSymbol, is_variable_symbol
+
+
+@dataclass
+class MinimizeOutcome:
+    """Result of the syntactic minimization."""
+
+    predicate: DbclPredicate
+    removed_rows: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return self.removed_rows > 0
+
+
+def _row_removable(predicate: DbclPredicate, row_index: int) -> bool:
+    """Can ``row_index`` be dropped without changing the answer?"""
+    reduced = predicate.drop_rows([row_index], validate=False)
+    # Symbols that the reduced predicate must still bind: comparisons refer
+    # to them, so they must survive in some row (and be mapped identically).
+    frozen = {
+        symbol
+        for symbol in predicate.comparison_symbols()
+        if is_variable_symbol(symbol)
+    }
+    if any(not reduced.occurs_in_rows(symbol) for symbol in frozen):
+        return False
+    # Targets must also keep at least one occurrence.
+    if any(
+        not reduced.occurs_in_rows(target) for target in predicate.target_symbols()
+    ):
+        return False
+    return find_homomorphism(predicate, reduced, frozen=frozen) is not None
+
+
+def minimize(predicate: DbclPredicate) -> MinimizeOutcome:
+    """Remove redundant rows until none is removable."""
+    current = predicate.dedupe_rows()
+    removed = len(predicate.rows) - len(current.rows)
+    progress = True
+    while progress and len(current.rows) > 1:
+        progress = False
+        for row_index in range(len(current.rows)):
+            if _row_removable(current, row_index):
+                current = current.drop_rows([row_index])
+                removed += 1
+                progress = True
+                break
+    return MinimizeOutcome(current, removed)

@@ -1,0 +1,166 @@
+"""Referential-integrity row deletion (paper section 6.3).
+
+A row *r* with tag R **dangles** when its non-``*`` cells split into
+
+* RN — ``v_`` symbols appearing nowhere else in the whole DBCL predicate
+  (not in another cell, not in Relcomparisons, not in the Targetlist), and
+* RP — cells matched, attribute-wise, by a single other row *r'*
+  (``r[RPi] = r'[RP'i]`` — the matching columns may differ, e.g. ``mgr``
+  against ``eno``).
+
+A dangling row is **deletable** when a referential constraint
+``refint(R', [RP'...], R, [RP...])`` is derivable from the stored rules —
+derivable directly or through the paper's Algorithm 1 (see
+:func:`repro.schema.inference.derive_refint`): every r' value is then
+guaranteed to appear in R, so joining r adds no restriction.
+
+Deleting a row can make further rows dangle (Example 6-2 deletes the
+``dept`` row only after the manager ``empl`` row is gone), so the removal
+is a fixpoint loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..dbcl.predicate import DbclPredicate, RelRow
+from ..dbcl.symbols import (
+    ConstSymbol,
+    JoinableSymbol,
+    TargetSymbol,
+    VarSymbol,
+    is_star,
+)
+from ..schema.constraints import ConstraintSet
+from ..schema.inference import RefIntHypothesis, derive_refint
+
+
+@dataclass
+class RefintOutcome:
+    """Result of the dangling-row removal."""
+
+    predicate: DbclPredicate
+    removed_rows: int = 0
+    #: (row tag, partner tag) per deletion, in order — for explain traces.
+    deletions: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.removed_rows > 0
+
+
+def _symbol_use_counts(predicate: DbclPredicate) -> dict[JoinableSymbol, int]:
+    """Total number of appearances of each symbol anywhere in the predicate."""
+    counts: dict[JoinableSymbol, int] = {}
+    for row in predicate.rows:
+        for entry in row.entries:
+            if not is_star(entry):
+                counts[entry] = counts.get(entry, 0) + 1  # type: ignore[index]
+    for comparison in predicate.comparisons:
+        for side in comparison.symbols():
+            counts[side] = counts.get(side, 0) + 1
+    for entry in predicate.targets:
+        counts[entry] = counts.get(entry, 0) + 1
+    return counts
+
+
+def _find_deletable_row(
+    predicate: DbclPredicate, constraints: ConstraintSet
+) -> Optional[tuple[int, int]]:
+    """First (dangling row, witness row) pair whose refint is derivable."""
+    schema = predicate.schema
+    counts = _symbol_use_counts(predicate)
+
+    for row_index, row in enumerate(predicate.rows):
+        relation = schema.relation(row.tag)
+        # A symbol repeated *within* the row is an intra-row restriction
+        # (e.g. eno = dno on the same tuple) that no referential constraint
+        # implies; such rows never qualify.
+        own_cells = [e for e in row.entries if not is_star(e)]
+        if len(own_cells) != len(set(own_cells)):
+            continue
+        shared_attributes: list[str] = []
+        for attribute in relation.attributes:
+            entry = row.entries[schema.column_of(attribute)]
+            if isinstance(entry, VarSymbol) and counts[entry] == 1:
+                continue  # an RN cell: private singleton variable
+            if isinstance(entry, (ConstSymbol, TargetSymbol)):
+                # Constants restrict; targets produce output. Either way the
+                # cell must be matched by the witness row, which only shared
+                # variables can guarantee under a refint — so treat any
+                # constant/target as disqualifying unless matched below.
+                shared_attributes.append(attribute)
+                continue
+            shared_attributes.append(attribute)
+        if not shared_attributes:
+            continue  # a row of only-private cells never dangles usefully
+        # Condition (b): one single row r' matches every shared cell.
+        for witness_index, witness in enumerate(predicate.rows):
+            if witness_index == row_index:
+                continue
+            witness_attributes = _match_against(
+                predicate, row, shared_attributes, witness
+            )
+            if witness_attributes is None:
+                continue
+            hypothesis = RefIntHypothesis(
+                witness.tag,
+                tuple(witness_attributes),
+                row.tag,
+                tuple(shared_attributes),
+            )
+            derivation = derive_refint(schema, hypothesis, constraints.refints)
+            if derivation.success:
+                return (row_index, witness_index)
+    return None
+
+
+def _match_against(
+    predicate: DbclPredicate,
+    row: RelRow,
+    shared_attributes: Sequence[str],
+    witness: RelRow,
+) -> Optional[list[str]]:
+    """Witness attributes matching each shared cell of ``row``, if all match.
+
+    For each shared attribute of ``row`` there must be an attribute of the
+    witness row holding the *same symbol*; constants and targets in shared
+    position must also be matched cell-for-cell.
+    """
+    schema = predicate.schema
+    witness_relation = schema.relation(witness.tag)
+    matched: list[str] = []
+    for attribute in shared_attributes:
+        symbol = row.entries[schema.column_of(attribute)]
+        found: Optional[str] = None
+        for witness_attribute in witness_relation.attributes:
+            witness_symbol = witness.entries[schema.column_of(witness_attribute)]
+            if witness_symbol == symbol:
+                found = witness_attribute
+                break
+        if found is None:
+            return None
+        matched.append(found)
+    return matched
+
+
+def remove_dangling_rows(
+    predicate: DbclPredicate, constraints: ConstraintSet
+) -> RefintOutcome:
+    """Delete deletable dangling rows until none remain (recursive process)."""
+    outcome = RefintOutcome(predicate)
+    while len(outcome.predicate.rows) > 1:
+        found = _find_deletable_row(outcome.predicate, constraints)
+        if found is None:
+            break
+        row_index, witness_index = found
+        outcome.deletions.append(
+            (
+                outcome.predicate.rows[row_index].tag,
+                outcome.predicate.rows[witness_index].tag,
+            )
+        )
+        outcome.predicate = outcome.predicate.drop_rows([row_index])
+        outcome.removed_rows += 1
+    return outcome

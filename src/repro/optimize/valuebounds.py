@@ -1,0 +1,99 @@
+"""Value-bound exploitation (paper section 6.1, Algorithm 2 step 1).
+
+Two services:
+
+* :func:`check_constants` — every constant appearing in Relreferences must
+  lie inside the declared domain of its column; a violation proves the
+  query empty before anything is sent to the DBMS;
+* :func:`bound_assumptions` — for every variable that participates in a
+  comparison, the value bounds of the columns it occupies are turned into
+  assumption comparisons (``L <= x`` and ``x <= U``).  These feed the
+  inequality graph so it can drop redundant user comparisons (a salary
+  test above the declared maximum) or detect contradictions (one below the
+  minimum), without themselves ever appearing in the generated SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..dbcl.predicate import Comparison, DbclPredicate
+from ..dbcl.symbols import ConstSymbol, JoinableSymbol, is_constant_symbol
+from ..schema.constraints import ConstraintSet, ValueBound
+
+
+@dataclass(frozen=True)
+class BoundViolation:
+    """A constant outside its declared domain."""
+
+    row: int
+    relation: str
+    attribute: str
+    value: object
+    bound: ValueBound
+
+    def describe(self) -> str:
+        return (
+            f"row {self.row}: {self.relation}.{self.attribute} = {self.value} "
+            f"violates valuebound [{self.bound.low}, {self.bound.high}]"
+        )
+
+
+def check_constants(
+    predicate: DbclPredicate, constraints: ConstraintSet
+) -> Optional[BoundViolation]:
+    """First violation of a declared domain by a Relreferences constant."""
+    schema = predicate.schema
+    for row_index, row in enumerate(predicate.rows):
+        relation = schema.relation(row.tag)
+        for attribute in relation.attributes:
+            column = schema.column_of(attribute)
+            entry = row.entries[column]
+            if not isinstance(entry, ConstSymbol):
+                continue
+            bound = constraints.bound_for(row.tag, attribute)
+            if bound is not None and not bound.contains(entry.value):
+                return BoundViolation(
+                    row_index, row.tag, attribute, entry.value, bound
+                )
+    return None
+
+
+def bound_assumptions(
+    predicate: DbclPredicate, constraints: ConstraintSet
+) -> list[Comparison]:
+    """Assumption comparisons for comparison variables (Algorithm 2 step 1).
+
+    The paper adds value bounds "to Relcomparisons for attribute variables
+    appearing there": for each symbol used in a comparison, every cell it
+    occupies contributes the bound of that cell's column, if declared.
+    """
+    schema = predicate.schema
+    assumptions: list[Comparison] = []
+    seen: set[tuple[JoinableSymbol, str, str]] = set()
+    comparison_symbols = {
+        s for s in predicate.comparison_symbols() if not is_constant_symbol(s)
+    }
+    if not comparison_symbols:
+        return []
+    for symbol, occurrences in predicate.occurrences().items():
+        if symbol not in comparison_symbols:
+            continue
+        for occurrence in occurrences:
+            row = predicate.rows[occurrence.row]
+            attribute = schema.attribute_names[occurrence.column]
+            bound = constraints.bound_for(row.tag, attribute)
+            if bound is None:
+                continue
+            key = (symbol, row.tag, attribute)
+            if key in seen:
+                continue
+            seen.add(key)
+            assumptions.append(
+                Comparison("geq", symbol, ConstSymbol(bound.low))
+            )
+            assumptions.append(
+                Comparison("leq", symbol, ConstSymbol(bound.high))
+            )
+    return assumptions

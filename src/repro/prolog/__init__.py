@@ -1,0 +1,73 @@
+"""The Prolog substrate: terms, reader, unification, engine, internal DB.
+
+This subpackage is a self-contained Prolog interpreter implementing the
+subset the paper's expert-system host language requires (SLD resolution,
+cut, negation-as-failure, assert/retract, comparison builtins).  The
+database coupling layers build on it without modification.
+"""
+
+from .engine import Engine, StepBudgetExceeded
+from .knowledge_base import KnowledgeBase
+from .reader import parse_clause, parse_goal, parse_program, parse_term
+from .terms import (
+    Atom,
+    Clause,
+    Number,
+    PString,
+    Struct,
+    Term,
+    Variable,
+    atom,
+    conjoin,
+    conjuncts,
+    disjuncts,
+    fresh_var,
+    goal_indicator,
+    is_constant,
+    make_list,
+    list_items,
+    number,
+    struct,
+    var,
+    variables_of,
+)
+from .unify import EMPTY_SUBSTITUTION, Substitution, match, unify, unifiable
+from .writer import clause_to_string, program_to_string, term_to_string
+
+__all__ = [
+    "Engine",
+    "StepBudgetExceeded",
+    "KnowledgeBase",
+    "parse_clause",
+    "parse_goal",
+    "parse_program",
+    "parse_term",
+    "Atom",
+    "Clause",
+    "Number",
+    "PString",
+    "Struct",
+    "Term",
+    "Variable",
+    "atom",
+    "conjoin",
+    "conjuncts",
+    "disjuncts",
+    "fresh_var",
+    "goal_indicator",
+    "is_constant",
+    "make_list",
+    "list_items",
+    "number",
+    "struct",
+    "var",
+    "variables_of",
+    "EMPTY_SUBSTITUTION",
+    "Substitution",
+    "match",
+    "unify",
+    "unifiable",
+    "clause_to_string",
+    "program_to_string",
+    "term_to_string",
+]

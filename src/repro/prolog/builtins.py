@@ -1,0 +1,292 @@
+"""Builtin predicates for the Prolog engine.
+
+Each builtin is a function ``(engine, goal, subst, depth) -> iterator of
+substitutions``; yielding continues the proof with the extended
+substitution.  The registry covers the control and data predicates the
+paper's programs use: comparisons (``less/2`` …), ``not/1``, ``assert``/
+``retract`` (the internal database), ``findall/3``, ``call/1``, ``is/2``
+and structural inspection helpers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator, Union
+
+from ..errors import CutSignal, InstantiationError, PrologError
+from .terms import (
+    COMPARISON_PREDICATES,
+    Atom,
+    Clause,
+    Number,
+    PString,
+    Struct,
+    Term,
+    Variable,
+    conjuncts,
+    is_constant,
+    make_list,
+    list_items,
+)
+from .unify import Substitution, unify
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import Engine
+
+BuiltinFunction = Callable[["Engine", Term, Substitution, int], Iterator[Substitution]]
+
+ComparableValue = Union[int, float, str]
+
+
+def _comparable_value(term: Term, predicate: str) -> ComparableValue:
+    """Extract an orderable Python value from a ground term."""
+    if isinstance(term, Number):
+        return term.value
+    if isinstance(term, Atom):
+        return term.name
+    if isinstance(term, PString):
+        return term.value
+    if isinstance(term, Variable):
+        raise InstantiationError(f"{predicate}: argument {term} is unbound")
+    raise PrologError(f"{predicate}: cannot compare non-constant term {term}")
+
+
+def _values_comparable(left: ComparableValue, right: ComparableValue) -> bool:
+    """Numbers compare with numbers, strings with strings."""
+    left_numeric = isinstance(left, (int, float))
+    right_numeric = isinstance(right, (int, float))
+    return left_numeric == right_numeric
+
+
+def _make_comparison(predicate: str) -> BuiltinFunction:
+    def comparison(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+        assert isinstance(goal, Struct)
+        left = subst.apply(goal.args[0])
+        right = subst.apply(goal.args[1])
+        if predicate == "eq":
+            unified = unify(left, right, subst)
+            if unified is not None:
+                yield unified
+            return
+        if predicate == "neq":
+            # Negation of unifiability on ground terms; on unbound terms we
+            # follow the standard "not identical" reading used by the paper's
+            # neq(X, Y) goals, which are ground by the time they run.
+            if isinstance(left, Variable) or isinstance(right, Variable):
+                raise InstantiationError("neq/2: arguments must be bound")
+            if left != right:
+                yield subst
+            return
+        a = _comparable_value(left, predicate)
+        b = _comparable_value(right, predicate)
+        if not _values_comparable(a, b):
+            raise PrologError(
+                f"{predicate}: cannot order {left} against {right}"
+            )
+        ok = {
+            "less": a < b,
+            "greater": a > b,
+            "leq": a <= b,
+            "geq": a >= b,
+        }[predicate]
+        if ok:
+            yield subst
+
+    comparison.__name__ = f"builtin_{predicate}"
+    return comparison
+
+
+def builtin_not(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    """``not/1``: negation as failure."""
+    assert isinstance(goal, Struct)
+    inner = subst.apply(goal.args[0])
+    try:
+        for _ in engine.prove([inner], subst, depth + 1):
+            return
+    except CutSignal:
+        return
+    yield subst
+
+
+def builtin_call(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    """``call/1``: metacall, opaque to cut."""
+    assert isinstance(goal, Struct)
+    inner = subst.walk(goal.args[0])
+    if isinstance(inner, Variable):
+        raise InstantiationError("call/1: unbound goal")
+    try:
+        yield from engine.prove([inner], subst, depth + 1)
+    except CutSignal:
+        return
+
+
+def builtin_findall(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    """``findall(Template, Goal, List)``."""
+    assert isinstance(goal, Struct)
+    template, inner, out = goal.args
+    collected: list[Term] = []
+    for solution in engine.prove([subst.walk(inner)], subst, depth + 1):
+        collected.append(solution.apply(template))
+    unified = unify(out, make_list(collected), subst)
+    if unified is not None:
+        yield unified
+
+
+def builtin_between(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    """``between(Low, High, X)``: enumerate integers."""
+    assert isinstance(goal, Struct)
+    low = subst.apply(goal.args[0])
+    high = subst.apply(goal.args[1])
+    if not isinstance(low, Number) or not isinstance(high, Number):
+        raise InstantiationError("between/3: bounds must be integers")
+    for value in range(int(low.value), int(high.value) + 1):
+        unified = unify(goal.args[2], Number(value), subst)
+        if unified is not None:
+            yield unified
+
+
+def _evaluate_arith(term: Term, subst: Substitution) -> Union[int, float]:
+    term = subst.walk(term)
+    if isinstance(term, Number):
+        return term.value
+    if isinstance(term, Variable):
+        raise InstantiationError(f"is/2: unbound variable {term}")
+    if isinstance(term, Struct):
+        if term.arity == 2:
+            a = _evaluate_arith(term.args[0], subst)
+            b = _evaluate_arith(term.args[1], subst)
+            if term.functor == "+":
+                return a + b
+            if term.functor == "-":
+                return a - b
+            if term.functor == "*":
+                return a * b
+            if term.functor == "/":
+                return a / b
+            if term.functor == "mod":
+                return a % b
+        if term.arity == 1 and term.functor == "-":
+            return -_evaluate_arith(term.args[0], subst)
+    raise PrologError(f"is/2: cannot evaluate {term}")
+
+
+def builtin_is(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    """``X is Expr``: arithmetic evaluation."""
+    assert isinstance(goal, Struct)
+    value = _evaluate_arith(goal.args[1], subst)
+    unified = unify(goal.args[0], Number(value), subst)
+    if unified is not None:
+        yield unified
+
+
+def builtin_assertz(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    assert isinstance(goal, Struct)
+    yield from _do_assert(engine, goal, subst, front=False)
+
+
+def builtin_asserta(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    assert isinstance(goal, Struct)
+    yield from _do_assert(engine, goal, subst, front=True)
+
+
+def _clause_from_term(term: Term) -> Clause:
+    if isinstance(term, Struct) and term.functor == ":-" and term.arity == 2:
+        return Clause(term.args[0], term.args[1])
+    return Clause(term)
+
+
+def _do_assert(engine: "Engine", goal: Struct, subst: Substitution, front: bool):
+    clause_term = subst.apply(goal.args[0])
+    clause = _clause_from_term(clause_term)
+    if front:
+        engine.kb.asserta(clause)
+    else:
+        engine.kb.assertz(clause)
+    yield subst
+
+
+def builtin_retract(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    assert isinstance(goal, Struct)
+    clause = _clause_from_term(subst.apply(goal.args[0]))
+    if engine.kb.retract(clause):
+        yield subst
+
+
+def builtin_var(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    assert isinstance(goal, Struct)
+    if isinstance(subst.walk(goal.args[0]), Variable):
+        yield subst
+
+
+def builtin_nonvar(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    assert isinstance(goal, Struct)
+    if not isinstance(subst.walk(goal.args[0]), Variable):
+        yield subst
+
+
+def builtin_atom(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    assert isinstance(goal, Struct)
+    if isinstance(subst.walk(goal.args[0]), Atom):
+        yield subst
+
+
+def builtin_number(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    assert isinstance(goal, Struct)
+    if isinstance(subst.walk(goal.args[0]), Number):
+        yield subst
+
+
+def builtin_ground(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    assert isinstance(goal, Struct)
+    from .terms import variables_of
+
+    if not variables_of(subst.apply(goal.args[0])):
+        yield subst
+
+
+def builtin_member(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    """``member(X, List)``, solving both directions over proper lists."""
+    assert isinstance(goal, Struct)
+    list_term = subst.apply(goal.args[1])
+    try:
+        items = list_items(list_term)
+    except ValueError as exc:
+        raise InstantiationError(f"member/2: {exc}") from exc
+    for item in items:
+        unified = unify(goal.args[0], item, subst)
+        if unified is not None:
+            yield unified
+
+
+def builtin_length(engine: "Engine", goal: Term, subst: Substitution, depth: int):
+    assert isinstance(goal, Struct)
+    list_term = subst.apply(goal.args[0])
+    try:
+        items = list_items(list_term)
+    except ValueError as exc:
+        raise InstantiationError(f"length/2: {exc}") from exc
+    unified = unify(goal.args[1], Number(len(items)), subst)
+    if unified is not None:
+        yield unified
+
+
+#: The default builtin registry installed into every engine.
+DEFAULT_BUILTINS: dict[tuple[str, int], BuiltinFunction] = {
+    ("not", 1): builtin_not,
+    ("call", 1): builtin_call,
+    ("findall", 3): builtin_findall,
+    ("between", 3): builtin_between,
+    ("is", 2): builtin_is,
+    ("assert", 1): builtin_assertz,
+    ("assertz", 1): builtin_assertz,
+    ("asserta", 1): builtin_asserta,
+    ("retract", 1): builtin_retract,
+    ("var", 1): builtin_var,
+    ("nonvar", 1): builtin_nonvar,
+    ("atom", 1): builtin_atom,
+    ("number", 1): builtin_number,
+    ("ground", 1): builtin_ground,
+    ("member", 2): builtin_member,
+    ("length", 2): builtin_length,
+}
+for _name in COMPARISON_PREDICATES:
+    DEFAULT_BUILTINS[(_name, 2)] = _make_comparison(_name)

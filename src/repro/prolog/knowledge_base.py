@@ -1,0 +1,196 @@
+"""The internal Prolog database (clause store).
+
+This is the "internal database system in the logic language" of paper
+section 2: it stores the expert system's rules and facts, receives query
+answers fetched from the external DBMS (via ``assertz``), and supports
+``retract`` so large unused results can be garbage-collected by the
+coupling layer.
+
+Clauses are indexed by predicate indicator and, for facts, additionally by
+the first argument (classic first-argument indexing) so that merging large
+external result sets does not degrade tuple-at-a-time resolution.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Optional
+
+from ..errors import PrologError
+from .reader import parse_program
+from .terms import Atom, Clause, Number, PString, Struct, Term, goal_indicator
+from .unify import Substitution, unify
+
+
+def _first_arg_key(term: Term) -> Optional[object]:
+    """Indexing key on the first argument of a fact, or None if unindexable."""
+    if not isinstance(term, Struct) or not term.args:
+        return None
+    first = term.args[0]
+    if isinstance(first, Atom):
+        return ("atom", first.name)
+    if isinstance(first, Number):
+        return ("number", first.value)
+    if isinstance(first, PString):
+        return ("string", first.value)
+    return None
+
+
+class Procedure:
+    """All clauses for one predicate indicator, in assertion order."""
+
+    __slots__ = ("indicator", "clauses", "_index", "_all_facts")
+
+    def __init__(self, indicator: tuple[str, int]):
+        self.indicator = indicator
+        self.clauses: list[Clause] = []
+        # key -> clause list; only populated while every clause is a fact.
+        self._index: Optional[dict[object, list[Clause]]] = defaultdict(list)
+        self._all_facts = True
+
+    def add(self, clause: Clause, front: bool = False) -> None:
+        if front:
+            self.clauses.insert(0, clause)
+        else:
+            self.clauses.append(clause)
+        if self._all_facts and clause.is_fact:
+            key = _first_arg_key(clause.head)
+            if key is not None and self._index is not None:
+                if front:
+                    self._index[key].insert(0, clause)
+                else:
+                    self._index[key].append(clause)
+                return
+        # A rule or an unindexable fact disables indexing for the procedure.
+        self._all_facts = False
+        self._index = None
+
+    def remove(self, clause: Clause) -> None:
+        self.clauses.remove(clause)
+        if self._index is not None:
+            key = _first_arg_key(clause.head)
+            if key is not None and clause in self._index.get(key, ()):
+                self._index[key].remove(clause)
+
+    def candidates(self, goal: Term) -> Iterable[Clause]:
+        """Clauses whose head might unify with ``goal`` (index-filtered)."""
+        if self._index is not None:
+            key = _first_arg_key(goal)
+            if key is not None:
+                return list(self._index.get(key, ()))
+        return list(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+class KnowledgeBase:
+    """A mutable store of Prolog clauses with assert/retract semantics."""
+
+    def __init__(self):
+        self._procedures: dict[tuple[str, int], Procedure] = {}
+
+    # -- loading ------------------------------------------------------------
+
+    def consult(self, source: str) -> list[Clause]:
+        """Parse and assert all clauses in ``source``; returns them."""
+        clauses = parse_program(source)
+        for clause in clauses:
+            if clause.head == Atom("?-"):
+                raise PrologError(
+                    "directives are not allowed in consulted source; "
+                    "use Engine.solve for queries"
+                )
+            self.assertz(clause)
+        return clauses
+
+    def assertz(self, clause: Clause) -> None:
+        """Add a clause at the end of its procedure."""
+        self._procedure(clause.indicator).add(clause)
+
+    def asserta(self, clause: Clause) -> None:
+        """Add a clause at the front of its procedure."""
+        self._procedure(clause.indicator).add(clause, front=True)
+
+    def assert_fact(self, functor: str, *values: object) -> None:
+        """Convenience: assert a ground fact from Python values."""
+        args: list[Term] = []
+        for value in values:
+            if isinstance(value, bool):
+                args.append(Atom("true" if value else "false"))
+            elif isinstance(value, (int, float)):
+                args.append(Number(value))
+            elif isinstance(value, str):
+                args.append(Atom(value))
+            else:
+                raise TypeError(f"unsupported fact argument: {value!r}")
+        self.assertz(Clause(Struct(functor, tuple(args))))
+
+    def retract(self, pattern: Clause) -> bool:
+        """Remove the first clause unifying with ``pattern``; True if found."""
+        procedure = self._procedures.get(pattern.indicator)
+        if procedure is None:
+            return False
+        for clause in list(procedure.clauses):
+            subst = unify(clause.head, pattern.head)
+            if subst is None:
+                continue
+            if unify(clause.body, pattern.body, subst) is None:
+                continue
+            procedure.remove(clause)
+            return True
+        return False
+
+    def retract_all(self, indicator: tuple[str, int]) -> int:
+        """Drop every clause of a procedure; returns how many were removed."""
+        procedure = self._procedures.pop(indicator, None)
+        if procedure is None:
+            return 0
+        return len(procedure)
+
+    # -- querying -----------------------------------------------------------
+
+    def _procedure(self, indicator: tuple[str, int]) -> Procedure:
+        procedure = self._procedures.get(indicator)
+        if procedure is None:
+            procedure = Procedure(indicator)
+            self._procedures[indicator] = procedure
+        return procedure
+
+    def has_procedure(self, indicator: tuple[str, int]) -> bool:
+        procedure = self._procedures.get(indicator)
+        return procedure is not None and len(procedure) > 0
+
+    def clauses_for(self, goal: Term) -> Iterable[Clause]:
+        """Candidate clauses for resolving ``goal``."""
+        procedure = self._procedures.get(goal_indicator(goal))
+        if procedure is None:
+            return ()
+        return procedure.candidates(goal)
+
+    def all_clauses(self, indicator: tuple[str, int]) -> list[Clause]:
+        """Every clause of a procedure, in order."""
+        procedure = self._procedures.get(indicator)
+        if procedure is None:
+            return []
+        return list(procedure.clauses)
+
+    def indicators(self) -> Iterator[tuple[str, int]]:
+        """All defined predicate indicators."""
+        return iter(list(self._procedures))
+
+    def fact_count(self, indicator: tuple[str, int]) -> int:
+        """Number of stored clauses for a predicate (0 if undefined)."""
+        procedure = self._procedures.get(indicator)
+        return len(procedure) if procedure else 0
+
+    def snapshot(self) -> "KnowledgeBase":
+        """A shallow copy usable for what-if evaluation (shared clauses)."""
+        copy = KnowledgeBase()
+        for indicator, procedure in self._procedures.items():
+            for clause in procedure.clauses:
+                copy.assertz(clause)
+        return copy
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._procedures.values())

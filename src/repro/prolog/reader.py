@@ -1,0 +1,422 @@
+"""Tokenizer and parser for the Prolog subset used by the front-end.
+
+The reader accepts the syntax appearing in the paper: facts, rules with
+``:-``, conjunction ``,``, disjunction ``;``, negation ``not/1`` and ``\\+``,
+cut ``!``, lists, anonymous variables ``_``, quoted atoms, numbers, and the
+comparison operators (``<``, ``>``, ``=<``, ``>=``, ``=``, ``\\=``) which are
+normalised to the named predicates of
+:data:`repro.prolog.terms.COMPARISON_PREDICATES` (``less/2`` etc.) so that
+later pipeline stages only ever see one spelling.
+
+This is a classical recursive-descent parser over a hand-written tokenizer;
+full operator-precedence parsing (user-defined ops) is not needed for the
+paper's programs and is deliberately left out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import PrologSyntaxError
+from .terms import (
+    CUT,
+    EMPTY_LIST,
+    OPERATOR_TO_PREDICATE,
+    Atom,
+    Clause,
+    Number,
+    PString,
+    Struct,
+    Term,
+    Variable,
+    make_list,
+)
+
+_SYMBOLIC = {
+    ":-", "?-", "-->",
+    ",", ";", "!", "|",
+    "(", ")", "[", "]",
+    "=..", "==", "\\==", "=:=", "=\\=",
+    "=<", ">=", "<", ">", "=", "\\=",
+    "\\+", "+", "-", "*", "/", ".",
+}
+
+# Longest-match-first ordering for symbolic tokens.
+_SYMBOLIC_SORTED = sorted(_SYMBOLIC, key=len, reverse=True)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexical token with source position for error reporting."""
+
+    kind: str  # 'atom' | 'var' | 'number' | 'string' | 'punct' | 'end'
+    text: str
+    line: int
+    column: int
+
+
+class Tokenizer:
+    """Converts Prolog source text into a token stream."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield all tokens, ending with a single ``end`` token."""
+        while True:
+            self._skip_layout()
+            if self._pos >= len(self._text):
+                yield Token("end", "", self._line, self._column)
+                return
+            yield self._next_token()
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._text):
+            return self._text[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self._text[self._pos : self._pos + count]
+        for char in chunk:
+            if char == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return chunk
+
+    def _skip_layout(self) -> None:
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "%":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self._pos >= len(self._text):
+                    raise PrologSyntaxError(
+                        "unterminated block comment", self._line, self._column
+                    )
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self._line, self._column
+        char = self._peek()
+
+        if char.isdigit():
+            return self._read_number(line, column)
+        if char == "_" or char.isalpha():
+            return self._read_name(line, column)
+        if char == "'":
+            return self._read_quoted_atom(line, column)
+        if char == '"':
+            return self._read_string(line, column)
+
+        # End-of-clause dot: a '.' followed by layout or EOF.
+        if char == "." and (self._peek(1) in "" or self._peek(1) in " \t\r\n%" or self._peek(1) == ""):
+            self._advance()
+            return Token("punct", ".", line, column)
+
+        for symbol in _SYMBOLIC_SORTED:
+            if self._text.startswith(symbol, self._pos):
+                self._advance(len(symbol))
+                return Token("punct", symbol, line, column)
+
+        raise PrologSyntaxError(f"unexpected character {char!r}", line, column)
+
+    def _read_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        return Token("number", self._text[start : self._pos], line, column)
+
+    def _read_name(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._text[start : self._pos]
+        first = text[0]
+        if first == "_" or first.isupper():
+            return Token("var", text, line, column)
+        return Token("atom", text, line, column)
+
+    def _read_quoted_atom(self, line: int, column: int) -> Token:
+        return Token("atom", self._read_quoted("'"), line, column)
+
+    def _read_string(self, line: int, column: int) -> Token:
+        return Token("string", self._read_quoted('"'), line, column)
+
+    def _read_quoted(self, quote: str) -> str:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise PrologSyntaxError(
+                    "unterminated quoted token", self._line, self._column
+                )
+            char = self._peek()
+            if char == quote:
+                if self._peek(1) == quote:  # doubled quote escapes itself
+                    chars.append(quote)
+                    self._advance(2)
+                    continue
+                self._advance()
+                return "".join(chars)
+            if char == "\\":
+                self._advance()
+                escape = self._advance()
+                chars.append({"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(escape, escape))
+                continue
+            chars.append(self._advance())
+
+
+class Parser:
+    """Recursive-descent parser producing :class:`Clause` and :class:`Term`."""
+
+    _anon_counter = itertools.count(1)
+
+    def __init__(self, text: str):
+        self._tokens = list(Tokenizer(text).tokens())
+        self._index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "end":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._current()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise PrologSyntaxError(
+                f"expected {wanted!r}, found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._current()
+        return token.kind == kind and (text is None or token.text == text)
+
+    # -- public entry points ----------------------------------------------
+
+    def parse_program(self) -> list[Clause]:
+        """Parse a whole program: a sequence of ``.``-terminated clauses."""
+        clauses = []
+        while not self._at("end"):
+            clauses.append(self.parse_clause())
+        return clauses
+
+    def parse_clause(self) -> Clause:
+        """Parse one clause (fact, rule, or directive body after ``?-``)."""
+        if self._at("punct", ":-") or self._at("punct", "?-"):
+            self._advance()
+            body = self._parse_term(1200)
+            self._expect("punct", ".")
+            return Clause(Atom("?-"), body)
+        head = self._parse_term(999)
+        if self._at("punct", ":-"):
+            self._advance()
+            body = self._parse_term(1200)
+            self._expect("punct", ".")
+            return Clause(head, body)
+        self._expect("punct", ".")
+        return Clause(head)
+
+    def parse_goal(self) -> Term:
+        """Parse a single goal term (no trailing dot required)."""
+        goal = self._parse_term(1200)
+        if self._at("punct", "."):
+            self._advance()
+        if not self._at("end"):
+            token = self._current()
+            raise PrologSyntaxError(
+                f"trailing input after goal: {token.text!r}", token.line, token.column
+            )
+        return goal
+
+    # -- grammar ----------------------------------------------------------
+
+    # A tiny operator-precedence core: binary operators with their
+    # priorities, all right-associative except comparisons (non-assoc).
+    _BINARY = {
+        ":-": 1200,
+        ";": 1100,
+        ",": 1000,
+        "=": 700, "\\=": 700, "==": 700, "\\==": 700,
+        "=:=": 700, "=\\=": 700, "<": 700, ">": 700, "=<": 700, ">=": 700,
+        "=..": 700, "is": 700,
+        "+": 500, "-": 500,
+        "*": 400, "/": 400, "mod": 400,
+    }
+    _NON_ASSOC = {
+        ":-",
+        "=", "\\=", "==", "\\==", "=:=", "=\\=", "<", ">", "=<", ">=", "=..", "is",
+    }
+    # Operators spelled as alphabetic atoms rather than symbolic punctuation.
+    _ATOM_OPERATORS = {"is", "mod"}
+
+    def _parse_term(self, max_priority: int) -> Term:
+        left = self._parse_primary()
+        while True:
+            token = self._current()
+            is_atom_operator = token.kind == "atom" and token.text in self._ATOM_OPERATORS
+            if token.kind != "punct" and not is_atom_operator:
+                return left
+            priority = self._BINARY.get(token.text)
+            if priority is None or priority > max_priority:
+                return left
+            self._advance()
+            if token.text in self._NON_ASSOC:
+                right = self._parse_term(priority - 1)
+            else:
+                right = self._parse_term(priority)
+            left = self._combine(token.text, left, right)
+
+    def _combine(self, operator: str, left: Term, right: Term) -> Term:
+        # Comparison operators normalise to named predicates so the rest of
+        # the pipeline sees a single canonical spelling.
+        if operator in OPERATOR_TO_PREDICATE:
+            return Struct(OPERATOR_TO_PREDICATE[operator], (left, right))
+        return Struct(operator, (left, right))
+
+    def _parse_primary(self) -> Term:
+        token = self._current()
+
+        if token.kind == "number":
+            self._advance()
+            text = token.text
+            return Number(float(text) if "." in text else int(text))
+
+        if token.kind == "string":
+            self._advance()
+            return PString(token.text)
+
+        if token.kind == "var":
+            self._advance()
+            if token.text == "_":
+                # Each bare underscore is a distinct variable.
+                return Variable(f"_Anon{next(self._anon_counter)}")
+            return Variable(token.text)
+
+        if token.kind == "atom":
+            self._advance()
+            if self._at("punct", "(") and self._no_space_before():
+                return self._parse_compound(token.text)
+            return Atom(token.text)
+
+        if token.kind == "punct":
+            if token.text == "(":
+                self._advance()
+                inner = self._parse_term(1200)
+                self._expect("punct", ")")
+                return inner
+            if token.text == "[":
+                return self._parse_list()
+            if token.text == "!":
+                self._advance()
+                return CUT
+            if token.text == "\\+":
+                self._advance()
+                argument = self._parse_term(900)
+                return Struct("not", (argument,))
+            if token.text == "-":
+                self._advance()
+                operand = self._parse_primary()
+                if isinstance(operand, Number):
+                    return Number(-operand.value)
+                return Struct("-", (operand,))
+            if token.text == "*":
+                # DBCL writes '*' for non-applicable tableau cells; in a
+                # primary position it is the atom '*', never multiplication.
+                self._advance()
+                return Atom("*")
+
+        raise PrologSyntaxError(
+            f"unexpected token {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+    def _no_space_before(self) -> bool:
+        # The tokenizer discards layout, so a '(' directly following an atom
+        # is treated as a call; `foo (X)` is rare enough not to matter here.
+        return True
+
+    def _parse_compound(self, functor: str) -> Term:
+        self._expect("punct", "(")
+        args = [self._parse_term(999)]
+        while self._at("punct", ","):
+            self._advance()
+            args.append(self._parse_term(999))
+        self._expect("punct", ")")
+        return Struct(functor, tuple(args))
+
+    def _parse_list(self) -> Term:
+        self._expect("punct", "[")
+        if self._at("punct", "]"):
+            self._advance()
+            return EMPTY_LIST
+        items = [self._parse_term(999)]
+        while self._at("punct", ","):
+            self._advance()
+            items.append(self._parse_term(999))
+        tail: Term = EMPTY_LIST
+        if self._at("punct", "|"):
+            self._advance()
+            tail = self._parse_term(999)
+        self._expect("punct", "]")
+        return make_list(items, tail)
+
+
+def parse_program(text: str) -> list[Clause]:
+    """Parse Prolog source text into a list of clauses."""
+    return Parser(text).parse_program()
+
+
+def parse_clause(text: str) -> Clause:
+    """Parse a single clause."""
+    parser = Parser(text)
+    clause = parser.parse_clause()
+    if not parser._at("end"):
+        token = parser._current()
+        raise PrologSyntaxError(
+            f"trailing input after clause: {token.text!r}", token.line, token.column
+        )
+    return clause
+
+
+def parse_goal(text: str) -> Term:
+    """Parse a goal (query body) such as ``works_dir_for(X, smiley), less(S, 40000)``."""
+    return Parser(text).parse_goal()
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term."""
+    return Parser(text).parse_goal()

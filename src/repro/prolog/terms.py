@@ -1,0 +1,360 @@
+"""Prolog term representation.
+
+The term language is the standard first-order one: atoms, numbers, strings,
+variables, and compound terms (structs).  Lists are sugar over the ``'.'/2``
+functor with ``[]`` as the empty list, exactly as in classical Prolog.
+
+Terms are immutable; substitutions are applied functionally (see
+:mod:`repro.prolog.unify`), which keeps backtracking in the engine simple and
+makes terms safe to use as dictionary keys throughout the translator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Union
+
+Term = Union["Atom", "Number", "PString", "Variable", "Struct"]
+
+_ANON_COUNTER = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A Prolog atom (symbolic constant), e.g. ``smiley`` or ``empl``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Atom({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Number:
+    """An integer or float constant."""
+
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Number({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class PString:
+    """A quoted string constant (kept distinct from atoms for SQL literals)."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+    def __repr__(self) -> str:
+        return f"PString({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A logic variable.
+
+    ``name`` is the source name (``X``, ``_Medium``); ``ordinal`` makes
+    renamed-apart copies distinct.  Ordinal 0 is reserved for variables that
+    appear literally in source text.
+    """
+
+    name: str
+    ordinal: int = 0
+
+    def __str__(self) -> str:
+        if self.ordinal:
+            return f"{self.name}_{self.ordinal}"
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, {self.ordinal})"
+
+    @property
+    def is_anonymous(self) -> bool:
+        """True for ``_`` variables, which never join anything."""
+        return self.name.startswith("_")
+
+
+@dataclass(frozen=True, slots=True)
+class Struct:
+    """A compound term ``functor(arg1, ..., argn)``."""
+
+    functor: str
+    args: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        from .writer import term_to_string
+
+        return term_to_string(self)
+
+    def __repr__(self) -> str:
+        return f"Struct({self.functor!r}, {self.args!r})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        """The ``functor/arity`` pair identifying the procedure."""
+        return (self.functor, len(self.args))
+
+
+EMPTY_LIST = Atom("[]")
+TRUE = Atom("true")
+FAIL = Atom("fail")
+CUT = Atom("!")
+
+#: Comparison predicate names recognised throughout the pipeline, with the
+#: operator symbol each maps to.  Both the named predicates (``less/2``) and
+#: the infix operators (``<``) parse to the named form.
+COMPARISON_PREDICATES: dict[str, str] = {
+    "eq": "=",
+    "neq": "<>",
+    "less": "<",
+    "greater": ">",
+    "leq": "<=",
+    "geq": ">=",
+}
+
+#: Inverse mapping from operator symbol to canonical predicate name.
+OPERATOR_TO_PREDICATE: dict[str, str] = {
+    "=": "eq",
+    "=:=": "eq",
+    "==": "eq",
+    "\\=": "neq",
+    "\\==": "neq",
+    "<": "less",
+    ">": "greater",
+    "=<": "leq",
+    ">=": "geq",
+}
+
+
+def atom(name: str) -> Atom:
+    """Build an atom."""
+    return Atom(name)
+
+
+def var(name: str, ordinal: int = 0) -> Variable:
+    """Build a variable."""
+    return Variable(name, ordinal)
+
+
+def fresh_var(base: str = "_G") -> Variable:
+    """Build a variable guaranteed distinct from every other fresh variable."""
+    return Variable(base, next(_ANON_COUNTER))
+
+
+def struct(functor: str, *args: Term) -> Struct:
+    """Build a compound term."""
+    return Struct(functor, tuple(args))
+
+
+def number(value: Union[int, float]) -> Number:
+    """Build a numeric constant."""
+    return Number(value)
+
+
+def make_list(items: Sequence[Term], tail: Term = EMPTY_LIST) -> Term:
+    """Build a Prolog list term from a Python sequence."""
+    result = tail
+    for item in reversed(items):
+        result = Struct(".", (item, result))
+    return result
+
+
+def list_items(term: Term) -> list[Term]:
+    """Decompose a proper Prolog list into its items.
+
+    Raises :class:`ValueError` for improper lists (non-``[]`` tail).
+    """
+    items: list[Term] = []
+    while True:
+        if term == EMPTY_LIST:
+            return items
+        if isinstance(term, Struct) and term.functor == "." and term.arity == 2:
+            items.append(term.args[0])
+            term = term.args[1]
+            continue
+        raise ValueError(f"not a proper list: {term!r}")
+
+
+def is_list(term: Term) -> bool:
+    """True if ``term`` is a proper list."""
+    while isinstance(term, Struct) and term.functor == "." and term.arity == 2:
+        term = term.args[1]
+    return term == EMPTY_LIST
+
+
+def is_callable(term: Term) -> bool:
+    """True if ``term`` can appear as a goal (atom or compound)."""
+    return isinstance(term, (Atom, Struct))
+
+
+def is_constant(term: Term) -> bool:
+    """True for ground leaf terms usable as database values."""
+    return isinstance(term, (Atom, Number, PString))
+
+
+def constant_value(term: Term) -> Union[str, int, float]:
+    """Extract the Python value of a constant term."""
+    if isinstance(term, Atom):
+        return term.name
+    if isinstance(term, Number):
+        return term.value
+    if isinstance(term, PString):
+        return term.value
+    raise ValueError(f"not a constant: {term!r}")
+
+
+def goal_indicator(term: Term) -> tuple[str, int]:
+    """Return the procedure indicator ``(functor, arity)`` of a goal."""
+    if isinstance(term, Atom):
+        return (term.name, 0)
+    if isinstance(term, Struct):
+        return term.indicator
+    raise ValueError(f"not callable: {term!r}")
+
+
+def variables_of(term: Term) -> list[Variable]:
+    """All variables of a term, in left-to-right order, without duplicates."""
+    seen: dict[Variable, None] = {}
+    _collect_variables(term, seen)
+    return list(seen)
+
+
+def _collect_variables(term: Term, into: dict[Variable, None]) -> None:
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Variable):
+            into.setdefault(current, None)
+        elif isinstance(current, Struct):
+            # Push in reverse so left-to-right order is preserved on pop.
+            stack.extend(reversed(current.args))
+
+
+def conjuncts(term: Term) -> list[Term]:
+    """Flatten a right-nested ``','/2`` conjunction into a goal list."""
+    goals: list[Term] = []
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Struct) and current.functor == "," and current.arity == 2:
+            stack.append(current.args[1])
+            stack.append(current.args[0])
+        else:
+            goals.append(current)
+    return goals
+
+
+def conjoin(goals: Sequence[Term]) -> Term:
+    """Inverse of :func:`conjuncts`: build a ``','`` chain from a goal list."""
+    if not goals:
+        return TRUE
+    result = goals[-1]
+    for goal in reversed(goals[:-1]):
+        result = Struct(",", (goal, result))
+    return result
+
+
+def disjuncts(term: Term) -> list[Term]:
+    """Flatten a ``';'/2`` disjunction into a list of branches."""
+    branches: list[Term] = []
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Struct) and current.functor == ";" and current.arity == 2:
+            stack.append(current.args[1])
+            stack.append(current.args[0])
+        else:
+            branches.append(current)
+    return branches
+
+
+def term_size(term: Term) -> int:
+    """Number of nodes in the term tree (used for resource guards)."""
+    size = 0
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        size += 1
+        if isinstance(current, Struct):
+            stack.extend(current.args)
+    return size
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Iterate over every subterm, preorder."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, Struct):
+            stack.extend(reversed(current.args))
+
+
+@dataclass(frozen=True, slots=True)
+class Clause:
+    """A Prolog clause ``head :- body`` (facts have body ``true``)."""
+
+    head: Term
+    body: Term = TRUE
+
+    def __str__(self) -> str:
+        from .writer import clause_to_string
+
+        return clause_to_string(self)
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        return goal_indicator(self.head)
+
+    @property
+    def is_fact(self) -> bool:
+        return self.body == TRUE
+
+    def body_goals(self) -> list[Term]:
+        """The body as a flat goal list (empty for facts)."""
+        if self.body == TRUE:
+            return []
+        return conjuncts(self.body)
+
+
+def clause_variables(clause: Clause) -> list[Variable]:
+    """All variables of a clause, head first."""
+    seen: dict[Variable, None] = {}
+    _collect_variables(clause.head, seen)
+    _collect_variables(clause.body, seen)
+    return list(seen)
+
+
+def rename_apart(clause: Clause) -> Clause:
+    """Return a copy of ``clause`` whose variables are globally fresh.
+
+    Called before every resolution step so that bindings made while proving
+    one goal can never leak into an unrelated use of the same clause.
+    """
+    mapping: dict[Variable, Variable] = {}
+
+    def rename(term: Term) -> Term:
+        if isinstance(term, Variable):
+            if term not in mapping:
+                mapping[term] = fresh_var(term.name)
+            return mapping[term]
+        if isinstance(term, Struct):
+            return Struct(term.functor, tuple(rename(arg) for arg in term.args))
+        return term
+
+    return Clause(rename(clause.head), rename(clause.body))

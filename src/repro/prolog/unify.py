@@ -1,0 +1,162 @@
+"""Unification and substitutions.
+
+A substitution is an immutable mapping from :class:`Variable` to
+:class:`Term`.  The engine threads substitutions through resolution instead
+of mutating terms, which makes backtracking trivially correct (drop the
+extended substitution) at the cost of some copying — an acceptable trade for
+a query *translator*, where proofs are short.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from .terms import Struct, Term, Variable
+
+
+class Substitution:
+    """An immutable variable binding environment.
+
+    Bindings may be chains (``X -> Y -> smiley``); :meth:`resolve` follows
+    them.  ``walk`` resolves just the top; :meth:`apply` resolves deeply.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[Variable, Term]] = None):
+        self._bindings: dict[Variable, Term] = dict(bindings) if bindings else {}
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._bindings
+
+    def __iter__(self):
+        return iter(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{var}={term}" for var, term in self._bindings.items())
+        return f"Substitution({{{inner}}})"
+
+    def items(self):
+        return self._bindings.items()
+
+    # -- operations ---------------------------------------------------------
+
+    def bind(self, variable: Variable, term: Term) -> "Substitution":
+        """Return a new substitution extended with ``variable -> term``."""
+        extended = dict(self._bindings)
+        extended[variable] = term
+        return Substitution(extended)
+
+    def walk(self, term: Term) -> Term:
+        """Follow binding chains until a non-variable or unbound variable."""
+        while isinstance(term, Variable):
+            bound = self._bindings.get(term)
+            if bound is None:
+                return term
+            term = bound
+        return term
+
+    def apply(self, term: Term) -> Term:
+        """Deeply substitute, resolving every bound variable in ``term``."""
+        term = self.walk(term)
+        if isinstance(term, Struct):
+            return Struct(term.functor, tuple(self.apply(arg) for arg in term.args))
+        return term
+
+    def restrict(self, variables: Iterable[Variable]) -> dict[Variable, Term]:
+        """Fully-resolved bindings for the given variables (the query answer)."""
+        return {v: self.apply(v) for v in variables}
+
+
+EMPTY_SUBSTITUTION = Substitution()
+
+
+def occurs_in(variable: Variable, term: Term, subst: Substitution) -> bool:
+    """Occurs check: does ``variable`` appear in ``term`` under ``subst``?"""
+    stack = [term]
+    while stack:
+        current = subst.walk(stack.pop())
+        if isinstance(current, Variable):
+            if current == variable:
+                return True
+        elif isinstance(current, Struct):
+            stack.extend(current.args)
+    return False
+
+
+def unify(
+    left: Term,
+    right: Term,
+    subst: Substitution = EMPTY_SUBSTITUTION,
+    occurs_check: bool = False,
+) -> Optional[Substitution]:
+    """Unify two terms under a substitution.
+
+    Returns the extended substitution, or ``None`` if the terms do not
+    unify.  The occurs check is off by default (as in most Prologs); the
+    metaevaluator never builds cyclic terms, and tests exercise both modes.
+    """
+    stack = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        a = subst.walk(a)
+        b = subst.walk(b)
+        if a == b:
+            continue
+        if isinstance(a, Variable):
+            if occurs_check and occurs_in(a, b, subst):
+                return None
+            subst = subst.bind(a, b)
+            continue
+        if isinstance(b, Variable):
+            if occurs_check and occurs_in(b, a, subst):
+                return None
+            subst = subst.bind(b, a)
+            continue
+        if isinstance(a, Struct) and isinstance(b, Struct):
+            if a.functor != b.functor or a.arity != b.arity:
+                return None
+            stack.extend(zip(a.args, b.args))
+            continue
+        # Distinct constants (or constant vs struct): clash.
+        return None
+    return subst
+
+
+def unifiable(left: Term, right: Term) -> bool:
+    """Convenience predicate: do the terms unify under the empty substitution?"""
+    return unify(left, right) is not None
+
+
+def match(pattern: Term, instance: Term, subst: Substitution = EMPTY_SUBSTITUTION) -> Optional[Substitution]:
+    """One-way matching: bind variables of ``pattern`` only.
+
+    Used where the paper requires *containment mappings* rather than full
+    unification (tableau minimization): symbols of ``instance`` must be left
+    untouched.
+    """
+    stack = [(pattern, instance)]
+    while stack:
+        a, b = stack.pop()
+        a = subst.walk(a)
+        if isinstance(a, Variable):
+            subst = subst.bind(a, b)
+            continue
+        if isinstance(a, Struct) and isinstance(b, Struct):
+            if a.functor != b.functor or a.arity != b.arity:
+                return None
+            stack.extend(zip(a.args, b.args))
+            continue
+        if a != b:
+            return None
+    return subst

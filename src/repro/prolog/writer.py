@@ -1,0 +1,91 @@
+"""Rendering terms and clauses back to Prolog source text.
+
+The writer produces text the reader can parse back (round-trip property is
+tested), quoting atoms where required and printing comparison predicates in
+their canonical named form.
+"""
+
+from __future__ import annotations
+
+from .terms import (
+    Atom,
+    Clause,
+    Number,
+    PString,
+    Struct,
+    Term,
+    Variable,
+    conjuncts,
+    is_list,
+    list_items,
+)
+
+_UNQUOTED_PUNCT = {"[]", "!", ";", ",", ".", ":-"}
+
+
+def _atom_needs_quotes(name: str) -> bool:
+    if name in _UNQUOTED_PUNCT:
+        return False
+    if not name:
+        return True
+    first = name[0]
+    if first.islower() and all(c.isalnum() or c == "_" for c in name):
+        return False
+    return True
+
+
+def atom_to_string(name: str) -> str:
+    """Render an atom name, quoting when necessary."""
+    if _atom_needs_quotes(name):
+        escaped = name.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    return name
+
+
+def term_to_string(term: Term) -> str:
+    """Render a term as parseable Prolog text."""
+    if isinstance(term, Atom):
+        return atom_to_string(term.name)
+    if isinstance(term, Number):
+        return str(term.value)
+    if isinstance(term, PString):
+        escaped = term.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(term, Variable):
+        return str(term)
+    if isinstance(term, Struct):
+        return _struct_to_string(term)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _struct_to_string(term: Struct) -> str:
+    if term.functor == "." and term.arity == 2 and is_list(term):
+        items = ", ".join(term_to_string(item) for item in list_items(term))
+        return f"[{items}]"
+    if term.functor == "," and term.arity == 2:
+        parts = [term_to_string(goal) for goal in conjuncts(term)]
+        return "(" + ", ".join(parts) + ")"
+    if term.functor == ";" and term.arity == 2:
+        left, right = term.args
+        return f"({term_to_string(left)} ; {term_to_string(right)})"
+    args = ", ".join(term_to_string(arg) for arg in term.args)
+    return f"{atom_to_string(term.functor)}({args})"
+
+
+def goal_list_to_string(goals: list[Term]) -> str:
+    """Render a flat goal list as a comma-separated body."""
+    return ", ".join(term_to_string(goal) for goal in goals)
+
+
+def clause_to_string(clause: Clause) -> str:
+    """Render a clause, fact or rule, with the terminating dot."""
+    head = term_to_string(clause.head)
+    if clause.is_fact:
+        return f"{head}."
+    body = goal_list_to_string(clause.body_goals())
+    return f"{head} :- {body}."
+
+
+def program_to_string(clauses: list[Clause]) -> str:
+    """Render a program, one clause per line."""
+    return "\n".join(clause_to_string(clause) for clause in clauses)

@@ -1,0 +1,53 @@
+"""Schema catalog, integrity constraints, and constraint inference."""
+
+from .catalog import ATTRIBUTE_TYPES, Attribute, DatabaseSchema, Relation, make_schema
+from .constraints import (
+    ConstraintSet,
+    FuncDep,
+    RefInt,
+    ValueBound,
+    constraints_from_prolog,
+)
+from .empdep import (
+    ALL_VIEWS_SOURCE,
+    SAME_MANAGER_SOURCE,
+    WORKS_DIR_FOR_SOURCE,
+    WORKS_FOR_BOTTOM_UP_SOURCE,
+    WORKS_FOR_TOP_DOWN_SOURCE,
+    empdep_constraints,
+    empdep_schema,
+)
+from .inference import (
+    RefIntDerivation,
+    RefIntHypothesis,
+    derivable_refint,
+    derive_refint,
+    fd_closure,
+    minimal_keys,
+)
+
+__all__ = [
+    "ATTRIBUTE_TYPES",
+    "Attribute",
+    "DatabaseSchema",
+    "Relation",
+    "make_schema",
+    "ConstraintSet",
+    "FuncDep",
+    "RefInt",
+    "ValueBound",
+    "constraints_from_prolog",
+    "ALL_VIEWS_SOURCE",
+    "SAME_MANAGER_SOURCE",
+    "WORKS_DIR_FOR_SOURCE",
+    "WORKS_FOR_BOTTOM_UP_SOURCE",
+    "WORKS_FOR_TOP_DOWN_SOURCE",
+    "empdep_constraints",
+    "empdep_schema",
+    "RefIntDerivation",
+    "RefIntHypothesis",
+    "derivable_refint",
+    "derive_refint",
+    "fd_closure",
+    "minimal_keys",
+]

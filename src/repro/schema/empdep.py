@@ -1,0 +1,107 @@
+"""The paper's running example: the ``empdep`` database.
+
+Section 3 of the paper defines a database of employees and departments::
+
+    empl(eno, nam, sal, dno)
+    dept(dno, fct, mgr)
+
+with schema list ``[empdep, eno, nam, sal, dno, fct, mgr]`` and the
+integrity constraints of Example 3-2.  Every test, example, and benchmark
+in this repository builds on this factory, so the exact shapes of the
+paper's worked examples (3-3, 4-1, 5-1, 6-1, 6-2, 7-1, Appendix) can be
+checked literally.
+"""
+
+from __future__ import annotations
+
+from .catalog import DatabaseSchema, Relation
+from .constraints import ConstraintSet, FuncDep, RefInt, ValueBound
+
+#: Source text of the paper's view definitions (Examples 3-3, 4-1, 7-1).
+WORKS_DIR_FOR_SOURCE = """
+works_dir_for(X, Y) :-
+    empl(_, X, _, D),
+    dept(D, _, M),
+    empl(M, Y, _, _).
+"""
+
+SAME_MANAGER_SOURCE = """
+same_manager(X, Y) :-
+    works_dir_for(X, M),
+    works_dir_for(Y, M),
+    neq(X, Y).
+"""
+
+WORKS_FOR_TOP_DOWN_SOURCE = """
+works_for(Low, High) :-
+    works_dir_for(Low, High).
+works_for(Low, High) :-
+    works_dir_for(Low, Medium),
+    works_for(Medium, High).
+"""
+
+#: The bottom-up rewriting of works_for discussed at the end of Example 7-1.
+WORKS_FOR_BOTTOM_UP_SOURCE = """
+works_for(Low, High) :-
+    works_dir_for(Low, High).
+works_for(Low, High) :-
+    works_dir_for(Medium, High),
+    works_for(Low, Medium).
+"""
+
+ALL_VIEWS_SOURCE = (
+    WORKS_DIR_FOR_SOURCE + SAME_MANAGER_SOURCE + WORKS_FOR_TOP_DOWN_SOURCE
+)
+
+
+def empdep_schema() -> DatabaseSchema:
+    """The ``empdep`` schema exactly as in paper Example 3-1."""
+    return DatabaseSchema(
+        "empdep",
+        [
+            Relation("empl", ("eno", "nam", "sal", "dno")),
+            Relation("dept", ("dno", "fct", "mgr")),
+        ],
+        attribute_types={
+            "eno": "int",
+            "nam": "text",
+            "sal": "int",
+            "dno": "int",
+            "fct": "text",
+            "mgr": "int",
+        },
+    )
+
+
+def empdep_constraints(
+    schema: DatabaseSchema | None = None,
+    include_mgr_refint: bool = True,
+) -> ConstraintSet:
+    """The integrity constraints of paper Example 3-2.
+
+    ``include_mgr_refint=False`` drops ``refint(dept,[mgr],empl,[eno])``.
+    A reproduction finding motivates the switch: with *both* referential
+    constraints total, every employee has a ``works_dir_for`` superior, so
+    the management graph necessarily contains a cycle — yet Example 7-1's
+    narrative ("everybody except the top manager") presumes an acyclic
+    hierarchy whose top manager works for nobody.  The acyclic workload
+    variant (``generate_org(acyclic_top=True)``) therefore gives the root
+    department a manager id that no employee carries, which satisfies
+    every constraint *except* this one.
+    """
+    if schema is None:
+        schema = empdep_schema()
+    refints = [RefInt("empl", ("dno",), "dept", ("dno",))]
+    if include_mgr_refint:
+        refints.append(RefInt("dept", ("mgr",), "empl", ("eno",)))
+    return ConstraintSet(
+        schema,
+        value_bounds=[ValueBound("empl", "sal", 10000, 90000)],
+        funcdeps=[
+            FuncDep("empl", ("nam",), ("eno",)),
+            FuncDep("empl", ("eno",), ("nam", "sal", "dno")),
+            FuncDep("dept", ("dno",), ("fct", "mgr")),
+            FuncDep("dept", ("mgr",), ("dno",)),
+        ],
+        refints=refints,
+    )

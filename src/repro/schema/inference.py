@@ -1,0 +1,201 @@
+"""Inference over integrity constraints.
+
+Two procedures the optimizer needs:
+
+* :func:`fd_closure` — the classical attribute-set closure under functional
+  dependencies (Armstrong's axioms), used for key detection and for
+  ``implies_funcdep`` tests (the paper notes in §3 that inference rules such
+  as reflexivity "can be used for semantic query optimization").
+
+* :func:`derive_refint` — the paper's **Algorithm 1** (§6.3), a chase-style
+  derivation procedure for referential integrity constraints.  General
+  inclusion-dependency implication is computationally hard (Casanova et
+  al. 1982); the paper's structural restrictions (each attribute on at most
+  one left-hand side; right-hand sides are keys) make derivation a
+  deterministic walk: at each step at most one stored rule is applicable,
+  and rule marking guarantees each rule is used at most once, so the
+  procedure terminates in at most ``len(rules)`` steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..errors import SchemaError
+from .catalog import DatabaseSchema
+from .constraints import FuncDep, RefInt
+
+
+def fd_closure(attributes: set[str], funcdeps: Iterable[FuncDep]) -> frozenset[str]:
+    """Closure of ``attributes`` under ``funcdeps`` (all within one relation).
+
+    Standard fixpoint: add the RHS of every FD whose LHS is already covered.
+    """
+    closure = set(attributes)
+    pending = list(funcdeps)
+    changed = True
+    while changed:
+        changed = False
+        remaining: list[FuncDep] = []
+        for fd in pending:
+            if set(fd.lhs) <= closure:
+                before = len(closure)
+                closure.update(fd.rhs)
+                if len(closure) != before:
+                    changed = True
+            else:
+                remaining.append(fd)
+        pending = remaining
+    return frozenset(closure)
+
+
+def minimal_keys(
+    relation_attributes: Sequence[str], funcdeps: Iterable[FuncDep]
+) -> list[tuple[str, ...]]:
+    """All minimal keys of a relation under the given FDs.
+
+    Exponential in the worst case (the problem is), but relations in this
+    setting have a handful of attributes; used by tests and the workload
+    generator, not on any hot path.
+    """
+    from itertools import combinations
+
+    attributes = list(relation_attributes)
+    fds = list(funcdeps)
+    all_set = set(attributes)
+    keys: list[tuple[str, ...]] = []
+    for size in range(1, len(attributes) + 1):
+        for candidate in combinations(attributes, size):
+            if any(set(key) <= set(candidate) for key in keys):
+                continue
+            if fd_closure(set(candidate), fds) >= all_set:
+                keys.append(candidate)
+    return keys
+
+
+@dataclass(frozen=True, slots=True)
+class RefIntHypothesis:
+    """A hypothesized referential constraint ``(Ra, [A...]) ⊆ (Rb, [B...])``."""
+
+    from_relation: str
+    from_attributes: tuple[str, ...]
+    to_relation: str
+    to_attributes: tuple[str, ...]
+
+    def __post_init__(self):
+        if len(self.from_attributes) != len(self.to_attributes):
+            raise SchemaError("hypothesis attribute lists must have equal length")
+
+
+@dataclass(frozen=True, slots=True)
+class RefIntDerivation:
+    """The result of Algorithm 1: success flag plus the rule chain used."""
+
+    success: bool
+    chain: tuple[RefInt, ...] = ()
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.success
+
+
+def _sorted_pairs(
+    schema: DatabaseSchema, lhs: Sequence[str], rhs: Sequence[str]
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Algorithm 1 step 2: sort both lists by ascending LHS attribute number."""
+    pairs = sorted(zip(lhs, rhs), key=lambda p: schema.attribute_number(p[0]))
+    if not pairs:
+        return ((), ())
+    left, right = zip(*pairs)
+    return (tuple(left), tuple(right))
+
+
+def _is_subsequence(needle: Sequence[str], haystack: Sequence[str]) -> bool:
+    """Is ``needle`` a subsequence of ``haystack`` (order preserved)?"""
+    iterator = iter(haystack)
+    return all(item in iterator for item in needle)
+
+
+def derive_refint(
+    schema: DatabaseSchema,
+    hypothesis: RefIntHypothesis,
+    rules: Sequence[RefInt],
+) -> RefIntDerivation:
+    """Algorithm 1 (Chase-like Procedure for Referential Integrity).
+
+    Decides whether ``hypothesis`` is derivable from the stored referential
+    constraints.  Follows the paper's steps literally:
+
+    1.  ``CURRENT`` starts as the hypothesis.
+    2.  Sort the paired attribute lists by ascending attribute number of the
+        left-hand side.
+    3.  A stored rule RC is *applicable* if it starts at CURRENT's current
+        relation and CURRENT's left-hand side is a subsequence of RC's
+        left-hand side (sorted the same way).  If no unused rule applies,
+        fail.
+    4.  Replace CURRENT's left-hand side by the corresponding subset of RC's
+        right-hand side (moving to RC's target relation).  If CURRENT's two
+        sides now coincide, succeed; otherwise mark RC used and repeat.
+    """
+    current_relation = hypothesis.from_relation
+    current_attrs, target_attrs = _sorted_pairs(
+        schema, hypothesis.from_attributes, hypothesis.to_attributes
+    )
+    # Degenerate hypothesis: already at the target.
+    if (
+        current_relation == hypothesis.to_relation
+        and current_attrs == target_attrs
+    ):
+        return RefIntDerivation(True, ())
+
+    unused = list(rules)
+    chain: list[RefInt] = []
+    while True:
+        applicable: Optional[RefInt] = None
+        for rule in unused:
+            if rule.from_relation != current_relation:
+                continue
+            rule_lhs, rule_rhs = _sorted_pairs(
+                schema, rule.from_attributes, rule.to_attributes
+            )
+            if _is_subsequence(current_attrs, rule_lhs):
+                applicable = rule
+                break
+        if applicable is None:
+            return RefIntDerivation(False, tuple(chain))
+
+        rule_lhs, rule_rhs = _sorted_pairs(
+            schema, applicable.from_attributes, applicable.to_attributes
+        )
+        replacement = dict(zip(rule_lhs, rule_rhs))
+        current_relation = applicable.to_relation
+        current_attrs = tuple(replacement[attr] for attr in current_attrs)
+        chain.append(applicable)
+        unused.remove(applicable)  # step 4: mark RC "used"
+
+        # Re-sort for the next round (attribute numbers changed relation).
+        current_attrs, target_attrs = _sorted_pairs(
+            schema, current_attrs, target_attrs
+        )
+        if (
+            current_relation == hypothesis.to_relation
+            and current_attrs == target_attrs
+        ):
+            return RefIntDerivation(True, tuple(chain))
+        if not unused:
+            return RefIntDerivation(False, tuple(chain))
+
+
+def derivable_refint(
+    schema: DatabaseSchema,
+    from_relation: str,
+    from_attributes: Sequence[str],
+    to_relation: str,
+    to_attributes: Sequence[str],
+    rules: Sequence[RefInt],
+) -> bool:
+    """Convenience wrapper over :func:`derive_refint`."""
+    hypothesis = RefIntHypothesis(
+        from_relation, tuple(from_attributes), to_relation, tuple(to_attributes)
+    )
+    return derive_refint(schema, hypothesis, rules).success

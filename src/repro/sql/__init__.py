@@ -1,0 +1,37 @@
+"""DBCL → SQL translation, syntax trees, printers, and dialects (paper §5)."""
+
+from .ast import (
+    ColumnRef,
+    Condition,
+    Literal,
+    NotInCondition,
+    SelectItem,
+    SqlQuery,
+    TableRef,
+    UnionQuery,
+    empty_query,
+)
+from .dialects import DIALECTS, QuelDialect, SqlDialect, SqliteDialect, get_dialect
+from .printer import print_sql, print_union
+from .translate import SqlTranslator, translate
+
+__all__ = [
+    "ColumnRef",
+    "Condition",
+    "Literal",
+    "NotInCondition",
+    "SelectItem",
+    "SqlQuery",
+    "TableRef",
+    "UnionQuery",
+    "empty_query",
+    "DIALECTS",
+    "QuelDialect",
+    "SqlDialect",
+    "SqliteDialect",
+    "get_dialect",
+    "print_sql",
+    "print_union",
+    "SqlTranslator",
+    "translate",
+]

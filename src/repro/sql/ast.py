@@ -1,0 +1,224 @@
+"""SQL syntax trees (paper section 5 and appendix).
+
+The paper describes DBCL→SQL translation as "a mapping from the DBCL syntax
+tree to an SQL syntax tree" and prints trees of the form::
+
+    select([v12.t_nam],
+           from([(empl,v12),(dept,v13),(empl,v14)]),
+           where([equal(dot(v12,v_dno), dot(v13,v_dno)), ...]))
+
+This module defines that tree as plain dataclasses.  Rendering to concrete
+syntax lives in :mod:`repro.sql.printer` (per-dialect); rendering to the
+paper's Prolog term form is :meth:`SqlQuery.to_prolog_text`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..errors import TranslationError
+
+#: SQL comparison operator spellings keyed by DBCL operator name.
+SQL_OPERATORS: dict[str, str] = {
+    "eq": "=",
+    "neq": "<>",
+    "less": "<",
+    "greater": ">",
+    "leq": "<=",
+    "geq": ">=",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """``alias.attribute``."""
+
+    alias: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.attribute}"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A constant in a condition (string, int, or float)."""
+
+    value: Union[int, float, str]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef:
+    """A FROM-clause entry: relation name plus tuple-variable alias."""
+
+    relation: str
+    alias: str
+
+    def __str__(self) -> str:
+        return f"{self.relation} {self.alias}"
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """A WHERE-clause conjunct: ``left op right``."""
+
+    op: str  # DBCL operator name: eq/neq/less/greater/leq/geq
+    left: Operand
+    right: Operand
+
+    def __post_init__(self):
+        if self.op not in SQL_OPERATORS:
+            raise TranslationError(f"unknown SQL operator {self.op!r}")
+
+    @property
+    def sql_op(self) -> str:
+        return SQL_OPERATORS[self.op]
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.sql_op} {self.right})"
+
+    @property
+    def is_join(self) -> bool:
+        """A condition relating two different tuple variables."""
+        return (
+            isinstance(self.left, ColumnRef)
+            and isinstance(self.right, ColumnRef)
+            and self.left.alias != self.right.alias
+        )
+
+    @property
+    def is_equijoin(self) -> bool:
+        return self.is_join and self.op == "eq"
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """A SELECT-clause entry with an optional output name."""
+
+    column: ColumnRef
+    label: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.label and self.label != self.column.attribute:
+            return f"{self.column} AS {self.label}"
+        return str(self.column)
+
+
+@dataclass(frozen=True, slots=True)
+class NotInCondition:
+    """``(cols) NOT IN (subquery)`` — used by the negation extension."""
+
+    columns: tuple[ColumnRef, ...]
+    subquery: "SqlQuery"
+
+    def __post_init__(self):
+        if len(self.columns) != len(self.subquery.select):
+            raise TranslationError(
+                "NOT IN: column count does not match subquery arity"
+            )
+
+
+@dataclass(frozen=True)
+class SqlQuery:
+    """One SELECT...FROM...WHERE block (conjunctive; no nesting needed).
+
+    The paper notes (citing Kim 1982) that function-free conjunctive
+    queries never require nesting; ``extra_conditions`` carries the NOT-IN
+    conditions of the negation extension, keeping the core dataclass flat.
+    """
+
+    select: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    where: tuple[Condition, ...] = ()
+    distinct: bool = False
+    is_empty: bool = False  # provably-empty result (contradiction found)
+    extra_conditions: tuple[NotInCondition, ...] = ()
+
+    def __post_init__(self):
+        if not self.is_empty:
+            if not self.from_tables:
+                raise TranslationError("query needs at least one FROM entry")
+            aliases = [t.alias for t in self.from_tables]
+            if len(set(aliases)) != len(aliases):
+                raise TranslationError(f"duplicate tuple-variable alias in {aliases}")
+
+    # -- statistics (benchmarks read these) ------------------------------------
+
+    @property
+    def join_term_count(self) -> int:
+        """Number of WHERE conjuncts relating two tuple variables."""
+        return sum(1 for c in self.where if c.is_join)
+
+    @property
+    def restriction_count(self) -> int:
+        """Number of WHERE conjuncts comparing against a constant."""
+        return sum(1 for c in self.where if not c.is_join)
+
+    @property
+    def table_count(self) -> int:
+        return len(self.from_tables)
+
+    # -- paper appendix form ---------------------------------------------------
+
+    def to_prolog_text(self) -> str:
+        """The appendix's Prolog-term rendering of the syntax tree."""
+        if self.is_empty:
+            return "select_empty"
+        select_items = ", ".join(
+            f"dot({item.column.alias}, {item.column.attribute})"
+            for item in self.select
+        )
+        from_items = ", ".join(
+            f"({table.relation}, {table.alias})" for table in self.from_tables
+        )
+        condition_names = {
+            "eq": "equal", "neq": "notequal", "less": "less",
+            "greater": "greater", "leq": "lesseq", "geq": "greatereq",
+        }
+
+        def operand(op: Operand) -> str:
+            if isinstance(op, ColumnRef):
+                return f"dot({op.alias}, {op.attribute})"
+            return str(op.value) if not isinstance(op.value, str) else op.value
+
+        where_items = ", ".join(
+            f"{condition_names[c.op]}({operand(c.left)}, {operand(c.right)})"
+            for c in self.where
+        )
+        return (
+            f"select([{select_items}],\n"
+            f"       from([{from_items}]),\n"
+            f"       where([{where_items}]))"
+        )
+
+
+def empty_query(select_width: int = 0) -> SqlQuery:
+    """A marker query whose result is provably empty (never sent to the DBMS)."""
+    return SqlQuery(select=(), from_tables=(), is_empty=True)
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A UNION of conjunctive blocks — the disjunction extension's output."""
+
+    branches: tuple[SqlQuery, ...]
+
+    def __post_init__(self):
+        live = [b for b in self.branches if not b.is_empty]
+        widths = {len(b.select) for b in live}
+        if len(widths) > 1:
+            raise TranslationError(f"UNION branches disagree on arity: {widths}")
+
+    @property
+    def live_branches(self) -> tuple[SqlQuery, ...]:
+        return tuple(b for b in self.branches if not b.is_empty)

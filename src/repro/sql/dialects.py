@@ -1,0 +1,107 @@
+"""Target-language dialects (the paper's portability claim, section 1).
+
+The mechanism "is designed to enable portability to similar query languages
+such as QUEL or PASCAL/R": everything language-specific is concentrated in
+the final rendering step.  Three dialects are provided:
+
+* :class:`SqlDialect` — the paper's SQL (also valid SQLite);
+* :class:`SqliteDialect` — SQL with explicit ``<>``/quoting guarantees for
+  the execution substrate;
+* :class:`QuelDialect` — INGRES QUEL ``RANGE OF``/``RETRIEVE`` form,
+  demonstrating that the DBCL level carries all the information needed for
+  a structurally different target language.
+"""
+
+from __future__ import annotations
+
+from ..errors import TranslationError
+from .ast import ColumnRef, Condition, Literal, SqlQuery
+from .printer import print_sql
+
+
+class SqlDialect:
+    """Plain SQL, as printed in the paper's examples."""
+
+    name = "sql"
+
+    def render_condition(self, condition: Condition) -> str:
+        return str(condition)
+
+    def render(self, query: SqlQuery, oneline: bool = False) -> str:
+        return print_sql(query, oneline=oneline, dialect=self)
+
+
+class SqliteDialect(SqlDialect):
+    """SQLite-executable SQL (identical surface syntax here)."""
+
+    name = "sqlite"
+
+
+class QuelDialect:
+    """QUEL (Stonebraker 1976): RANGE declarations plus RETRIEVE."""
+
+    name = "quel"
+
+    _OPERATORS = {
+        "eq": "=",
+        "neq": "!=",
+        "less": "<",
+        "greater": ">",
+        "leq": "<=",
+        "geq": ">=",
+    }
+
+    def _operand(self, operand) -> str:
+        if isinstance(operand, Literal):
+            if isinstance(operand.value, str):
+                return f'"{operand.value}"'
+            return str(operand.value)
+        return f"{operand.alias}.{operand.attribute}"
+
+    def render_condition(self, condition: Condition) -> str:
+        return (
+            f"{self._operand(condition.left)} "
+            f"{self._OPERATORS[condition.op]} "
+            f"{self._operand(condition.right)}"
+        )
+
+    def render(self, query: SqlQuery, oneline: bool = False) -> str:
+        if query.is_empty:
+            return "RETRIEVE () WHERE 1 = 0"
+        if query.extra_conditions:
+            raise TranslationError("QUEL rendering does not support NOT IN")
+        ranges = [
+            f"RANGE OF {table.alias} IS {table.relation}"
+            for table in query.from_tables
+        ]
+        targets = ", ".join(
+            f"{item.label or item.column.attribute} = "
+            f"{item.column.alias}.{item.column.attribute}"
+            for item in query.select
+        )
+        retrieve = f"RETRIEVE ({targets})"
+        if query.where:
+            conjuncts = " AND ".join(
+                self.render_condition(c) for c in query.where
+            )
+            retrieve += f" WHERE {conjuncts}"
+        if oneline:
+            return "; ".join([*ranges, retrieve])
+        return "\n".join([*ranges, retrieve])
+
+
+DIALECTS = {
+    "sql": SqlDialect(),
+    "sqlite": SqliteDialect(),
+    "quel": QuelDialect(),
+}
+
+
+def get_dialect(name: str):
+    """Look up a dialect by name."""
+    dialect = DIALECTS.get(name)
+    if dialect is None:
+        raise TranslationError(
+            f"unknown dialect {name!r}; expected one of {sorted(DIALECTS)}"
+        )
+    return dialect

@@ -1,0 +1,72 @@
+"""Concrete-syntax rendering of SQL syntax trees (``sqlprint``).
+
+Two layouts are provided: the paper's display format (uppercase keywords,
+parenthesised conjuncts joined by AND, one clause per line) and a compact
+single-line form for logs.  Dialect variations live in
+:mod:`repro.sql.dialects`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import TranslationError
+from .ast import Condition, NotInCondition, SqlQuery, UnionQuery
+
+
+def _render_not_in(condition: NotInCondition, dialect: Optional[object]) -> str:
+    columns = ", ".join(str(c) for c in condition.columns)
+    if len(condition.columns) > 1:
+        columns = f"({columns})"
+    subquery = print_sql(condition.subquery, oneline=True, dialect=dialect)
+    return f"{columns} NOT IN ({subquery})"
+
+
+def print_sql(
+    query: SqlQuery,
+    oneline: bool = False,
+    dialect: Optional[object] = None,
+) -> str:
+    """Render a query block as SQL text.
+
+    ``dialect`` may override operator spelling and quoting (see
+    :mod:`repro.sql.dialects`); ``None`` uses the paper's plain SQL.
+    """
+    if query.is_empty:
+        # Never sent to a DBMS, but printable for traces: a query that is
+        # syntactically valid and returns nothing.
+        return "SELECT NULL WHERE 1 = 0"
+
+    render_condition = (
+        dialect.render_condition if dialect is not None else _default_condition
+    )
+
+    select_keyword = "SELECT DISTINCT" if query.distinct else "SELECT"
+    select_clause = ", ".join(str(item) for item in query.select) or "*"
+    from_clause = ", ".join(str(table) for table in query.from_tables)
+    conjuncts = [render_condition(c) for c in query.where]
+    conjuncts += [_render_not_in(c, dialect) for c in query.extra_conditions]
+
+    if oneline:
+        text = f"{select_keyword} {select_clause} FROM {from_clause}"
+        if conjuncts:
+            text += " WHERE " + " AND ".join(conjuncts)
+        return text
+
+    lines = [f"{select_keyword} {select_clause}", f"FROM {from_clause}"]
+    if conjuncts:
+        lines.append("WHERE " + " AND\n      ".join(conjuncts))
+    return "\n".join(lines)
+
+
+def _default_condition(condition: Condition) -> str:
+    return str(condition)
+
+
+def print_union(union: UnionQuery, oneline: bool = False) -> str:
+    """Render a UNION of blocks (disjunction extension)."""
+    live = union.live_branches
+    if not live:
+        return "SELECT NULL WHERE 1 = 0"
+    separator = " UNION " if oneline else "\nUNION\n"
+    return separator.join(print_sql(branch, oneline=oneline) for branch in live)

@@ -1,0 +1,169 @@
+"""DBCL → SQL translation (paper section 5).
+
+Function-free conjunctive DBCL predicates translate into a single flat
+``SELECT … FROM … WHERE`` block by six rules, quoted from the paper:
+
+1. each Relreferences row becomes a tuple-variable definition in FROM;
+2. attributes with Targetlist entries appear in SELECT, named by the first
+   row where the same entry appears;
+3. each constant in Relreferences becomes an equality restriction located
+   by its row (variable name) and column (attribute name);
+4. each pair of equal ``t_``/``v_`` symbols becomes an equijoin term;
+5. each Relcomparisons row maps to a restriction or join term, locating
+   variables at their first occurrence in Relreferences;
+6. non-repeated variables do not appear in the SQL query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..dbcl.predicate import Comparison, DbclPredicate
+from ..dbcl.symbols import (
+    ConstSymbol,
+    JoinableSymbol,
+    TargetSymbol,
+    VarSymbol,
+    is_star,
+    is_variable_symbol,
+)
+from ..errors import TranslationError
+from .ast import (
+    ColumnRef,
+    Condition,
+    Literal,
+    Operand,
+    SelectItem,
+    SqlQuery,
+    TableRef,
+)
+
+
+def _alias(row_index: int, alias_base: str = "v", alias_start: int = 1) -> str:
+    return f"{alias_base}{row_index + alias_start}"
+
+
+class SqlTranslator:
+    """Translates DBCL predicates to :class:`SqlQuery` syntax trees.
+
+    ``alias_start`` exists only to reproduce the paper's appendix traces,
+    which number tuple variables from 12 (``v12``, ``v13``, …) because
+    earlier variables were used elsewhere in the session.
+    """
+
+    def __init__(
+        self,
+        distinct: bool = False,
+        alias_base: str = "v",
+        alias_start: int = 1,
+    ):
+        self.distinct = distinct
+        self.alias_base = alias_base
+        self.alias_start = alias_start
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _column_ref(self, predicate: DbclPredicate, symbol: JoinableSymbol) -> ColumnRef:
+        """Rule 5's locator: alias.attribute of the symbol's first occurrence."""
+        occurrence = predicate.first_occurrence(symbol)
+        return ColumnRef(
+            _alias(occurrence.row, self.alias_base, self.alias_start),
+            predicate.attribute_of_column(occurrence.column),
+        )
+
+    def _operand(self, predicate: DbclPredicate, symbol: JoinableSymbol) -> Operand:
+        if isinstance(symbol, ConstSymbol):
+            return Literal(symbol.value)
+        return self._column_ref(predicate, symbol)
+
+    # -- translation --------------------------------------------------------------
+
+    def translate(self, predicate: DbclPredicate) -> SqlQuery:
+        """Apply the six mapping rules to a conjunctive DBCL predicate."""
+        if not predicate.rows:
+            raise TranslationError(
+                f"predicate {predicate.name} has no relation references"
+            )
+
+        # Rule 1: FROM clause.
+        from_tables = tuple(
+            TableRef(row.tag, _alias(index, self.alias_base, self.alias_start))
+            for index, row in enumerate(predicate.rows)
+        )
+
+        # Rule 2: SELECT clause — one item per target, in goal-argument
+        # order, located at the target's first row occurrence.
+        select_items: list[SelectItem] = []
+        for symbol in predicate.targets:
+            column_ref = self._column_ref(predicate, symbol)
+            select_items.append(SelectItem(column_ref, label=column_ref.attribute))
+
+        where: list[Condition] = []
+
+        # Rule 3: constants in Relreferences become equality restrictions.
+        for row_index, row in enumerate(predicate.rows):
+            alias = _alias(row_index, self.alias_base, self.alias_start)
+            for column, entry in enumerate(row.entries):
+                if isinstance(entry, ConstSymbol):
+                    where.append(
+                        Condition(
+                            "eq",
+                            ColumnRef(alias, predicate.attribute_of_column(column)),
+                            Literal(entry.value),
+                        )
+                    )
+
+        # Rule 4: repeated t_/v_ symbols become equijoin terms between
+        # consecutive occurrences (this yields the paper's chains such as
+        # v1.dno = v2.dno AND v2.mgr = v3.eno).
+        for symbol, occurrences in predicate.occurrences().items():
+            if not is_variable_symbol(symbol) or len(occurrences) < 2:
+                continue  # rule 6: non-repeated variables do not appear
+            for previous, current in zip(occurrences, occurrences[1:]):
+                where.append(
+                    Condition(
+                        "eq",
+                        ColumnRef(
+                            _alias(previous.row, self.alias_base, self.alias_start),
+                            predicate.attribute_of_column(previous.column),
+                        ),
+                        ColumnRef(
+                            _alias(current.row, self.alias_base, self.alias_start),
+                            predicate.attribute_of_column(current.column),
+                        ),
+                    )
+                )
+
+        # Rule 5: Relcomparisons map to restriction or join terms.
+        for comparison in predicate.comparisons:
+            if comparison.is_ground:
+                # A ground comparison is a constant truth value; the
+                # optimizer removes these, but translation must stay total.
+                if comparison.evaluate_ground():
+                    continue
+                return SqlQuery(
+                    select=tuple(select_items),
+                    from_tables=from_tables,
+                    where=(),
+                    distinct=self.distinct,
+                    is_empty=True,
+                )
+            where.append(
+                Condition(
+                    comparison.op,
+                    self._operand(predicate, comparison.left),
+                    self._operand(predicate, comparison.right),
+                )
+            )
+
+        return SqlQuery(
+            select=tuple(select_items),
+            from_tables=from_tables,
+            where=tuple(where),
+            distinct=self.distinct,
+        )
+
+
+def translate(predicate: DbclPredicate, distinct: bool = False) -> SqlQuery:
+    """Module-level convenience wrapper."""
+    return SqlTranslator(distinct=distinct).translate(predicate)

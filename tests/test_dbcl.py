@@ -1,0 +1,388 @@
+"""Unit tests for the DBCL intermediate language."""
+
+import pytest
+
+from repro.dbcl import (
+    STAR,
+    Comparison,
+    ConstSymbol,
+    DbclPredicate,
+    RelRow,
+    TableauBuilder,
+    TargetSymbol,
+    VarSymbol,
+    contains,
+    equivalent,
+    find_homomorphism,
+    format_dbcl,
+    is_variable_symbol,
+    parse_dbcl,
+    parse_symbol,
+)
+from repro.errors import DbclError, DbclSyntaxError
+from repro.schema import empdep_schema
+
+
+@pytest.fixture
+def schema():
+    return empdep_schema()
+
+
+def works_dir_for_predicate(schema, salary_cap=40000):
+    """The DBCL predicate of paper Example 3-3 (works_dir_for + query)."""
+    b = TableauBuilder(schema, "works_dir_for")
+    t_x = b.target("X")
+    b.row("empl", eno=b.var("Eno", 1), nam=t_x, sal=b.var("Sal", 1), dno=b.var("D"))
+    b.row("dept", dno=b.var("D"), fct=b.var("Fct", 2), mgr=b.var("M"))
+    b.row("empl", eno=b.var("M"), nam="smiley", sal=b.var("Sal", 3), dno=b.var("Dno", 3))
+    b.row("empl", eno=b.var("Eno", 4), nam=t_x, sal=b.var("S"), dno=b.var("Dno", 4))
+    b.less(b.var("S"), salary_cap)
+    return b.build()
+
+
+class TestSymbols:
+    def test_rendering(self):
+        assert str(STAR) == "*"
+        assert str(TargetSymbol("X")) == "t_X"
+        assert str(VarSymbol("Eno", 1)) == "v_Eno1"
+        assert str(VarSymbol("D")) == "v_D"
+        assert str(ConstSymbol("smiley")) == "smiley"
+        assert str(ConstSymbol(40000)) == "40000"
+
+    def test_parse_symbol_roundtrip(self):
+        for symbol in [
+            STAR,
+            TargetSymbol("X"),
+            VarSymbol("Eno", 1),
+            VarSymbol("D"),
+            ConstSymbol("smiley"),
+            ConstSymbol(40000),
+            ConstSymbol(2.5),
+        ]:
+            assert parse_symbol(str(symbol)) == symbol
+
+    def test_parse_symbol_classification(self):
+        assert parse_symbol("*") == STAR
+        assert parse_symbol("t_Nam") == TargetSymbol("Nam")
+        assert parse_symbol("v_Sal12") == VarSymbol("Sal", 12)
+        assert parse_symbol("jones") == ConstSymbol("jones")
+        assert parse_symbol("123") == ConstSymbol(123)
+
+    def test_is_variable_symbol(self):
+        assert is_variable_symbol(TargetSymbol("X"))
+        assert is_variable_symbol(VarSymbol("D"))
+        assert not is_variable_symbol(ConstSymbol("a"))
+        assert not is_variable_symbol(STAR)
+
+    def test_invalid_symbols(self):
+        with pytest.raises(DbclError):
+            TargetSymbol("")
+        with pytest.raises(DbclError):
+            VarSymbol("X", -1)
+
+
+class TestComparison:
+    def test_mirrored(self):
+        c = Comparison("less", VarSymbol("S"), ConstSymbol(40000))
+        m = c.mirrored()
+        assert m.op == "greater"
+        assert m.left == ConstSymbol(40000)
+
+    def test_negated(self):
+        c = Comparison("less", VarSymbol("S"), ConstSymbol(40000))
+        assert c.negated().op == "geq"
+
+    def test_ground_evaluation(self):
+        assert Comparison("less", ConstSymbol(1), ConstSymbol(2)).evaluate_ground()
+        assert not Comparison("greater", ConstSymbol(1), ConstSymbol(2)).evaluate_ground()
+        assert Comparison("neq", ConstSymbol("a"), ConstSymbol(1)).evaluate_ground()
+
+    def test_ground_cross_type_order_sqlite_semantics(self):
+        # SQLite sorts numbers before strings; ground evaluation matches.
+        assert not Comparison("less", ConstSymbol("a"), ConstSymbol(1)).evaluate_ground()
+        assert Comparison("less", ConstSymbol(1), ConstSymbol("a")).evaluate_ground()
+
+    def test_star_rejected(self):
+        with pytest.raises(DbclError):
+            Comparison("less", STAR, ConstSymbol(1))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DbclError):
+            Comparison("like", VarSymbol("X"), ConstSymbol(1))
+
+
+class TestBuilderAndValidation:
+    def test_example_3_3_shape(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        assert len(predicate.rows) == 4
+        assert len(predicate.comparisons) == 1
+        assert predicate.target_symbols() == [TargetSymbol("X")]
+        # t_X sits in the nam column.
+        assert predicate.target_columns() == [schema.column_of("nam")]
+
+    def test_auto_fill_fresh_vars(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        predicate = b.build()
+        row = predicate.rows[0]
+        assert row.cell(schema.column_of("eno")) == VarSymbol("Eno", 1)
+        assert row.cell(schema.column_of("sal")) == VarSymbol("Sal", 1)
+        assert row.cell(schema.column_of("fct")) == STAR
+
+    def test_join_count_example_3_3(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        # v_D joins rows 1-2, v_M joins rows 2-3, t_X joins rows 1-4: 3 joins.
+        assert predicate.join_count() == 3
+
+    def test_unknown_attribute_rejected(self, schema):
+        b = TableauBuilder(schema, "q")
+        with pytest.raises(DbclError):
+            b.row("empl", fct="x")
+
+    def test_unknown_relation_rejected(self, schema):
+        from repro.errors import SchemaError
+
+        b = TableauBuilder(schema, "q")
+        with pytest.raises(SchemaError):
+            b.row("nosuch")
+
+    def test_star_in_covered_column_rejected(self, schema):
+        width = schema.width
+        entries = [STAR] * width
+        row = RelRow("empl", tuple(entries))
+        with pytest.raises(DbclError):
+            DbclPredicate(schema, "q", [STAR] * width, [row])
+
+    def test_value_in_uncovered_column_rejected(self, schema):
+        entries = [ConstSymbol(1)] * schema.width  # fct/mgr not in empl
+        with pytest.raises(DbclError):
+            DbclPredicate(schema, "q", [STAR] * schema.width, [RelRow("empl", tuple(entries))])
+
+    def test_target_must_occur_in_rows(self, schema):
+        targetlist = [STAR] * schema.width
+        targetlist[schema.column_of("nam")] = TargetSymbol("X")
+        b = TableauBuilder(schema, "q")
+        b.row("empl")  # no t_X anywhere
+        rows = b.build().rows
+        with pytest.raises(DbclError):
+            DbclPredicate(schema, "q", targetlist, rows)
+
+    def test_comparison_variable_must_occur(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        b.less(VarSymbol("Ghost"), 10)
+        with pytest.raises(DbclError):
+            b.build()
+
+    def test_comparison_with_two_constants_allowed(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        b.less(1, 2)
+        assert len(b.build().comparisons) == 1
+
+
+class TestPredicateOperations:
+    def test_occurrences_and_first(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        occ = predicate.occurrences()
+        t_x = TargetSymbol("X")
+        assert [o.row for o in occ[t_x]] == [0, 3]
+        first = predicate.first_occurrence(VarSymbol("M"))
+        assert first.row == 1
+        assert first.column == schema.column_of("mgr")
+
+    def test_first_occurrence_missing_raises(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        with pytest.raises(DbclError):
+            predicate.first_occurrence(VarSymbol("Ghost"))
+
+    def test_rename(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        renamed = predicate.rename({VarSymbol("Eno", 4): VarSymbol("Eno", 1)})
+        assert renamed.occurrence_count(VarSymbol("Eno", 1)) == 2
+        assert not renamed.occurs_in_rows(VarSymbol("Eno", 4))
+
+    def test_rename_affects_comparisons(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        renamed = predicate.rename({VarSymbol("S"): VarSymbol("Sal", 1)})
+        assert renamed.comparisons[0].left == VarSymbol("Sal", 1)
+
+    def test_rename_target_rejected(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        with pytest.raises(DbclError):
+            predicate.rename({TargetSymbol("X"): VarSymbol("Y")})
+
+    def test_drop_rows(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        # Dropping row 2 (smiley) leaves v_M as a singleton but still valid.
+        smaller = predicate.drop_rows([2])
+        assert len(smaller.rows) == 3
+
+    def test_dedupe_rows(self, schema):
+        b = TableauBuilder(schema, "q")
+        t = b.target("X")
+        b.row("empl", eno=b.var("E"), nam=t, sal=b.var("S"), dno=b.var("D"))
+        b.row("empl", eno=b.var("E"), nam=t, sal=b.var("S"), dno=b.var("D"))
+        predicate = b.build()
+        assert len(predicate.dedupe_rows().rows) == 1
+
+    def test_dedupe_comparisons_mirrored(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), sal=b.var("S"))
+        b.less(b.var("S"), 100)
+        b.greater(100, b.var("S"))
+        predicate = b.build()
+        assert len(predicate.dedupe_comparisons().comparisons) == 1
+
+    def test_fresh_var(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        fresh = predicate.fresh_var("Sal")
+        assert fresh not in predicate.occurrences()
+
+    def test_equality_and_hash(self, schema):
+        a = works_dir_for_predicate(schema)
+        b = works_dir_for_predicate(schema)
+        assert a == b
+        assert hash(a) == hash(b)
+        c = works_dir_for_predicate(schema, salary_cap=50000)
+        assert a != c
+
+    def test_canonical_key_invariant_under_renaming(self, schema):
+        a = works_dir_for_predicate(schema)
+        mapping = {
+            VarSymbol("Eno", 1): VarSymbol("Zz", 7),
+            VarSymbol("D"): VarSymbol("Qq", 3),
+        }
+        b = a.rename(mapping)
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_canonical_key_differs_for_different_queries(self, schema):
+        a = works_dir_for_predicate(schema)
+        b = works_dir_for_predicate(schema, salary_cap=99999)
+        assert a.canonical_key() != b.canonical_key()
+
+
+class TestGrammar:
+    PAPER_TEXT = """
+    dbcl(
+      [empdep, eno, nam, sal, dno, fct, mgr],
+      [works_dir_for, *, t_X, *, *, *, *],
+      [[empl, v_Eno1, t_X, v_Sal1, v_D, *, *],
+       [dept, *, *, *, v_D, v_Fct2, v_M],
+       [empl, v_M, smiley, v_Sal3, v_Dno3, *, *],
+       [empl, v_Eno4, t_X, v_S, v_Dno4, *, *]],
+      [[less, v_S, 40000]]).
+    """
+
+    def test_parse_paper_example(self, schema):
+        predicate = parse_dbcl(self.PAPER_TEXT, schema)
+        assert predicate.name == "works_dir_for"
+        assert len(predicate.rows) == 4
+        assert predicate.rows[2].cell(schema.column_of("nam")) == ConstSymbol("smiley")
+        assert predicate.comparisons[0].op == "less"
+
+    def test_parse_matches_builder(self, schema):
+        parsed = parse_dbcl(self.PAPER_TEXT, schema)
+        built = works_dir_for_predicate(schema)
+        assert parsed.canonical_key() == built.canonical_key()
+
+    def test_format_parse_roundtrip(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        text = format_dbcl(predicate)
+        reparsed = parse_dbcl(text, schema)
+        assert reparsed == predicate
+
+    def test_schema_mismatch_rejected(self, schema):
+        bad = self.PAPER_TEXT.replace("empdep", "otherdb")
+        with pytest.raises(DbclSyntaxError):
+            parse_dbcl(bad, schema)
+
+    def test_non_dbcl_term_rejected(self, schema):
+        with pytest.raises(DbclSyntaxError):
+            parse_dbcl("foo(bar).", schema)
+
+    def test_bad_comparison_rejected(self, schema):
+        text = self.PAPER_TEXT.replace("[less, v_S, 40000]", "[like, v_S, 40000]")
+        with pytest.raises(DbclSyntaxError):
+            parse_dbcl(text, schema)
+
+    def test_quoted_constant_roundtrip(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), sal=b.var("S"))
+        b.row("empl", nam="O'Brien")
+        predicate = b.build()
+        reparsed = parse_dbcl(format_dbcl(predicate), schema)
+        assert reparsed == predicate
+
+
+class TestContainment:
+    def test_identity_homomorphism(self, schema):
+        predicate = works_dir_for_predicate(schema)
+        mapping = find_homomorphism(predicate, predicate)
+        assert mapping is not None
+
+    def test_redundant_row_maps_away(self, schema):
+        # Two empl rows that are duplicates up to variable naming: the
+        # 2-row tableau maps onto the 1-row one.
+        b1 = TableauBuilder(schema, "q")
+        t = b1.target("X")
+        b1.row("empl", nam=t)
+        b1.row("empl", nam=t)
+        two = b1.build()
+        one = two.drop_rows([1])
+        assert find_homomorphism(two, one) is not None
+
+    def test_constants_block_mapping(self, schema):
+        b1 = TableauBuilder(schema, "q")
+        b1.row("empl", nam=b1.target("X"), dno=1)
+        with_const = b1.build()
+        b2 = TableauBuilder(schema, "q")
+        b2.row("empl", nam=b2.target("X"), dno=2)
+        other_const = b2.build()
+        assert find_homomorphism(with_const, other_const) is None
+
+    def test_containment_direction(self, schema):
+        # q_all: all employees; q_dept1: employees of department 1.
+        b1 = TableauBuilder(schema, "q")
+        b1.row("empl", nam=b1.target("X"))
+        q_all = b1.build()
+        b2 = TableauBuilder(schema, "q")
+        b2.row("empl", nam=b2.target("X"), dno=1)
+        q_dept1 = b2.build()
+        assert contains(q_all, q_dept1)
+        assert not contains(q_dept1, q_all)
+
+    def test_equivalent_up_to_redundancy(self, schema):
+        b1 = TableauBuilder(schema, "q")
+        t = b1.target("X")
+        b1.row("empl", nam=t)
+        b1.row("empl", nam=t)
+        two = b1.build()
+        one = two.drop_rows([1])
+        assert equivalent(two, one)
+
+    def test_comparisons_respected(self, schema):
+        b1 = TableauBuilder(schema, "q")
+        b1.row("empl", nam=b1.target("X"), sal=b1.var("S"))
+        plain = b1.build()
+        b2 = TableauBuilder(schema, "q")
+        b2.row("empl", nam=b2.target("X"), sal=b2.var("S"))
+        b2.less(b2.var("S"), 40000)
+        restricted = b2.build()
+        # restricted ⊆ plain but not vice versa.
+        assert contains(plain, restricted)
+        assert not contains(restricted, plain)
+
+    def test_frozen_symbols_fixed(self, schema):
+        b1 = TableauBuilder(schema, "q")
+        t = b1.target("X")
+        b1.row("empl", nam=t, dno=b1.var("D", 1))
+        b1.row("empl", nam=t, dno=b1.var("D", 2))
+        predicate = b1.build()
+        target = predicate.drop_rows([1])
+        # Without freezing, v_D2 can map to v_D1.
+        assert find_homomorphism(predicate, target) is not None
+        # Freezing v_D2 forbids the collapse.
+        assert (
+            find_homomorphism(predicate, target, frozen=[VarSymbol("D", 2)]) is None
+        )

@@ -1,0 +1,390 @@
+"""Edge cases and failure injection across subsystems.
+
+These tests exercise the error paths a production deployment hits:
+malformed inputs, resource limits, backend failures, misconfigured
+recursion, and boundary shapes the paper's examples never reach.
+"""
+
+import pytest
+
+from repro.coupling import PrologDbSession, TransitiveClosure
+from repro.coupling.recursion_exec import schema_with_intermediate
+from repro.dbcl import (
+    Comparison,
+    ConstSymbol,
+    TableauBuilder,
+    TargetSymbol,
+    VarSymbol,
+    format_dbcl,
+    parse_dbcl,
+)
+from repro.dbms import ExternalDatabase, generate_org
+from repro.errors import (
+    CouplingError,
+    DbclError,
+    ExecutionError,
+    OptimizationError,
+    RecursionLimitExceeded,
+    SchemaError,
+)
+from repro.optimize import analyse_comparisons, simplify
+from repro.prolog import Engine, KnowledgeBase, parse_goal, var
+from repro.schema import (
+    ALL_VIEWS_SOURCE,
+    WORKS_DIR_FOR_SOURCE,
+    empdep_constraints,
+    empdep_schema,
+)
+from repro.sql import translate
+
+
+@pytest.fixture
+def schema():
+    return empdep_schema()
+
+
+@pytest.fixture
+def constraints(schema):
+    return empdep_constraints(schema)
+
+
+class TestInequalityEdgeCases:
+    def test_string_ordering_supported(self):
+        a = VarSymbol("A")
+        outcome = analyse_comparisons(
+            [
+                Comparison("less", a, ConstSymbol("mmm")),
+                Comparison("less", a, ConstSymbol("zzz")),
+            ]
+        )
+        # less(a, zzz) is implied by less(a, mmm): string constants order.
+        assert outcome.comparisons == [Comparison("less", a, ConstSymbol("mmm"))]
+
+    def test_string_contradiction(self):
+        a = VarSymbol("A")
+        outcome = analyse_comparisons(
+            [
+                Comparison("less", a, ConstSymbol("aaa")),
+                Comparison("greater", a, ConstSymbol("zzz")),
+            ]
+        )
+        assert outcome.contradiction
+
+    def test_mixed_type_constants_order_like_sqlite(self):
+        # SQLite sorts every number before every string, and the optimizer
+        # must agree with the execution substrate: a < 5 implies a < "abc".
+        a = VarSymbol("A")
+        outcome = analyse_comparisons(
+            [
+                Comparison("less", a, ConstSymbol(5)),
+                Comparison("less", a, ConstSymbol("abc")),
+            ]
+        )
+        assert not outcome.contradiction
+        assert outcome.comparisons == [Comparison("less", a, ConstSymbol(5))]
+
+    def test_eq_chain_collapses_transitively(self):
+        a, b, c = VarSymbol("A"), VarSymbol("B"), VarSymbol("C")
+        outcome = analyse_comparisons(
+            [Comparison("eq", a, b), Comparison("eq", b, c)]
+        )
+        assert len(outcome.renamings) == 2
+        assert outcome.comparisons == []
+
+    def test_equality_to_two_constants_contradiction(self):
+        a = VarSymbol("A")
+        outcome = analyse_comparisons(
+            [
+                Comparison("eq", a, ConstSymbol(1)),
+                Comparison("eq", a, ConstSymbol(2)),
+            ]
+        )
+        assert outcome.contradiction
+
+    def test_neq_kept_when_unordered(self):
+        a, b = VarSymbol("A"), VarSymbol("B")
+        outcome = analyse_comparisons([Comparison("neq", a, b)])
+        assert outcome.comparisons == [Comparison("neq", a, b)]
+
+    def test_empty_input(self):
+        outcome = analyse_comparisons([])
+        assert not outcome.contradiction
+        assert outcome.comparisons == []
+
+
+class TestSimplifyEdgeCases:
+    def test_single_row_predicate_stable(self, schema, constraints):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        result = simplify(b.build(), constraints)
+        assert not result.is_empty
+        assert result.rows_after == 1
+
+    def test_predicate_without_comparisons(self, schema, constraints):
+        b = TableauBuilder(schema, "q")
+        d = b.var("D")
+        b.row("empl", nam=b.target("X"), dno=d)
+        b.row("dept", dno=d, fct="sales")
+        result = simplify(b.build(), constraints)
+        assert result.rows_after == 2  # the constant blocks refint deletion
+
+    def test_all_star_free_columns(self, schema, constraints):
+        # dept-only query: no value bounds apply anywhere.
+        b = TableauBuilder(schema, "q")
+        b.row("dept", fct=b.target("F"))
+        result = simplify(b.build(), constraints)
+        assert result.rows_after == 1
+
+    def test_iteration_guard(self, schema, constraints):
+        from repro.optimize import SimplifyOptions
+
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        # max_iterations=0 must trip the convergence guard.
+        with pytest.raises(OptimizationError):
+            simplify(b.build(), constraints, SimplifyOptions(max_iterations=0))
+
+    def test_constant_equality_propagates_into_rows(self, schema, constraints):
+        b = TableauBuilder(schema, "q")
+        s = b.var("S")
+        b.row("empl", nam=b.target("X"), sal=s)
+        b.compare("eq", s, 50000)
+        result = simplify(b.build(), constraints)
+        # The eq comparison becomes a constant in the tableau.
+        sal_cell = result.predicate.rows[0].cell(schema.column_of("sal"))
+        assert sal_cell == ConstSymbol(50000)
+        assert result.predicate.comparisons == ()
+
+    def test_out_of_bounds_equality_is_contradiction(self, schema, constraints):
+        b = TableauBuilder(schema, "q")
+        s = b.var("S")
+        b.row("empl", nam=b.target("X"), sal=s)
+        b.compare("eq", s, 5000)  # below the salary floor
+        result = simplify(b.build(), constraints)
+        assert result.is_empty
+
+
+class TestBackendFailureInjection:
+    def test_query_against_dropped_intermediate(self, schema):
+        database = ExternalDatabase(schema)
+        database.create_intermediate("intermediate", ["nam"])
+        database.drop_intermediate("intermediate")
+        with pytest.raises(ExecutionError):
+            database.set_intermediate_rows("intermediate", [("x",)])
+
+    def test_closed_database_raises(self, schema):
+        database = ExternalDatabase(schema)
+        database.close()
+        with pytest.raises(Exception):
+            database.execute("SELECT 1")
+
+    def test_insert_into_unknown_relation(self, schema):
+        database = ExternalDatabase(schema)
+        with pytest.raises(SchemaError):
+            database.insert_rows("nosuch", [(1,)])
+
+    def test_row_count_unknown_relation(self, schema):
+        database = ExternalDatabase(schema)
+        with pytest.raises(Exception):
+            database.row_count("nosuch")
+
+
+class TestRecursionEdgeCases:
+    @pytest.fixture
+    def rec_session(self):
+        session = PrologDbSession()
+        org = generate_org(depth=2, branching=2, staff_per_dept=3, seed=0)
+        session.load_org(org)
+        session.consult(ALL_VIEWS_SOURCE)
+        return session, org
+
+    def test_max_levels_exceeded(self, rec_session):
+        session, org = rec_session
+        leaf = org.leaf_employee_name()
+        with pytest.raises(RecursionLimitExceeded):
+            session.solve_recursive(
+                "works_for", low=leaf, strategy="bottomup", max_levels=1
+            )
+
+    def test_unknown_strategy(self, rec_session):
+        session, org = rec_session
+        with pytest.raises(CouplingError):
+            session.solve_recursive("works_for", low="x", strategy="sideways")
+
+    def test_nonlinear_view_rejected(self, schema, constraints):
+        kb = KnowledgeBase()
+        kb.consult(WORKS_DIR_FOR_SOURCE)
+        kb.consult(
+            """
+            conn(X, Y) :- works_dir_for(X, Y).
+            conn(X, Y) :- conn(X, Z), conn(Z, Y).
+            """
+        )
+        database = ExternalDatabase(schema)
+        with pytest.raises(CouplingError):
+            TransitiveClosure(kb, schema, constraints, database, ("conn", 2))
+
+    def test_ternary_view_rejected(self, schema, constraints):
+        kb = KnowledgeBase()
+        database = ExternalDatabase(schema)
+        with pytest.raises(CouplingError):
+            TransitiveClosure(kb, schema, constraints, database, ("t", 3))
+
+    def test_missing_base_clause_rejected(self, schema, constraints):
+        kb = KnowledgeBase()
+        kb.consult(WORKS_DIR_FOR_SOURCE)
+        kb.consult("w(X, Y) :- works_dir_for(X, M), w(M, Y).")
+        database = ExternalDatabase(schema)
+        with pytest.raises(CouplingError):
+            TransitiveClosure(kb, schema, constraints, database, ("w", 2))
+
+    def test_extended_schema_shares_column(self, schema):
+        extended = schema_with_intermediate(schema, "nam")
+        assert extended.has_relation("intermediate")
+        assert extended.column_of("nam") == schema.column_of("nam")
+        assert extended.width == schema.width  # no new global attribute
+
+    def test_recursive_goal_with_conjunction_rejected(self, rec_session):
+        session, org = rec_session
+        boss = org.root_manager_name()
+        with pytest.raises(CouplingError):
+            session.ask(f"works_for(X, {boss}), empl(_, X, S, _)")
+
+    def test_empty_answer_when_leaf_has_no_subordinates(self, rec_session):
+        session, org = rec_session
+        leaf = org.leaf_employee_name()
+        run = session.solve_recursive("works_for", high=leaf)
+        assert run.pairs == set()
+
+
+class TestSessionEdgeCases:
+    @pytest.fixture
+    def session(self):
+        session = PrologDbSession()
+        org = generate_org(depth=2, branching=2, staff_per_dept=3, seed=1)
+        session.load_org(org)
+        session.consult(WORKS_DIR_FOR_SOURCE)
+        return session, org
+
+    def test_ask_with_no_answers(self, session):
+        s, org = session
+        answers = s.ask("works_dir_for(X, nobody_by_this_name)")
+        assert answers == []
+
+    def test_ask_ground_goal(self, session):
+        s, org = session
+        low, high = next(iter(org.works_dir_for_pairs()))
+        answers = s.ask(f"works_dir_for({low}, {high})")
+        assert answers == [{}]  # succeeds with no bindings
+
+    def test_ask_ground_goal_false(self, session):
+        s, org = session
+        answers = s.ask("works_dir_for(nobody, nobody_else)")
+        assert answers == []
+
+    def test_context_manager(self):
+        with PrologDbSession() as s:
+            assert s.database is not None
+
+    def test_reload_data_invalidates_cache(self, session):
+        s, org = session
+        boss = org.root_manager_name()
+        s.ask(f"works_dir_for(X, {boss})")
+        assert len(s.cache) > 0
+        s.load_org(generate_org(depth=2, branching=2, staff_per_dept=3, seed=9))
+        assert len(s.cache) == 0
+
+    def test_explain_contradiction_has_empty_sql(self, session):
+        s, org = session
+        trace = s.explain("empl(E, N, S, D), less(S, 2000)")
+        assert trace.simplification.is_empty
+        assert trace.sql.is_empty
+
+    def test_consulting_duplicate_view_makes_it_disjunctive(self, session):
+        s, org = session
+        s.consult(WORKS_DIR_FOR_SOURCE)  # now two identical clauses
+        from repro.errors import MetaevaluationError
+
+        with pytest.raises(MetaevaluationError):
+            s.explain("works_dir_for(X, someone)")
+        # ... but ask_disjunctive still answers it (identical branches).
+        boss = org.root_manager_name()
+        answers = s.ask_disjunctive(f"works_dir_for(X, {boss})")
+        expected = {l for l, h in org.works_dir_for_pairs() if h == boss}
+        assert {a["X"] for a in answers} == expected
+
+
+class TestGrammarEdgeCases:
+    def test_explicit_target_list_form(self, schema):
+        # Two targets on the same column need the explicit list form.
+        b = TableauBuilder(schema, "pair")
+        x, y = b.target("X"), b.target("Y")
+        m = b.var("M")
+        b.row("empl", nam=x, dno=b.var("D"))
+        b.row("dept", dno=b.var("D"), mgr=m)
+        b.row("empl", eno=m, nam=y)
+        predicate = b.build()
+        text = format_dbcl(predicate)
+        assert "[pair, t_X, t_Y]" in text
+        reparsed = parse_dbcl(text, schema)
+        assert reparsed.targets == predicate.targets
+
+    def test_row_form_roundtrip_preserved(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        text = format_dbcl(b.build())
+        assert "*, t_X, *, *, *, *" in text
+
+    def test_negative_number_constant(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), sal=b.var("S"))
+        b.less(-5, b.var("S"))
+        reparsed = parse_dbcl(format_dbcl(b.build()), schema)
+        assert reparsed.comparisons[0].left == ConstSymbol(-5)
+
+    def test_float_constant_roundtrip(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), sal=b.var("S"))
+        b.less(b.var("S"), 1.5)
+        reparsed = parse_dbcl(format_dbcl(b.build()), schema)
+        assert reparsed.comparisons[0].right == ConstSymbol(1.5)
+
+
+class TestEngineEdgeCases:
+    def test_deep_conjunction(self):
+        engine = Engine()
+        engine.kb.consult("p(0).")
+        goal = ", ".join(["p(0)"] * 200)
+        assert engine.succeeds(goal)
+
+    def test_cut_inside_disjunction(self):
+        kb = KnowledgeBase()
+        kb.consult(
+            """
+            d(X) :- (p(X), ! ; q(X)).
+            p(1). p(2). q(3).
+            """
+        )
+        engine = Engine(kb)
+        values = [a[var("X")].value for a in engine.solve_all("d(X)")]
+        # The cut commits to the first p solution and kills the q branch.
+        assert values == [1]
+
+    def test_not_of_conjunction(self):
+        kb = KnowledgeBase()
+        kb.consult("p(1). q(2).")
+        engine = Engine(kb)
+        assert engine.succeeds("not((p(X), q(X)))")
+        assert not engine.succeeds("not((p(1), q(2)))")
+
+    def test_assert_during_solve_visible_later(self):
+        engine = Engine()
+        engine.solve_all("assertz(p(1)), assertz(p(2))")
+        assert engine.count_solutions("p(X)") == 2
+
+    def test_unbound_goal_variable_raises(self):
+        engine = Engine()
+        from repro.errors import PrologError
+
+        with pytest.raises(PrologError):
+            engine.solve_all("call(X)")

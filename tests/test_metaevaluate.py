@@ -1,0 +1,301 @@
+"""Tests for the Prolog → DBCL metaevaluation (paper section 4).
+
+The key fixtures reproduce the paper's Examples 3-3 and 4-1 literally.
+"""
+
+import pytest
+
+from repro.dbcl import ConstSymbol, TargetSymbol, VarSymbol, parse_dbcl
+from repro.errors import MetaevaluationError, UnsupportedFeatureError
+from repro.metaevaluate import (
+    Metaevaluator,
+    RecursiveViewDetected,
+    expansion_at_level,
+    expansion_sequence,
+    is_linear_recursive,
+    is_recursive_goal,
+    metaevaluate,
+    recursion_signature,
+    recursive_indicators,
+)
+from repro.prolog import KnowledgeBase
+from repro.schema import (
+    SAME_MANAGER_SOURCE,
+    WORKS_DIR_FOR_SOURCE,
+    WORKS_FOR_BOTTOM_UP_SOURCE,
+    WORKS_FOR_TOP_DOWN_SOURCE,
+    empdep_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return empdep_schema()
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    kb.consult(WORKS_DIR_FOR_SOURCE)
+    kb.consult(SAME_MANAGER_SOURCE)
+    return kb
+
+
+@pytest.fixture
+def evaluator(schema, kb):
+    return Metaevaluator(schema, kb)
+
+
+class TestDirectDatabaseGoals:
+    def test_single_relation(self, evaluator, schema):
+        predicate = evaluator.metaevaluate("empl(E, N, S, D)")
+        assert len(predicate.rows) == 1
+        assert predicate.rows[0].tag == "empl"
+        # All four goal variables are targets.
+        assert len(predicate.target_symbols()) == 4
+
+    def test_constant_argument(self, evaluator, schema):
+        predicate = evaluator.metaevaluate("empl(E, smiley, S, D)")
+        cell = predicate.rows[0].cell(schema.column_of("nam"))
+        assert cell == ConstSymbol("smiley")
+
+    def test_anonymous_variables_named_by_attribute(self, evaluator, schema):
+        predicate = evaluator.metaevaluate("empl(_, X, _, _)")
+        row = predicate.rows[0]
+        assert row.cell(schema.column_of("eno")) == VarSymbol("Eno", 1)
+        assert row.cell(schema.column_of("sal")) == VarSymbol("Sal", 1)
+        assert row.cell(schema.column_of("nam")) == TargetSymbol("X")
+
+    def test_join_via_shared_variable(self, evaluator, schema):
+        predicate = evaluator.metaevaluate("empl(E, N, S, D), dept(D, F, M)")
+        # D occurs in both rows in the dno column.
+        occurrences = predicate.occurrences()[TargetSymbol("D")]
+        assert len(occurrences) == 2
+        assert {o.row for o in occurrences} == {0, 1}
+
+    def test_comparison_collection(self, evaluator):
+        predicate = evaluator.metaevaluate("empl(E, N, S, D), less(S, 40000)")
+        assert len(predicate.comparisons) == 1
+        assert predicate.comparisons[0].op == "less"
+        assert predicate.comparisons[0].right == ConstSymbol(40000)
+
+    def test_infix_comparison(self, evaluator):
+        predicate = evaluator.metaevaluate("empl(E, N, S, D), S < 40000")
+        assert predicate.comparisons[0].op == "less"
+
+
+class TestViewUnfolding:
+    def test_example_3_3(self, evaluator, schema):
+        """The paper's Example 3-3: works_dir_for + salary restriction."""
+        from repro.prolog import var
+
+        # The paper tags only X as a target (t_X); S stays existential.
+        predicate = evaluator.metaevaluate(
+            "works_dir_for(X, smiley), empl(_, X, S, _), less(S, 40000)",
+            name="works_dir_for",
+            targets=[var("X")],
+        )
+        assert len(predicate.rows) == 4
+        assert [row.tag for row in predicate.rows] == ["empl", "dept", "empl", "empl"]
+        # Row 3 restricts nam to smiley.
+        assert predicate.rows[2].cell(schema.column_of("nam")) == ConstSymbol("smiley")
+        # The tableau matches the paper's printed DBCL up to variable naming.
+        paper = parse_dbcl(
+            """
+            dbcl(
+              [empdep, eno, nam, sal, dno, fct, mgr],
+              [works_dir_for, *, t_X, *, *, *, *],
+              [[empl, v_Eno1, t_X, v_Sal1, v_D, *, *],
+               [dept, *, *, *, v_D, v_Fct2, v_M],
+               [empl, v_M, smiley, v_Sal3, v_Eno3, *, *],
+               [empl, v_Eno4, t_X, v_S, v_Dno4, *, *]],
+              [[less, v_S, 40000]]).
+            """,
+            schema,
+        )
+        assert predicate.canonical_key() == paper.canonical_key()
+
+    def test_example_4_1_same_manager(self, evaluator, schema):
+        """The paper's Example 4-1: same_manager(t_X, jones) → 6 rows."""
+        predicate = evaluator.metaevaluate(
+            "same_manager(X, jones)", name="same_manager"
+        )
+        assert len(predicate.rows) == 6
+        assert [row.tag for row in predicate.rows] == [
+            "empl", "dept", "empl", "empl", "dept", "empl",
+        ]
+        # jones restricts the nam column of row 4 (the second works_dir_for).
+        assert predicate.rows[3].cell(schema.column_of("nam")) == ConstSymbol("jones")
+        # The neq(X, Y) of the view body becomes [neq, t_X, jones].
+        assert len(predicate.comparisons) == 1
+        comparison = predicate.comparisons[0]
+        assert comparison.op == "neq"
+        assert comparison.left == TargetSymbol("X")
+        assert comparison.right == ConstSymbol("jones")
+
+    def test_view_body_variable_names_preserved(self, evaluator, schema):
+        predicate = evaluator.metaevaluate("works_dir_for(X, smiley)")
+        symbols = {str(s) for s in predicate.occurrences()}
+        # D and M from the view body survive as v_D and v_M.
+        assert "v_D" in symbols
+        assert "v_M" in symbols
+
+    def test_nested_views(self, schema):
+        kb = KnowledgeBase()
+        kb.consult(WORKS_DIR_FOR_SOURCE)
+        kb.consult("peer(X, Y) :- works_dir_for(X, M), works_dir_for(Y, M).")
+        evaluator = Metaevaluator(schema, kb)
+        predicate = evaluator.metaevaluate("peer(X, Y)")
+        assert len(predicate.rows) == 6
+
+    def test_constants_propagate_through_unification(self, evaluator, schema):
+        predicate = evaluator.metaevaluate("works_dir_for(jones, Y)")
+        assert predicate.rows[0].cell(schema.column_of("nam")) == ConstSymbol("jones")
+
+    def test_bound_targets_restrict(self, evaluator, schema):
+        # Target position given as a constant is a restriction, not an output.
+        predicate = evaluator.metaevaluate("works_dir_for(X, smiley)")
+        assert predicate.target_symbols() == [TargetSymbol("X")]
+
+
+class TestErrors:
+    def test_unknown_predicate(self, evaluator):
+        with pytest.raises(UnsupportedFeatureError):
+            evaluator.metaevaluate("mystery(X)")
+
+    def test_function_symbol_rejected(self, evaluator):
+        with pytest.raises(UnsupportedFeatureError):
+            evaluator.metaevaluate("empl(f(E), N, S, D)")
+
+    def test_negation_rejected(self, evaluator):
+        with pytest.raises(UnsupportedFeatureError):
+            evaluator.metaevaluate("empl(E, N, S, D), not(dept(D, F, M))")
+
+    def test_comparison_on_non_db_variable_rejected(self, evaluator):
+        with pytest.raises(UnsupportedFeatureError):
+            evaluator.metaevaluate("empl(E, N, S, D), less(Z, 3)")
+
+    def test_no_database_calls(self, evaluator):
+        with pytest.raises(MetaevaluationError):
+            evaluator.metaevaluate("less(1, 2)")
+
+    def test_recursion_detected(self, schema):
+        kb = KnowledgeBase()
+        kb.consult(WORKS_DIR_FOR_SOURCE)
+        kb.consult(WORKS_FOR_TOP_DOWN_SOURCE)
+        evaluator = Metaevaluator(schema, kb)
+        with pytest.raises(RecursiveViewDetected):
+            evaluator.metaevaluate("works_for(X, smiley)")
+
+    def test_disjunctive_view_needs_all(self, schema):
+        kb = KnowledgeBase()
+        kb.consult(
+            """
+            key_person(X) :- empl(_, X, _, _), dept(_, _, M), empl(M, X, _, _).
+            key_person(X) :- dept(D, X, _), dept(D, _, _).
+            """
+        )
+        evaluator = Metaevaluator(schema, kb)
+        with pytest.raises(MetaevaluationError):
+            evaluator.metaevaluate("key_person(X)")
+        branches = evaluator.metaevaluate_all("key_person(X)")
+        assert len(branches) == 2
+
+
+class TestModuleLevelHelper:
+    def test_metaevaluate_function(self, schema, kb):
+        predicate = metaevaluate(schema, kb, "works_dir_for(X, smiley)")
+        assert predicate.name == "works_dir_for"
+        assert len(predicate.rows) == 3
+
+
+class TestRecursionAnalysis:
+    @pytest.fixture
+    def rec_kb(self):
+        kb = KnowledgeBase()
+        kb.consult(WORKS_DIR_FOR_SOURCE)
+        kb.consult(WORKS_FOR_TOP_DOWN_SOURCE)
+        return kb
+
+    def test_recursive_indicators(self, rec_kb, schema):
+        assert recursive_indicators(rec_kb, schema) == {("works_for", 2)}
+
+    def test_is_recursive_goal(self, rec_kb, schema):
+        assert is_recursive_goal(rec_kb, schema, "works_for(X, smiley)")
+        assert not is_recursive_goal(rec_kb, schema, "works_dir_for(X, smiley)")
+
+    def test_indirect_recursion_reachability(self, schema):
+        kb = KnowledgeBase()
+        kb.consult(WORKS_DIR_FOR_SOURCE)
+        kb.consult(WORKS_FOR_TOP_DOWN_SOURCE)
+        kb.consult("chain(X) :- works_for(X, smiley).")
+        assert is_recursive_goal(kb, schema, "chain(X)")
+
+    def test_mutual_recursion_detected(self, schema):
+        kb = KnowledgeBase()
+        kb.consult(
+            """
+            p(X) :- empl(X, _, _, _), q(X).
+            q(X) :- p(X).
+            """
+        )
+        recursive = recursive_indicators(kb, schema)
+        assert ("p", 1) in recursive
+        assert ("q", 1) in recursive
+
+    def test_linear_recursion(self, rec_kb):
+        assert is_linear_recursive(rec_kb, ("works_for", 2))
+
+    def test_nonlinear_recursion(self, schema):
+        kb = KnowledgeBase()
+        kb.consult(
+            """
+            conn(X, Y) :- empl(X, _, _, _), empl(Y, _, _, _).
+            conn(X, Y) :- conn(X, Z), conn(Z, Y).
+            """
+        )
+        assert not is_linear_recursive(kb, ("conn", 2))
+
+    def test_recursion_signature_top_down(self, rec_kb):
+        signature = recursion_signature(rec_kb, ("works_for", 2))
+        # works_for(Low, High) :- wdf(Low, M), works_for(M, High):
+        # High (position 1) is carried.
+        assert signature.carried_positions == (1,)
+        assert signature.favours_binding([1])
+        assert not signature.favours_binding([0])
+
+    def test_recursion_signature_bottom_up(self, schema):
+        kb = KnowledgeBase()
+        kb.consult(WORKS_DIR_FOR_SOURCE)
+        kb.consult(WORKS_FOR_BOTTOM_UP_SOURCE)
+        signature = recursion_signature(kb, ("works_for", 2))
+        # Bottom-up carries Low (position 0).
+        assert signature.carried_positions == (0,)
+
+    def test_expansion_levels_example_7_1(self, rec_kb, schema):
+        """Naive expansion: level k uses 3*(k+1) relation rows."""
+        evaluator = Metaevaluator(schema, rec_kb)
+        for level in range(3):
+            predicates = expansion_at_level(
+                evaluator, "works_for(People, smiley)", ("works_for", 2), level
+            )
+            assert len(predicates) == 1
+            assert len(predicates[0].rows) == 3 * (level + 1)
+
+    def test_expansion_sequence(self, rec_kb, schema):
+        evaluator = Metaevaluator(schema, rec_kb)
+        sequence = expansion_sequence(
+            evaluator, "works_for(People, smiley)", ("works_for", 2), 2
+        )
+        assert [len(level) for level in sequence] == [1, 1, 1]
+
+    def test_expansion_join_growth(self, rec_kb, schema):
+        """Each recursive step adds conditions (the paper's complexity point)."""
+        evaluator = Metaevaluator(schema, rec_kb)
+        counts = [
+            expansion_at_level(
+                evaluator, "works_for(People, smiley)", ("works_for", 2), level
+            )[0].join_count()
+            for level in range(3)
+        ]
+        assert counts[0] < counts[1] < counts[2]

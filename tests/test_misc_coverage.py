@@ -1,0 +1,141 @@
+"""Remaining coverage: writer helpers, dialect corners, builtin options."""
+
+import pytest
+
+from repro.coupling import PrologDbSession
+from repro.dbms import generate_org
+from repro.prolog import (
+    KnowledgeBase,
+    parse_program,
+    program_to_string,
+    var,
+)
+from repro.prolog.writer import goal_list_to_string
+from repro.schema import SAME_MANAGER_SOURCE, WORKS_DIR_FOR_SOURCE
+from repro.sql import QuelDialect, empty_query, get_dialect
+
+
+class TestWriterHelpers:
+    def test_program_roundtrip(self):
+        source = "p(1).\nq(X) :- p(X), r(X, [a, b])."
+        clauses = parse_program(source)
+        rendered = program_to_string(clauses)
+        assert program_to_string(parse_program(rendered)) == rendered
+
+    def test_goal_list(self):
+        clauses = parse_program("q(X) :- p(X), r(X).")
+        assert goal_list_to_string(clauses[0].body_goals()) == "p(X), r(X)"
+
+
+class TestDialectCorners:
+    def test_quel_empty_query(self):
+        assert "1 = 0" in QuelDialect().render(empty_query())
+
+    def test_quel_rejects_not_in(self):
+        from repro.errors import TranslationError
+        from repro.sql import (
+            ColumnRef,
+            NotInCondition,
+            SelectItem,
+            SqlQuery,
+            TableRef,
+        )
+
+        sub = SqlQuery(
+            select=(SelectItem(ColumnRef("n1", "nam")),),
+            from_tables=(TableRef("empl", "n1"),),
+        )
+        query = SqlQuery(
+            select=(SelectItem(ColumnRef("v1", "nam")),),
+            from_tables=(TableRef("empl", "v1"),),
+            extra_conditions=(NotInCondition((ColumnRef("v1", "nam"),), sub),),
+        )
+        with pytest.raises(TranslationError):
+            QuelDialect().render(query)
+
+    def test_sql_dialect_oneline(self):
+        from repro.sql import ColumnRef, SelectItem, SqlQuery, TableRef
+
+        query = SqlQuery(
+            select=(SelectItem(ColumnRef("v1", "nam")),),
+            from_tables=(TableRef("empl", "v1"),),
+        )
+        assert get_dialect("sql").render(query, oneline=True) == (
+            "SELECT v1.nam FROM empl v1"
+        )
+
+
+class TestMetaevaluateBuiltinOptions:
+    @pytest.fixture
+    def session(self):
+        session = PrologDbSession()
+        org = generate_org(depth=2, branching=2, staff_per_dept=4, seed=2)
+        session.load_org(org)
+        session.consult(WORKS_DIR_FOR_SOURCE)
+        session.consult(SAME_MANAGER_SOURCE)
+        return session, org
+
+    def test_optim_option_simplifies_bound_term(self, session):
+        s, org = session
+        employee = org.employees[0].nam
+        from repro.prolog import Struct, list_items
+
+        for options, expected_rows in (("no_optim", 6), ("optim", 2)):
+            solutions = s.engine.solve_all(
+                f"metaevaluate(pr5, [same_manager(X, {employee})], {options}, DBCL)",
+                limit=1,
+            )
+            dbcl_term = solutions[0][var("DBCL")]
+            assert isinstance(dbcl_term, Struct)
+            rows = list_items(dbcl_term.args[2])
+            assert len(rows) == expected_rows, options
+
+    def test_answers_identical_under_both_options(self, session):
+        s, org = session
+        employee = org.employees[0].nam
+        s.engine.solve_all(
+            f"metaevaluate(pr5, [same_manager(X, {employee})], optim, D)", limit=1
+        )
+        optim_facts = s.kb.fact_count(("same_manager", 2))
+        s.kb.retract_all(("same_manager", 2))
+        # Re-consult to restore the view rule dropped by retract_all.
+        s.consult(SAME_MANAGER_SOURCE)
+        s.engine.solve_all(
+            f"metaevaluate(pr5, [same_manager(X, {employee})], no_optim, D)",
+            limit=1,
+        )
+        plain_facts = s.kb.fact_count(("same_manager", 2))
+        assert optim_facts == plain_facts
+
+
+class TestStepwiseLimit:
+    def test_max_solutions(self):
+        session = PrologDbSession()
+        org = generate_org(depth=2, branching=2, staff_per_dept=4, seed=4)
+        session.load_org(org)
+        session.consult(WORKS_DIR_FOR_SOURCE)
+        from repro.extensions import StepwiseEvaluator
+        from repro.optimize import SimplifyOptions
+
+        evaluator = StepwiseEvaluator(
+            session.metaevaluator,
+            session.engine,
+            session.database,
+            session.constraints,
+        )
+        answers, stats = evaluator.evaluate(
+            "empl(E, N, S, D)", max_solutions=3
+        )
+        assert len(answers) == 3
+        session.close()
+
+
+class TestAskLimit:
+    def test_external_path_respects_limit(self):
+        session = PrologDbSession()
+        org = generate_org(depth=2, branching=2, staff_per_dept=4, seed=6)
+        session.load_org(org)
+        session.consult(WORKS_DIR_FOR_SOURCE)
+        answers = session.ask("empl(E, N, S, D)", max_solutions=2)
+        assert len(answers) == 2
+        session.close()

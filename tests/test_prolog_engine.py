@@ -1,0 +1,343 @@
+"""Unit tests for unification and the SLD engine."""
+
+import pytest
+
+from repro.errors import ExistenceError, InstantiationError, PrologError
+from repro.prolog import Engine, KnowledgeBase
+from repro.prolog.engine import StepBudgetExceeded
+from repro.prolog.terms import Atom, Number, Struct, atom, number, struct, var
+from repro.prolog.unify import EMPTY_SUBSTITUTION, Substitution, match, unify
+
+
+class TestUnify:
+    def test_atoms(self):
+        assert unify(atom("a"), atom("a")) is not None
+        assert unify(atom("a"), atom("b")) is None
+
+    def test_variable_binding(self):
+        subst = unify(var("X"), atom("a"))
+        assert subst is not None
+        assert subst.apply(var("X")) == atom("a")
+
+    def test_structs(self):
+        subst = unify(struct("f", var("X"), atom("b")), struct("f", atom("a"), var("Y")))
+        assert subst.apply(var("X")) == atom("a")
+        assert subst.apply(var("Y")) == atom("b")
+
+    def test_functor_clash(self):
+        assert unify(struct("f", var("X")), struct("g", var("X"))) is None
+
+    def test_arity_clash(self):
+        assert unify(struct("f", atom("a")), struct("f", atom("a"), atom("b"))) is None
+
+    def test_shared_variable_consistency(self):
+        subst = unify(
+            struct("f", var("X"), var("X")), struct("f", atom("a"), var("Y"))
+        )
+        assert subst is not None
+        assert subst.apply(var("Y")) == atom("a")
+
+    def test_clash_through_shared_variable(self):
+        assert (
+            unify(struct("f", var("X"), var("X")), struct("f", atom("a"), atom("b")))
+            is None
+        )
+
+    def test_occurs_check(self):
+        assert unify(var("X"), struct("f", var("X")), occurs_check=True) is None
+        # Without the check the binding is made (classic Prolog behaviour).
+        assert unify(var("X"), struct("f", var("X"))) is not None
+
+    def test_chained_bindings_resolve(self):
+        s = EMPTY_SUBSTITUTION.bind(var("X"), var("Y")).bind(var("Y"), atom("a"))
+        assert s.apply(var("X")) == atom("a")
+
+    def test_match_one_way(self):
+        subst = match(struct("f", var("X")), struct("f", atom("a")))
+        assert subst.apply(var("X")) == atom("a")
+        # Instance variables must not be bound by matching.
+        assert match(struct("f", atom("a")), struct("f", var("Y"))) is None
+
+    def test_substitution_restrict(self):
+        s = unify(struct("f", var("X"), var("Y")), struct("f", atom("a"), number(1)))
+        answer = s.restrict([var("X"), var("Y")])
+        assert answer == {var("X"): atom("a"), var("Y"): Number(1)}
+
+
+@pytest.fixture
+def family_engine():
+    kb = KnowledgeBase()
+    kb.consult(
+        """
+        parent(tom, bob).
+        parent(tom, liz).
+        parent(bob, ann).
+        parent(bob, pat).
+        parent(pat, jim).
+        ancestor(X, Y) :- parent(X, Y).
+        ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+        """
+    )
+    return Engine(kb)
+
+
+class TestResolution:
+    def test_fact_lookup(self, family_engine):
+        answers = family_engine.solve_all("parent(tom, X)")
+        values = {a[var("X")] for a in answers}
+        assert values == {atom("bob"), atom("liz")}
+
+    def test_ground_query(self, family_engine):
+        assert family_engine.succeeds("parent(tom, bob)")
+        assert not family_engine.succeeds("parent(bob, tom)")
+
+    def test_conjunction(self, family_engine):
+        answers = family_engine.solve_all("parent(tom, X), parent(X, Y)")
+        pairs = {(a[var("X")].name, a[var("Y")].name) for a in answers}
+        assert pairs == {("bob", "ann"), ("bob", "pat")}
+
+    def test_recursion(self, family_engine):
+        answers = family_engine.solve_all("ancestor(tom, X)")
+        names = {a[var("X")].name for a in answers}
+        assert names == {"bob", "liz", "ann", "pat", "jim"}
+
+    def test_solution_order_depth_first(self, family_engine):
+        answers = family_engine.solve_all("ancestor(tom, X)")
+        names = [a[var("X")].name for a in answers]
+        # Direct children first (clause order), then descendants.
+        assert names[0] == "bob"
+
+    def test_max_solutions(self, family_engine):
+        answers = family_engine.solve_all("ancestor(tom, X)", limit=2)
+        assert len(answers) == 2
+
+    def test_unknown_predicate_fails_quietly(self, family_engine):
+        assert not family_engine.succeeds("nonexistent(X)")
+
+    def test_strict_mode_raises(self):
+        engine = Engine(strict_procedures=True)
+        with pytest.raises(ExistenceError):
+            engine.solve_all("nonexistent(X)")
+
+    def test_count_solutions(self, family_engine):
+        assert family_engine.count_solutions("parent(bob, X)") == 2
+
+    def test_step_budget(self):
+        kb = KnowledgeBase()
+        kb.consult("loop :- loop.")
+        engine = Engine(kb, max_steps=1000)
+        with pytest.raises(StepBudgetExceeded):
+            engine.solve_all("loop")
+
+
+class TestControl:
+    def test_true_fail(self):
+        engine = Engine()
+        assert engine.succeeds("true")
+        assert not engine.succeeds("fail")
+
+    def test_disjunction(self, family_engine):
+        answers = family_engine.solve_all("parent(tom, X) ; parent(bob, X)")
+        names = {a[var("X")].name for a in answers}
+        assert names == {"bob", "liz", "ann", "pat"}
+
+    def test_cut_commits_to_first_clause(self):
+        kb = KnowledgeBase()
+        kb.consult(
+            """
+            first(X) :- p(X), !.
+            p(1). p(2). p(3).
+            """
+        )
+        engine = Engine(kb)
+        answers = engine.solve_all("first(X)")
+        assert [a[var("X")] for a in answers] == [Number(1)]
+
+    def test_cut_prunes_clause_alternatives(self):
+        kb = KnowledgeBase()
+        kb.consult(
+            """
+            max(X, Y, X) :- geq(X, Y), !.
+            max(_, Y, Y).
+            """
+        )
+        engine = Engine(kb)
+        answers = engine.solve_all("max(3, 2, M)")
+        assert [a[var("M")] for a in answers] == [Number(3)]
+        answers = engine.solve_all("max(1, 2, M)")
+        assert [a[var("M")] for a in answers] == [Number(2)]
+
+    def test_cut_is_local_to_clause(self):
+        kb = KnowledgeBase()
+        kb.consult(
+            """
+            a(X) :- b(X).
+            a(9).
+            b(X) :- c(X), !.
+            c(1). c(2).
+            """
+        )
+        engine = Engine(kb)
+        values = [a[var("X")].value for a in engine.solve_all("a(X)")]
+        # The cut inside b/1 prunes c's alternatives but not a's clauses.
+        assert values == [1, 9]
+
+    def test_negation_as_failure(self, family_engine):
+        assert family_engine.succeeds("not(parent(jim, tom))")
+        assert not family_engine.succeeds("not(parent(tom, bob))")
+
+    def test_negation_with_bound_variable(self, family_engine):
+        answers = family_engine.solve_all("parent(X, jim), not(parent(X, ann))")
+        assert [a[var("X")].name for a in answers] == ["pat"]
+
+
+class TestBuiltins:
+    def test_comparisons_on_numbers(self):
+        engine = Engine()
+        assert engine.succeeds("less(1, 2)")
+        assert not engine.succeeds("less(2, 1)")
+        assert engine.succeeds("geq(2, 2)")
+        assert engine.succeeds("neq(1, 2)")
+        assert not engine.succeeds("neq(1, 1)")
+
+    def test_comparisons_on_atoms(self):
+        engine = Engine()
+        assert engine.succeeds("less(abc, abd)")
+        assert engine.succeeds("neq(jones, smiley)")
+
+    def test_mixed_comparison_rejected(self):
+        engine = Engine()
+        with pytest.raises(PrologError):
+            engine.solve_all("less(1, abc)")
+
+    def test_unbound_comparison_raises(self):
+        engine = Engine()
+        with pytest.raises(InstantiationError):
+            engine.solve_all("less(X, 2)")
+
+    def test_eq_unifies(self):
+        engine = Engine()
+        answers = engine.solve_all("eq(X, 3)")
+        assert answers[0][var("X")] == Number(3)
+
+    def test_is_arithmetic(self):
+        engine = Engine()
+        answers = engine.solve_all("X is 2 + 3 * 4")
+        assert answers[0][var("X")] == Number(14)
+
+    def test_findall(self, family_engine):
+        answers = family_engine.solve_all("findall(X, parent(tom, X), L)")
+        from repro.prolog.terms import list_items
+
+        items = list_items(answers[0][var("L")])
+        assert items == [atom("bob"), atom("liz")]
+
+    def test_findall_empty(self, family_engine):
+        answers = family_engine.solve_all("findall(X, parent(jim, X), L)")
+        from repro.prolog.terms import list_items
+
+        assert list_items(answers[0][var("L")]) == []
+
+    def test_between(self):
+        engine = Engine()
+        values = [a[var("X")].value for a in engine.solve_all("between(1, 4, X)")]
+        assert values == [1, 2, 3, 4]
+
+    def test_member(self):
+        engine = Engine()
+        values = [a[var("X")].name for a in engine.solve_all("member(X, [a, b])")]
+        assert values == ["a", "b"]
+
+    def test_assert_and_query(self):
+        engine = Engine()
+        engine.solve_all("assertz(city(nyc))")
+        assert engine.succeeds("city(nyc)")
+
+    def test_asserta_orders_first(self):
+        engine = Engine()
+        engine.solve_all("assertz(n(1))")
+        engine.solve_all("asserta(n(0))")
+        values = [a[var("X")].value for a in engine.solve_all("n(X)")]
+        assert values == [0, 1]
+
+    def test_retract(self):
+        engine = Engine()
+        engine.solve_all("assertz(city(nyc))")
+        engine.solve_all("retract(city(nyc))")
+        assert not engine.succeeds("city(nyc)")
+
+    def test_retract_fails_when_absent(self):
+        engine = Engine()
+        assert not engine.succeeds("retract(city(nyc))")
+
+    def test_assert_rule(self):
+        engine = Engine()
+        engine.solve_all("assertz((q(X) :- p(X)))")
+        engine.solve_all("assertz(p(1))")
+        assert engine.succeeds("q(1)")
+
+    def test_var_nonvar(self):
+        engine = Engine()
+        assert engine.succeeds("var(X)")
+        assert engine.succeeds("nonvar(a)")
+        assert not engine.succeeds("var(a)")
+
+    def test_ground(self):
+        engine = Engine()
+        assert engine.succeeds("ground(f(a, 1))")
+        assert not engine.succeeds("ground(f(a, X))")
+
+    def test_length(self):
+        engine = Engine()
+        answers = engine.solve_all("length([a, b, c], N)")
+        assert answers[0][var("N")] == Number(3)
+
+
+class TestKnowledgeBase:
+    def test_first_argument_indexing_candidates(self):
+        kb = KnowledgeBase()
+        for i in range(100):
+            kb.assert_fact("empl", f"e{i}", f"name{i}", 10000 + i, 1)
+        goal = struct("empl", atom("e5"), var("N"), var("S"), var("D"))
+        candidates = list(kb.clauses_for(goal))
+        assert len(candidates) == 1
+
+    def test_unindexed_goal_scans_all(self):
+        kb = KnowledgeBase()
+        for i in range(10):
+            kb.assert_fact("empl", f"e{i}", f"name{i}", 10000 + i, 1)
+        goal = struct("empl", var("E"), var("N"), var("S"), var("D"))
+        assert len(list(kb.clauses_for(goal))) == 10
+
+    def test_rules_disable_indexing_correctly(self):
+        kb = KnowledgeBase()
+        kb.assert_fact("p", "a")
+        kb.consult("p(X) :- q(X).")
+        goal = struct("p", atom("b"))
+        # All clauses must be candidates once a rule exists.
+        assert len(list(kb.clauses_for(goal))) == 2
+
+    def test_retract_all(self):
+        kb = KnowledgeBase()
+        kb.assert_fact("p", "a")
+        kb.assert_fact("p", "b")
+        assert kb.retract_all(("p", 1)) == 2
+        assert kb.fact_count(("p", 1)) == 0
+
+    def test_snapshot_is_independent(self):
+        kb = KnowledgeBase()
+        kb.assert_fact("p", "a")
+        copy = kb.snapshot()
+        copy.assert_fact("p", "b")
+        assert kb.fact_count(("p", 1)) == 1
+        assert copy.fact_count(("p", 1)) == 2
+
+    def test_consult_rejects_directives(self):
+        kb = KnowledgeBase()
+        with pytest.raises(PrologError):
+            kb.consult(":- initialization(main).")
+
+    def test_len_counts_clauses(self):
+        kb = KnowledgeBase()
+        kb.consult("a. b. c :- a.")
+        assert len(kb) == 3

@@ -1,0 +1,197 @@
+"""Unit tests for the Prolog term representation."""
+
+import pytest
+
+from repro.prolog.terms import (
+    EMPTY_LIST,
+    TRUE,
+    Atom,
+    Clause,
+    Number,
+    PString,
+    Struct,
+    Variable,
+    atom,
+    clause_variables,
+    conjoin,
+    conjuncts,
+    constant_value,
+    disjuncts,
+    fresh_var,
+    goal_indicator,
+    is_callable,
+    is_constant,
+    is_list,
+    list_items,
+    make_list,
+    rename_apart,
+    struct,
+    subterms,
+    term_size,
+    var,
+    variables_of,
+)
+
+
+class TestConstruction:
+    def test_atom_equality(self):
+        assert Atom("empl") == Atom("empl")
+        assert Atom("empl") != Atom("dept")
+
+    def test_number_equality(self):
+        assert Number(40000) == Number(40000)
+        assert Number(1) != Number(1.5)
+
+    def test_struct_builder(self):
+        term = struct("empl", atom("e1"), var("X"))
+        assert term.functor == "empl"
+        assert term.arity == 2
+        assert term.indicator == ("empl", 2)
+
+    def test_variables_distinct_by_ordinal(self):
+        assert var("X") != var("X", 1)
+        assert var("X", 1) == Variable("X", 1)
+
+    def test_fresh_vars_are_distinct(self):
+        a = fresh_var("X")
+        b = fresh_var("X")
+        assert a != b
+
+    def test_terms_hashable(self):
+        seen = {atom("a"), struct("f", atom("a")), var("X"), Number(3)}
+        assert len(seen) == 4
+
+    def test_anonymous_variable_detection(self):
+        assert Variable("_Anon1").is_anonymous
+        assert not Variable("X").is_anonymous
+
+
+class TestLists:
+    def test_make_and_decompose(self):
+        lst = make_list([atom("a"), atom("b")])
+        assert is_list(lst)
+        assert list_items(lst) == [atom("a"), atom("b")]
+
+    def test_empty_list(self):
+        assert is_list(EMPTY_LIST)
+        assert list_items(EMPTY_LIST) == []
+
+    def test_improper_list_rejected(self):
+        improper = Struct(".", (atom("a"), atom("b")))
+        assert not is_list(improper)
+        with pytest.raises(ValueError):
+            list_items(improper)
+
+    def test_list_with_tail(self):
+        lst = make_list([atom("a")], tail=var("T"))
+        assert not is_list(lst)
+
+
+class TestInspection:
+    def test_is_constant(self):
+        assert is_constant(atom("a"))
+        assert is_constant(Number(1))
+        assert is_constant(PString("s"))
+        assert not is_constant(var("X"))
+        assert not is_constant(struct("f", atom("a")))
+
+    def test_constant_value(self):
+        assert constant_value(atom("a")) == "a"
+        assert constant_value(Number(3)) == 3
+        assert constant_value(PString("s")) == "s"
+        with pytest.raises(ValueError):
+            constant_value(var("X"))
+
+    def test_is_callable(self):
+        assert is_callable(atom("a"))
+        assert is_callable(struct("f", var("X")))
+        assert not is_callable(Number(1))
+
+    def test_goal_indicator(self):
+        assert goal_indicator(atom("halt")) == ("halt", 0)
+        assert goal_indicator(struct("empl", var("X"))) == ("empl", 1)
+        with pytest.raises(ValueError):
+            goal_indicator(Number(1))
+
+    def test_variables_of_order_and_dedup(self):
+        term = struct("f", var("X"), struct("g", var("Y"), var("X")))
+        assert variables_of(term) == [var("X"), var("Y")]
+
+    def test_term_size(self):
+        assert term_size(atom("a")) == 1
+        assert term_size(struct("f", atom("a"), atom("b"))) == 3
+
+    def test_subterms_preorder(self):
+        term = struct("f", atom("a"), struct("g", var("X")))
+        listing = list(subterms(term))
+        assert listing[0] == term
+        assert atom("a") in listing
+        assert var("X") in listing
+
+
+class TestConjunctions:
+    def test_conjuncts_flattening(self):
+        term = struct(",", atom("a"), struct(",", atom("b"), atom("c")))
+        assert conjuncts(term) == [atom("a"), atom("b"), atom("c")]
+
+    def test_conjuncts_left_nested(self):
+        term = struct(",", struct(",", atom("a"), atom("b")), atom("c"))
+        assert conjuncts(term) == [atom("a"), atom("b"), atom("c")]
+
+    def test_conjoin_roundtrip(self):
+        goals = [atom("a"), atom("b"), atom("c")]
+        assert conjuncts(conjoin(goals)) == goals
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin([]) == TRUE
+
+    def test_conjoin_single(self):
+        assert conjoin([atom("a")]) == atom("a")
+
+    def test_disjuncts(self):
+        term = struct(";", atom("a"), struct(";", atom("b"), atom("c")))
+        assert disjuncts(term) == [atom("a"), atom("b"), atom("c")]
+
+
+class TestClauses:
+    def test_fact(self):
+        clause = Clause(struct("empl", atom("e1")))
+        assert clause.is_fact
+        assert clause.body_goals() == []
+        assert clause.indicator == ("empl", 1)
+
+    def test_rule_body_goals(self):
+        body = struct(",", struct("p", var("X")), struct("q", var("X")))
+        clause = Clause(struct("r", var("X")), body)
+        assert not clause.is_fact
+        assert len(clause.body_goals()) == 2
+
+    def test_clause_variables(self):
+        clause = Clause(
+            struct("r", var("X")),
+            struct(",", struct("p", var("X")), struct("q", var("Y"))),
+        )
+        assert clause_variables(clause) == [var("X"), var("Y")]
+
+    def test_rename_apart_fresh(self):
+        clause = Clause(
+            struct("r", var("X")),
+            struct("p", var("X"), var("Y")),
+        )
+        renamed = rename_apart(clause)
+        original_vars = set(clause_variables(clause))
+        renamed_vars = set(clause_variables(renamed))
+        assert original_vars.isdisjoint(renamed_vars)
+
+    def test_rename_apart_preserves_sharing(self):
+        clause = Clause(struct("r", var("X")), struct("p", var("X"), var("X")))
+        renamed = rename_apart(clause)
+        assert isinstance(renamed.body, Struct)
+        head_var = renamed.head.args[0]
+        assert renamed.body.args == (head_var, head_var)
+
+    def test_rename_apart_twice_differs(self):
+        clause = Clause(struct("r", var("X")))
+        first = rename_apart(clause)
+        second = rename_apart(clause)
+        assert first.head != second.head

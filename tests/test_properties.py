@@ -1,0 +1,358 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+The key soundness property of the whole system is at the bottom:
+for arbitrary conjunctive queries over arbitrary generated databases,
+the *optimized* SQL returns exactly the same answers as the *direct*
+translation — Algorithm 2 must never change a query's meaning.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dbcl import Comparison, ConstSymbol, TargetSymbol, VarSymbol
+from repro.dbms import generate_org, make_loaded_database
+from repro.metaevaluate import Metaevaluator
+from repro.optimize import analyse_comparisons, chase, simplify
+from repro.prolog import KnowledgeBase, parse_clause, var
+from repro.prolog.terms import Atom, Clause, Number, Struct, Variable
+from repro.prolog.unify import unify
+from repro.prolog.writer import clause_to_string
+from repro.schema import (
+    SAME_MANAGER_SOURCE,
+    WORKS_DIR_FOR_SOURCE,
+    empdep_constraints,
+    empdep_schema,
+)
+from repro.sql import translate
+
+# ---------------------------------------------------------------------------
+# term / unification strategies
+# ---------------------------------------------------------------------------
+
+atoms = st.sampled_from([Atom("a"), Atom("b"), Atom("smiley"), Atom("jones")])
+numbers = st.integers(min_value=-5, max_value=5).map(Number)
+variables = st.sampled_from([var("X"), var("Y"), var("Z")])
+
+
+def terms(max_depth=2):
+    base = st.one_of(atoms, numbers, variables)
+    if max_depth == 0:
+        return base
+    return st.one_of(
+        base,
+        st.builds(
+            lambda f, args: Struct(f, tuple(args)),
+            st.sampled_from(["f", "g"]),
+            st.lists(terms(max_depth - 1), min_size=1, max_size=3),
+        ),
+    )
+
+
+class TestUnificationProperties:
+    @given(terms(), terms())
+    @settings(max_examples=200)
+    def test_unifier_makes_terms_equal(self, left, right):
+        # With the occurs check on, the computed unifier really unifies.
+        # (Without it, X = f(X) builds a cyclic binding whose deep
+        # application would diverge — standard Prolog behaviour that the
+        # metaevaluator never triggers.)
+        subst = unify(left, right, occurs_check=True)
+        if subst is not None:
+            assert subst.apply(left) == subst.apply(right)
+
+    @given(variables)
+    @settings(max_examples=10)
+    def test_occurs_check_blocks_cyclic_binding(self, variable):
+        cyclic = Struct("f", (variable,))
+        assert unify(variable, cyclic, occurs_check=True) is None
+        assert unify(variable, cyclic) is not None  # classic Prolog
+
+    @given(terms(), terms())
+    @settings(max_examples=200)
+    def test_unification_symmetric(self, left, right):
+        assert (unify(left, right) is None) == (unify(right, left) is None)
+
+    @given(terms())
+    @settings(max_examples=100)
+    def test_self_unification(self, term):
+        assert unify(term, term) is not None
+
+    @given(terms())
+    @settings(max_examples=100)
+    def test_ground_substitution_idempotent(self, term):
+        subst = unify(var("W"), term)
+        once = subst.apply(var("W"))
+        assert subst.apply(once) == once
+
+
+class TestWriterParserRoundTrip:
+    @given(terms())
+    @settings(max_examples=200)
+    def test_clause_roundtrip(self, term):
+        clause = Clause(Struct("p", (term,)))
+        text = clause_to_string(clause)
+        reparsed = parse_clause(text)
+        # Round-trip up to printing (variable ordinals may render inline).
+        assert clause_to_string(reparsed) == text
+
+
+# ---------------------------------------------------------------------------
+# workload generator invariants
+# ---------------------------------------------------------------------------
+
+
+class TestWorkloadProperties:
+    @given(
+        depth=st.integers(min_value=0, max_value=3),
+        branching=st.integers(min_value=1, max_value=3),
+        extra_staff=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+        acyclic=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_constraints_always_hold(self, depth, branching, extra_staff, seed, acyclic):
+        staff = branching + extra_staff
+        org = generate_org(
+            depth=depth,
+            branching=branching,
+            staff_per_dept=staff,
+            seed=seed,
+            acyclic_top=acyclic,
+        )
+        enos = [e.eno for e in org.employees]
+        nams = [e.nam for e in org.employees]
+        assert len(set(enos)) == len(enos)
+        assert len(set(nams)) == len(nams)
+        assert all(10000 <= e.sal <= 90000 for e in org.employees)
+        dnos = {d.dno for d in org.departments}
+        assert all(e.dno in dnos for e in org.employees)
+        mgrs = [d.mgr for d in org.departments]
+        assert len(set(mgrs)) == len(mgrs)
+        if not acyclic:
+            assert all(m in set(enos) for m in mgrs)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_oracle_transitivity(self, seed):
+        org = generate_org(depth=2, branching=2, staff_per_dept=3, seed=seed)
+        closure = org.works_for_pairs()
+        direct = org.works_dir_for_pairs()
+        for low, mid in direct:
+            for mid2, high in direct:
+                if mid == mid2 and low != high:
+                    assert (low, high) in closure
+
+
+# ---------------------------------------------------------------------------
+# inequality analysis: semantic preservation
+# ---------------------------------------------------------------------------
+
+_SYMBOLS = [VarSymbol("A"), VarSymbol("B"), VarSymbol("C")]
+_OPERANDS = _SYMBOLS + [ConstSymbol(0), ConstSymbol(5)]
+
+comparison_lists = st.lists(
+    st.builds(
+        Comparison,
+        st.sampled_from(["eq", "neq", "less", "greater", "leq", "geq"]),
+        st.sampled_from(_OPERANDS),
+        st.sampled_from(_OPERANDS),
+    ),
+    max_size=5,
+)
+
+
+def _satisfies(comparisons, assignment) -> bool:
+    def value(symbol):
+        if isinstance(symbol, ConstSymbol):
+            return symbol.value
+        return assignment[symbol]
+
+    for c in comparisons:
+        left, right = value(c.left), value(c.right)
+        ok = {
+            "eq": left == right,
+            "neq": left != right,
+            "less": left < right,
+            "greater": left > right,
+            "leq": left <= right,
+            "geq": left >= right,
+        }[c.op]
+        if not ok:
+            return False
+    return True
+
+
+class TestInequalityProperties:
+    @given(
+        comparisons=comparison_lists,
+        values=st.tuples(
+            st.integers(min_value=-2, max_value=7),
+            st.integers(min_value=-2, max_value=7),
+            st.integers(min_value=-2, max_value=7),
+        ),
+    )
+    @settings(max_examples=300)
+    def test_analysis_preserves_semantics(self, comparisons, values):
+        """Any assignment satisfies the input iff it satisfies the output.
+
+        The output is the kept comparisons *plus* the derived renamings
+        interpreted as equalities.
+        """
+        try:
+            outcome = analyse_comparisons(comparisons)
+        except Exception:  # cross-type orderings raise; not under test here
+            return
+        assignment = dict(zip(_SYMBOLS, values))
+        input_ok = _satisfies(comparisons, assignment)
+        if outcome.contradiction:
+            assert not input_ok
+            return
+        renaming_equalities = [
+            Comparison("eq", source, target)
+            for source, target in outcome.renamings.items()
+        ]
+        output_ok = _satisfies(
+            list(outcome.comparisons) + renaming_equalities, assignment
+        )
+        assert input_ok == output_ok
+
+
+# ---------------------------------------------------------------------------
+# end-to-end soundness: optimized SQL == direct SQL
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def soundness_env():
+    schema = empdep_schema()
+    constraints = empdep_constraints(schema)
+    database, org = make_loaded_database(
+        depth=3, branching=2, staff_per_dept=4, seed=99, schema=schema
+    )
+    kb = KnowledgeBase()
+    kb.consult(WORKS_DIR_FOR_SOURCE)
+    kb.consult(SAME_MANAGER_SOURCE)
+    evaluator = Metaevaluator(schema, kb)
+    yield evaluator, constraints, database, org
+    database.close()
+
+
+class TestOptimizerSoundness:
+    @given(
+        shape=st.integers(min_value=0, max_value=3),
+        who=st.integers(min_value=0, max_value=59),
+        threshold=st.integers(min_value=0, max_value=30).map(lambda k: k * 10_000),
+    )
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_simplified_query_same_answers(
+        self, soundness_env, shape, who, threshold
+    ):
+        evaluator, constraints, database, org = soundness_env
+        name = org.employees[who % len(org.employees)].nam
+        goals = [
+            f"same_manager(X, {name})",
+            f"works_dir_for(X, {name}), empl(_, X, S, _), less(S, {threshold})",
+            f"works_dir_for(X, Y), empl(_, X, S, _), geq(S, {threshold})",
+            f"works_dir_for(X, {name}), works_dir_for(Y, X)",
+        ]
+        predicate = evaluator.metaevaluate(goals[shape])
+        result = simplify(predicate, constraints)
+        direct_rows = set(database.execute(translate(predicate, distinct=True)))
+        if result.is_empty:
+            assert direct_rows == set()
+            return
+        optimized_rows = set(
+            database.execute(translate(result.predicate, distinct=True))
+        )
+        assert optimized_rows == direct_rows
+
+    @given(
+        who=st.integers(min_value=0, max_value=59),
+        threshold=st.integers(min_value=0, max_value=30).map(lambda k: k * 10_000),
+    )
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_simplify_idempotent(self, soundness_env, who, threshold):
+        evaluator, constraints, database, org = soundness_env
+        name = org.employees[who % len(org.employees)].nam
+        predicate = evaluator.metaevaluate(
+            f"works_dir_for(X, {name}), empl(_, X, S, _), less(S, {threshold})"
+        )
+        once = simplify(predicate, constraints)
+        if once.is_empty:
+            return
+        twice = simplify(once.predicate, constraints)
+        assert not twice.is_empty
+        assert twice.predicate.canonical_key() == once.predicate.canonical_key()
+
+    @given(
+        who=st.integers(min_value=0, max_value=59),
+        threshold_a=st.integers(min_value=1, max_value=8).map(lambda k: k * 10_000),
+        threshold_b=st.integers(min_value=1, max_value=8).map(lambda k: k * 10_000),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_containment_implies_answer_subset(
+        self, soundness_env, who, threshold_a, threshold_b
+    ):
+        """If contains(a, b) then answers(b) ⊆ answers(a) on live data."""
+        from repro.dbcl import contains
+
+        evaluator, constraints, database, org = soundness_env
+        name = org.employees[who % len(org.employees)].nam
+        a = evaluator.metaevaluate(
+            f"works_dir_for(X, {name}), empl(_, X, S, _), less(S, {threshold_a})"
+        )
+        b = evaluator.metaevaluate(
+            f"works_dir_for(X, {name}), empl(_, X, S, _), less(S, {threshold_b})"
+        )
+        if contains(a, b):
+            rows_a = set(database.execute(translate(a, distinct=True)))
+            rows_b = set(database.execute(translate(b, distinct=True)))
+            assert rows_b <= rows_a
+
+    @given(who=st.integers(min_value=0, max_value=59))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_chase_idempotent(self, soundness_env, who):
+        evaluator, constraints, database, org = soundness_env
+        name = org.employees[who % len(org.employees)].nam
+        predicate = evaluator.metaevaluate(f"same_manager(X, {name})")
+        once = chase(predicate, constraints)
+        twice = chase(once.predicate, constraints)
+        assert not twice.changed
+
+    @given(
+        who=st.integers(min_value=0, max_value=59),
+        renumber=st.integers(min_value=1, max_value=50),
+    )
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_canonical_key_renaming_invariant(self, soundness_env, who, renumber):
+        evaluator, constraints, database, org = soundness_env
+        name = org.employees[who % len(org.employees)].nam
+        predicate = evaluator.metaevaluate(f"same_manager(X, {name})")
+        mapping = {
+            symbol: VarSymbol(f"R{renumber}", i)
+            for i, symbol in enumerate(predicate.var_symbols())
+        }
+        renamed = predicate.rename(mapping)
+        assert renamed.canonical_key() == predicate.canonical_key()
+        assert renamed.canonical_form() == predicate.canonical_form()

@@ -1,0 +1,198 @@
+"""End-to-end run on a second schema (suppliers–parts).
+
+The mechanism must be schema-independent: nothing in the pipeline may
+assume ``empdep``.  This module builds the classic suppliers–parts
+catalog, declares analogous constraints, and drives metaevaluation,
+Algorithm 2, SQL generation, execution, and recursion over it.
+"""
+
+import pytest
+
+from repro.coupling import PrologDbSession
+from repro.dbms import ExternalDatabase
+from repro.metaevaluate import Metaevaluator
+from repro.optimize import simplify
+from repro.prolog import KnowledgeBase, var
+from repro.schema import (
+    ConstraintSet,
+    FuncDep,
+    RefInt,
+    ValueBound,
+    make_schema,
+)
+from repro.sql import translate
+
+VIEWS = """
+supplies_city(Sname, City) :- supplier(S, Sname, _), shipment(S, P, _),
+                              part(P, _, City).
+heavy_pair(X, Y) :- shipment(S, X, Q1), shipment(S, Y, Q2),
+                    greater(Q1, Q2).
+"""
+
+
+@pytest.fixture(scope="module")
+def sp_schema():
+    return make_schema(
+        "spdb",
+        {
+            "supplier": ["sno", "sname", "scity"],
+            "part": ["pno", "pname", "pcity"],
+            "shipment": ["sno", "pno", "qty"],
+        },
+        attribute_types={
+            "sno": "int", "sname": "text", "scity": "text",
+            "pno": "int", "pname": "text", "pcity": "text",
+            "qty": "int",
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def sp_constraints(sp_schema):
+    return ConstraintSet(
+        sp_schema,
+        value_bounds=[ValueBound("shipment", "qty", 1, 1000)],
+        funcdeps=[
+            FuncDep("supplier", ("sno",), ("sname", "scity")),
+            FuncDep("supplier", ("sname",), ("sno",)),
+            FuncDep("part", ("pno",), ("pname", "pcity")),
+            FuncDep("shipment", ("sno", "pno"), ("qty",)),
+        ],
+        refints=[
+            RefInt("shipment", ("sno",), "supplier", ("sno",)),
+            RefInt("shipment", ("pno",), "part", ("pno",)),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def sp_database(sp_schema):
+    database = ExternalDatabase(sp_schema)
+    database.insert_rows(
+        "supplier",
+        [(1, "smith", "london"), (2, "jones", "paris"), (3, "blake", "paris")],
+    )
+    database.insert_rows(
+        "part",
+        [(10, "nut", "london"), (20, "bolt", "paris"), (30, "screw", "rome")],
+    )
+    database.insert_rows(
+        "shipment",
+        [(1, 10, 300), (1, 20, 200), (2, 20, 400), (3, 30, 100), (2, 10, 50)],
+    )
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def sp_evaluator(sp_schema):
+    kb = KnowledgeBase()
+    kb.consult(VIEWS)
+    return Metaevaluator(sp_schema, kb)
+
+
+class TestSecondSchemaPipeline:
+    def test_schema_list(self, sp_schema):
+        assert sp_schema.schema_list() == [
+            "spdb", "sno", "sname", "scity", "pno", "pname", "pcity", "qty",
+        ]
+
+    def test_view_metaevaluates(self, sp_evaluator):
+        predicate = sp_evaluator.metaevaluate(
+            "supplies_city(N, london)", targets=[var("N")]
+        )
+        assert [row.tag for row in predicate.rows] == [
+            "supplier", "shipment", "part",
+        ]
+
+    def test_execution(self, sp_evaluator, sp_database):
+        predicate = sp_evaluator.metaevaluate(
+            "supplies_city(N, london)", targets=[var("N")]
+        )
+        rows = sp_database.execute(translate(predicate, distinct=True))
+        # nut (london) is shipped by smith (via s1) and jones (via s2).
+        assert {r[0] for r in rows} == {"smith", "jones"}
+
+    def test_valuebound_contradiction(self, sp_evaluator, sp_constraints):
+        predicate = sp_evaluator.metaevaluate(
+            "shipment(S, P, Q), greater(Q, 5000)", targets=[var("S")]
+        )
+        result = simplify(predicate, sp_constraints)
+        assert result.is_empty
+
+    def test_refint_dangling_removal(self, sp_evaluator, sp_constraints):
+        # "Suppliers having any shipment of any part": the part row dangles
+        # (shipment.pno is backed by refint into part).
+        predicate = sp_evaluator.metaevaluate(
+            "supplier(S, N, _), shipment(S, P, _), part(P, _, _)",
+            targets=[var("N")],
+        )
+        result = simplify(predicate, sp_constraints)
+        tags = [row.tag for row in result.predicate.rows]
+        assert "part" not in tags
+        # ... and the shipment row survives (it restricts: S must ship).
+        assert "shipment" in tags
+
+    def test_chase_on_composite_key(self, sp_evaluator, sp_constraints):
+        # Two shipment rows agreeing on (sno, pno) merge their qty.
+        predicate = sp_evaluator.metaevaluate(
+            "shipment(S, P, Q1), shipment(S, P, Q2), greater(Q1, Q2)",
+            targets=[var("S")],
+        )
+        result = simplify(predicate, sp_constraints)
+        # qty is functionally determined: Q1 = Q2, so Q1 > Q2 contradicts.
+        assert result.is_empty
+
+    def test_inequality_join_survives(self, sp_evaluator, sp_constraints, sp_database):
+        predicate = sp_evaluator.metaevaluate(
+            "heavy_pair(X, Y)", targets=[var("X"), var("Y")]
+        )
+        result = simplify(predicate, sp_constraints)
+        assert not result.is_empty
+        rows = sp_database.execute(translate(result.predicate, distinct=True))
+        # Pairs of parts from one supplier with strictly decreasing qty:
+        # s1: (10, 20) since 300 > 200; s2: (20, 10) since 400 > 50.
+        assert set(rows) == {(10, 20), (20, 10)}
+
+    def test_session_on_second_schema(self, sp_schema, sp_constraints):
+        session = PrologDbSession(schema=sp_schema, constraints=sp_constraints)
+        session.database.insert_rows(
+            "supplier", [(1, "smith", "london")]
+        )
+        session.database.insert_rows("part", [(10, "nut", "london")])
+        session.database.insert_rows("shipment", [(1, 10, 300)])
+        session.consult(VIEWS)
+        answers = session.ask("supplies_city(N, london)")
+        assert answers == [{"N": "smith"}]
+        session.close()
+
+    def test_recursion_on_second_schema(self, sp_schema, sp_constraints):
+        # A part 'contains' hierarchy: bom(Part, Subpart) through shipment
+        # reinterpreted — simpler: define a containment base table via
+        # shipment with supplier as linking node is contrived; instead use
+        # a dedicated acyclic graph over part numbers stored in shipment
+        # (sno as parent, pno as child) with qty ignored.
+        session = PrologDbSession(schema=sp_schema, constraints=sp_constraints)
+        session.database.insert_rows(
+            "shipment",
+            [(1, 2, 1), (2, 3, 1), (3, 4, 1), (2, 5, 1)],
+        )
+        session.database.insert_rows(
+            "supplier",
+            [(n, f"s{n}", "x") for n in range(1, 6)],
+        )
+        session.database.insert_rows(
+            "part",
+            [(n, f"p{n}", "x") for n in range(1, 6)],
+        )
+        session.consult(
+            """
+            contains(X, Y) :- shipment(X, Y, _).
+            part_of(Low, High) :- contains(High, Low).
+            part_of(Low, High) :- contains(High, Mid), part_of(Low, Mid).
+            """
+        )
+        run = session.solve_recursive("part_of", high=1, strategy="topdown")
+        lows = {l for l, h in run.pairs}
+        assert lows == {2, 3, 4, 5}
+        session.close()

@@ -1,0 +1,136 @@
+"""Validation and statistics tests for the SQL syntax trees."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.sql import (
+    ColumnRef,
+    Condition,
+    Literal,
+    NotInCondition,
+    SelectItem,
+    SqlQuery,
+    TableRef,
+    UnionQuery,
+    empty_query,
+    print_sql,
+    print_union,
+)
+
+
+def _simple_query(select_attr="nam", alias="v1"):
+    return SqlQuery(
+        select=(SelectItem(ColumnRef(alias, select_attr)),),
+        from_tables=(TableRef("empl", alias),),
+    )
+
+
+class TestAstValidation:
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(TranslationError):
+            SqlQuery(
+                select=(),
+                from_tables=(TableRef("empl", "v1"), TableRef("dept", "v1")),
+            )
+
+    def test_empty_from_rejected(self):
+        with pytest.raises(TranslationError):
+            SqlQuery(select=(), from_tables=())
+
+    def test_empty_marker_allows_no_from(self):
+        query = empty_query()
+        assert query.is_empty
+        assert "1 = 0" in print_sql(query)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(TranslationError):
+            Condition("like", ColumnRef("v1", "nam"), Literal("x"))
+
+    def test_not_in_arity_checked(self):
+        sub = _simple_query()
+        with pytest.raises(TranslationError):
+            NotInCondition(
+                (ColumnRef("v1", "nam"), ColumnRef("v1", "eno")), sub
+            )
+
+    def test_union_arity_checked(self):
+        one = _simple_query()
+        two = SqlQuery(
+            select=(
+                SelectItem(ColumnRef("v1", "nam")),
+                SelectItem(ColumnRef("v1", "eno")),
+            ),
+            from_tables=(TableRef("empl", "v1"),),
+        )
+        with pytest.raises(TranslationError):
+            UnionQuery((one, two))
+
+    def test_union_ignores_empty_branches(self):
+        union = UnionQuery((_simple_query(), empty_query()))
+        assert len(union.live_branches) == 1
+
+    def test_union_all_empty_renders_false(self):
+        union = UnionQuery((empty_query(), empty_query()))
+        assert "1 = 0" in print_union(union)
+
+
+class TestStatistics:
+    def test_join_term_detection(self):
+        join = Condition("eq", ColumnRef("v1", "dno"), ColumnRef("v2", "dno"))
+        restriction = Condition("eq", ColumnRef("v1", "nam"), Literal("x"))
+        same_alias = Condition("less", ColumnRef("v1", "sal"), ColumnRef("v1", "eno"))
+        query = SqlQuery(
+            select=(SelectItem(ColumnRef("v1", "nam")),),
+            from_tables=(TableRef("empl", "v1"), TableRef("dept", "v2")),
+            where=(join, restriction, same_alias),
+        )
+        assert query.join_term_count == 1
+        assert query.restriction_count == 2
+        assert join.is_equijoin
+        assert not restriction.is_join
+        assert not same_alias.is_join  # intra-variable comparison
+
+    def test_select_item_label(self):
+        item = SelectItem(ColumnRef("v1", "nam"), label="boss")
+        assert str(item) == "v1.nam AS boss"
+        plain = SelectItem(ColumnRef("v1", "nam"), label="nam")
+        assert str(plain) == "v1.nam"
+
+    def test_literal_quoting(self):
+        assert str(Literal("it's")) == "'it''s'"
+        assert str(Literal(5)) == "5"
+        assert str(Literal(2.5)) == "2.5"
+
+
+class TestNotInRendering:
+    def test_single_column(self):
+        base = _simple_query()
+        sub = _simple_query(alias="n1")
+        query = SqlQuery(
+            select=base.select,
+            from_tables=base.from_tables,
+            extra_conditions=(NotInCondition((ColumnRef("v1", "nam"),), sub),),
+        )
+        text = print_sql(query, oneline=True)
+        assert "v1.nam NOT IN (SELECT n1.nam FROM empl n1)" in text
+
+    def test_multi_column_parenthesised(self):
+        sub = SqlQuery(
+            select=(
+                SelectItem(ColumnRef("n1", "nam")),
+                SelectItem(ColumnRef("n1", "eno")),
+            ),
+            from_tables=(TableRef("empl", "n1"),),
+        )
+        base = _simple_query()
+        query = SqlQuery(
+            select=base.select,
+            from_tables=base.from_tables,
+            extra_conditions=(
+                NotInCondition(
+                    (ColumnRef("v1", "nam"), ColumnRef("v1", "eno")), sub
+                ),
+            ),
+        )
+        text = print_sql(query, oneline=True)
+        assert "(v1.nam, v1.eno) NOT IN" in text

@@ -1,0 +1,240 @@
+"""Tests for DBCL → SQL translation (paper section 5, Example 5-1, Appendix)."""
+
+import pytest
+
+from repro.dbcl import TableauBuilder
+from repro.errors import TranslationError
+from repro.metaevaluate import Metaevaluator
+from repro.prolog import KnowledgeBase, var
+from repro.schema import (
+    SAME_MANAGER_SOURCE,
+    WORKS_DIR_FOR_SOURCE,
+    empdep_schema,
+)
+from repro.sql import (
+    QuelDialect,
+    SqlTranslator,
+    get_dialect,
+    print_sql,
+    translate,
+)
+
+
+@pytest.fixture
+def schema():
+    return empdep_schema()
+
+
+@pytest.fixture
+def evaluator(schema):
+    kb = KnowledgeBase()
+    kb.consult(WORKS_DIR_FOR_SOURCE)
+    kb.consult(SAME_MANAGER_SOURCE)
+    return Metaevaluator(schema, kb)
+
+
+@pytest.fixture
+def same_manager_predicate(evaluator):
+    return evaluator.metaevaluate(
+        "same_manager(X, jones)", name="same_manager", targets=[var("X")]
+    )
+
+
+@pytest.fixture
+def works_dir_for_predicate(evaluator):
+    return evaluator.metaevaluate(
+        "works_dir_for(Nam, smiley)", name="works_dir_for", targets=[var("Nam")]
+    )
+
+
+class TestExample51:
+    """Example 5-1: the direct translation of same_manager(t_X, jones)."""
+
+    def test_from_clause_six_variables(self, same_manager_predicate):
+        query = translate(same_manager_predicate)
+        assert query.table_count == 6
+        assert [t.relation for t in query.from_tables] == [
+            "empl", "dept", "empl", "empl", "dept", "empl",
+        ]
+        assert [t.alias for t in query.from_tables] == [
+            "v1", "v2", "v3", "v4", "v5", "v6",
+        ]
+
+    def test_select_clause(self, same_manager_predicate):
+        query = translate(same_manager_predicate)
+        assert len(query.select) == 1
+        assert str(query.select[0].column) == "v1.nam"
+
+    def test_five_equijoins(self, same_manager_predicate):
+        """The paper counts five joins avoided down to one in Example 6-2."""
+        query = translate(same_manager_predicate)
+        equijoins = [c for c in query.where if c.is_equijoin]
+        assert len(equijoins) == 5
+        rendered = {str(c) for c in equijoins}
+        assert rendered == {
+            "(v1.dno = v2.dno)",
+            "(v2.mgr = v3.eno)",
+            "(v4.dno = v5.dno)",
+            "(v5.mgr = v6.eno)",
+            "(v3.nam = v6.nam)",
+        }
+
+    def test_restrictions(self, same_manager_predicate):
+        query = translate(same_manager_predicate)
+        restrictions = {str(c) for c in query.where if not c.is_join}
+        assert "(v4.nam = 'jones')" in restrictions
+        assert "(v1.nam <> 'jones')" in restrictions
+
+    def test_printed_form(self, same_manager_predicate):
+        text = print_sql(translate(same_manager_predicate))
+        assert text.startswith("SELECT v1.nam\nFROM empl v1, dept v2, empl v3")
+        assert "(v4.nam = 'jones')" in text
+        assert "(v1.nam <> 'jones')" in text
+
+
+class TestAppendixTrace:
+    """The appendix's works_dir_for(t_nam, smiley) trace with v12.. aliases."""
+
+    def test_alias_offset(self, works_dir_for_predicate):
+        translator = SqlTranslator(alias_start=12)
+        query = translator.translate(works_dir_for_predicate)
+        assert [t.alias for t in query.from_tables] == ["v12", "v13", "v14"]
+        assert str(query.select[0].column) == "v12.nam"
+        rendered = {str(c) for c in query.where}
+        assert "(v12.dno = v13.dno)" in rendered
+        assert "(v14.nam = 'smiley')" in rendered
+        assert "(v13.mgr = v14.eno)" in rendered
+
+    def test_syntax_tree_prolog_form(self, works_dir_for_predicate):
+        translator = SqlTranslator(alias_start=12)
+        query = translator.translate(works_dir_for_predicate)
+        tree = query.to_prolog_text()
+        assert tree.startswith("select([dot(v12, nam)]")
+        assert "from([(empl, v12), (dept, v13), (empl, v14)])" in tree
+        assert "equal(dot(v12, dno), dot(v13, dno))" in tree
+
+
+class TestTranslationRules:
+    def test_rule_3_constants(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), dno=7)
+        query = translate(b.build())
+        assert "(v1.dno = 7)" in {str(c) for c in query.where}
+
+    def test_rule_4_consecutive_chain(self, schema):
+        b = TableauBuilder(schema, "q")
+        t = b.target("X")
+        b.row("empl", nam=t)
+        b.row("empl", nam=t)
+        b.row("empl", nam=t)
+        query = translate(b.build())
+        rendered = {str(c) for c in query.where}
+        assert rendered == {"(v1.nam = v2.nam)", "(v2.nam = v3.nam)"}
+
+    def test_rule_5_inequality_restriction(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), sal=b.var("S"))
+        b.less(b.var("S"), 40000)
+        query = translate(b.build())
+        assert "(v1.sal < 40000)" in {str(c) for c in query.where}
+
+    def test_rule_5_inequality_join(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), sal=b.var("S", 1))
+        b.row("empl", nam=b.target("Y"), sal=b.var("S", 2))
+        b.greater(b.var("S", 1), b.var("S", 2))
+        query = translate(b.build())
+        joins = [c for c in query.where if c.is_join]
+        assert len(joins) == 1
+        assert str(joins[0]) == "(v1.sal > v2.sal)"
+        assert query.join_term_count == 1
+
+    def test_rule_6_singletons_absent(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        query = translate(b.build())
+        # The fresh singleton v_ symbols generate no conditions at all.
+        assert query.where == ()
+
+    def test_cross_column_join_mgr_eno(self, schema):
+        b = TableauBuilder(schema, "q")
+        m = b.var("M")
+        b.row("dept", dno=b.var("D"), mgr=m)
+        b.row("empl", eno=m, nam=b.target("X"))
+        query = translate(b.build())
+        assert "(v1.mgr = v2.eno)" in {str(c) for c in query.where}
+
+    def test_ground_true_comparison_dropped(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        b.less(1, 2)
+        query = translate(b.build())
+        assert query.where == ()
+
+    def test_ground_false_comparison_empty(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        b.less(2, 1)
+        query = translate(b.build())
+        assert query.is_empty
+
+    def test_no_rows_rejected(self, schema):
+        from repro.dbcl import DbclPredicate, STAR
+
+        predicate = DbclPredicate(schema, "q", [STAR] * schema.width, [])
+        with pytest.raises(TranslationError):
+            translate(predicate)
+
+    def test_distinct_flag(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        text = print_sql(translate(b.build(), distinct=True))
+        assert text.startswith("SELECT DISTINCT")
+
+    def test_string_literal_escaping(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"))
+        b.row("empl", nam="O'Brien")
+        text = print_sql(translate(b.build()))
+        assert "'O''Brien'" in text
+
+    def test_multi_target_select_order(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", eno=b.target("E"), nam=b.target("N"))
+        query = translate(b.build())
+        # Targets appear in schema-column order: eno before nam.
+        assert [str(i.column) for i in query.select] == ["v1.eno", "v1.nam"]
+
+    def test_oneline_rendering(self, schema):
+        b = TableauBuilder(schema, "q")
+        b.row("empl", nam=b.target("X"), dno=1)
+        text = print_sql(translate(b.build()), oneline=True)
+        assert text == "SELECT v1.nam FROM empl v1 WHERE (v1.dno = 1)"
+
+
+class TestDialects:
+    def test_quel_rendering(self, works_dir_for_predicate):
+        quel = QuelDialect()
+        query = translate(works_dir_for_predicate)
+        text = quel.render(query)
+        assert "RANGE OF v1 IS empl" in text
+        assert "RANGE OF v2 IS dept" in text
+        assert "RETRIEVE (nam = v1.nam)" in text
+        assert 'v3.nam = "smiley"' in text
+
+    def test_quel_operator_spelling(self, same_manager_predicate):
+        quel = QuelDialect()
+        text = quel.render(translate(same_manager_predicate))
+        assert "!=" in text  # neq spells differently in QUEL
+        assert "<>" not in text
+
+    def test_dialect_lookup(self):
+        assert get_dialect("sql").name == "sql"
+        assert get_dialect("quel").name == "quel"
+        assert get_dialect("sqlite").name == "sqlite"
+        with pytest.raises(TranslationError):
+            get_dialect("oracle")
+
+    def test_sqlite_dialect_matches_sql(self, same_manager_predicate):
+        query = translate(same_manager_predicate)
+        assert get_dialect("sqlite").render(query) == get_dialect("sql").render(query)
