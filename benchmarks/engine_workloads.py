@@ -1,0 +1,85 @@
+"""Shared workloads for the E11 engine hot-path benchmarks.
+
+Two microbenchmarks, each run against the optimized
+:class:`~repro.prolog.engine.Engine` and the pinned
+:class:`~repro.prolog.legacy.LegacyEngine` baseline:
+
+* **join_10k** — a three-way join proof over a 10k-fact ``edge/2``
+  relation.  The first goal carries a literal constant; the second and
+  third carry variables bound during the proof, so only resolved-goal
+  index probing avoids scanning (and renaming apart) the whole relation
+  once per join step;
+* **recursion_e7** — the transitive-closure proof shape of Experiment E7
+  (``works_for``), evaluated through the internal engine over a
+  management chain: one indexed probe per level instead of a full scan
+  per level.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.prolog.engine import Engine
+from repro.prolog.knowledge_base import KnowledgeBase
+from repro.prolog.legacy import LegacyEngine
+
+JOIN_GOAL = "edge(n0, X), edge(X, Y), edge(Y, Z)"
+
+RECURSION_GOAL = "reaches(e0, X)"
+
+RECURSION_VIEWS = """
+reaches(X, Y) :- boss(X, Y).
+reaches(X, Z) :- boss(X, Y), reaches(Y, Z).
+"""
+
+
+def build_join_kb(facts: int = 10_000) -> KnowledgeBase:
+    """A sparse ring: every node has one successor; joins stay narrow."""
+    kb = KnowledgeBase()
+    for i in range(facts):
+        kb.assert_fact("edge", f"n{i}", f"n{(i + 1) % facts}")
+    return kb
+
+
+def build_recursion_kb(chain: int = 500) -> KnowledgeBase:
+    """A management chain e0 -> e1 -> ... -> e<chain> plus the view."""
+    kb = KnowledgeBase()
+    for i in range(chain):
+        kb.assert_fact("boss", f"e{i}", f"e{i + 1}")
+    kb.consult(RECURSION_VIEWS)
+    return kb
+
+
+def run_goal(engine_class, kb: KnowledgeBase, goal: str, iterations: int = 1):
+    """Wall-clock seconds, inference steps, and answer count for a goal."""
+    engine = engine_class(kb, max_steps=100_000_000)
+    answers = 0
+    started = time.perf_counter()
+    for _ in range(iterations):
+        answers = len(engine.solve_all(goal))
+    elapsed = time.perf_counter() - started
+    return elapsed, engine._steps, answers
+
+
+def compare_engines(kb: KnowledgeBase, goal: str, iterations: int = 1) -> dict:
+    """Measure legacy vs optimized on one workload; answers must agree."""
+    legacy_seconds, legacy_steps, legacy_answers = run_goal(
+        LegacyEngine, kb, goal, iterations
+    )
+    optimized_seconds, optimized_steps, optimized_answers = run_goal(
+        Engine, kb, goal, iterations
+    )
+    assert legacy_answers == optimized_answers, (
+        f"answer mismatch: legacy={legacy_answers} optimized={optimized_answers}"
+    )
+    return {
+        "iterations": iterations,
+        "answers": optimized_answers,
+        "legacy_seconds": round(legacy_seconds, 6),
+        "optimized_seconds": round(optimized_seconds, 6),
+        "legacy_steps": legacy_steps,
+        "optimized_steps": optimized_steps,
+        "speedup": round(legacy_seconds / optimized_seconds, 2)
+        if optimized_seconds > 0
+        else float("inf"),
+    }

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Benchmark driver: runs the engine hot-path benchmarks and records
+``BENCH_engine.json`` (per-workload wall-clock + inference steps + the
+speedup over the pinned legacy baseline), gating regressions.
+
+Usage::
+
+    python benchmarks/run_all.py            # full sizes, strict gates
+    python benchmarks/run_all.py --quick    # CI: smoke tests + small sizes
+
+Full mode gates the committed claims (>= 5x on the 10k-fact join proof,
+>= 3x on the E7-shaped recursion proof) and rewrites ``BENCH_engine.json``
+at the repository root.  ``--quick`` first runs the tier-1 ``smoke``
+pytest marker, then the benchmarks at reduced sizes with relaxed gates —
+small enough for a CI timeslice, still loud on an order-of-magnitude
+regression; its record goes to ``BENCH_engine.quick.json`` so the
+committed full-mode numbers are never clobbered (override with
+``--output``).  Exits nonzero if any gate (or the smoke suite) fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(SRC))
+
+from engine_workloads import (  # noqa: E402  (path setup must precede)
+    JOIN_GOAL,
+    RECURSION_GOAL,
+    build_join_kb,
+    build_recursion_kb,
+    compare_engines,
+)
+
+#: (join facts, join iterations, recursion chain, join gate, recursion gate)
+FULL = (10_000, 5, 300, 5.0, 3.0)
+QUICK = (2_000, 3, 120, 2.0, 2.0)
+
+
+def run_smoke_tests() -> bool:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    print("== tier-1 smoke tests ==")
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-m", "smoke"],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    return completed.returncode == 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: run the pytest smoke marker plus reduced-size benches",
+    )
+    parser.add_argument(
+        "--skip-tests",
+        action="store_true",
+        help="with --quick: skip the smoke pytest run",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the benchmark record (default: repo-root "
+        "BENCH_engine.json in full mode, BENCH_engine.quick.json in --quick "
+        "mode so the committed record survives CI runs)",
+    )
+    arguments = parser.parse_args()
+    if arguments.output is None:
+        name = "BENCH_engine.quick.json" if arguments.quick else "BENCH_engine.json"
+        arguments.output = str(REPO_ROOT / name)
+
+    smoke_ok = True
+    if arguments.quick and not arguments.skip_tests:
+        smoke_ok = run_smoke_tests()
+
+    facts, iterations, chain, join_gate, recursion_gate = (
+        QUICK if arguments.quick else FULL
+    )
+
+    print(f"== E11 engine benchmarks ({'quick' if arguments.quick else 'full'}) ==")
+    join = compare_engines(build_join_kb(facts), JOIN_GOAL, iterations=iterations)
+    join["facts"] = facts
+    print(
+        f"join proof over {facts} facts: legacy={join['legacy_seconds']:.3f}s "
+        f"optimized={join['optimized_seconds']:.4f}s speedup={join['speedup']:.0f}x"
+    )
+    recursion = compare_engines(build_recursion_kb(chain), RECURSION_GOAL)
+    recursion["chain_length"] = chain
+    print(
+        f"recursion proof over a {chain}-long chain: "
+        f"legacy={recursion['legacy_seconds']:.3f}s "
+        f"optimized={recursion['optimized_seconds']:.4f}s "
+        f"speedup={recursion['speedup']:.0f}x"
+    )
+
+    gates = {
+        "join_min_speedup": join_gate,
+        "recursion_min_speedup": recursion_gate,
+    }
+    gates_passed = (
+        join["speedup"] >= join_gate and recursion["speedup"] >= recursion_gate
+    )
+    record = {
+        "benchmark": "E11 resolution hot-path overhaul",
+        "mode": "quick" if arguments.quick else "full",
+        "baseline": "repro.prolog.legacy (pinned pre-overhaul engine)",
+        "workloads": {"join_proof": join, "recursion_proof": recursion},
+        "gates": gates,
+        "passed": bool(gates_passed and smoke_ok),
+    }
+    Path(arguments.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {arguments.output}")
+
+    if not smoke_ok:
+        print("FAIL: smoke tests failed", file=sys.stderr)
+        return 1
+    if not gates_passed:
+        print(
+            f"FAIL: speedup gates not met "
+            f"(join {join['speedup']}x < {join_gate}x or "
+            f"recursion {recursion['speedup']}x < {recursion_gate}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

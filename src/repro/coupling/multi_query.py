@@ -24,7 +24,13 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from ..dbcl.predicate import Comparison, DbclPredicate
-from ..dbcl.symbols import ConstSymbol, JoinableSymbol, TargetSymbol, VarSymbol
+from ..dbcl.symbols import (
+    ConstSymbol,
+    JoinableSymbol,
+    TargetSymbol,
+    VarSymbol,
+    compare_values,
+)
 from ..errors import CouplingError
 from ..dbms.sqlite_backend import ExternalDatabase
 from ..optimize.pipeline import SimplifyOptions, simplify
@@ -52,20 +58,20 @@ class BatchReport:
         return self.batch_size - self.queries_issued
 
 
+_COMPARISON_TESTS = {
+    "eq": lambda ordering: ordering == 0,
+    "neq": lambda ordering: ordering != 0,
+    "less": lambda ordering: ordering < 0,
+    "greater": lambda ordering: ordering > 0,
+    "leq": lambda ordering: ordering <= 0,
+    "geq": lambda ordering: ordering >= 0,
+}
+
+
 def _evaluate_comparison(op: str, left: Value, right: Value) -> bool:
     if left is None or right is None:
         return False  # SQL NULL semantics: comparisons are never true
-    from ..dbcl.symbols import compare_values
-
-    ordering = compare_values(left, right)
-    return {
-        "eq": ordering == 0,
-        "neq": ordering != 0,
-        "less": ordering < 0,
-        "greater": ordering > 0,
-        "leq": ordering <= 0,
-        "geq": ordering >= 0,
-    }[op]
+    return _COMPARISON_TESTS[op](compare_values(left, right))
 
 
 @dataclass

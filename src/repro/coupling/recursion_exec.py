@@ -331,13 +331,14 @@ class TransitiveClosure:
             rows = self.database.execute(step_sql)
             stats.queries_issued += 1
             seen |= frontier
-            new_edges = {(r[0], r[1]) for r in rows} - collected_edges
+            edge_set = {(r[0], r[1]) for r in rows}
+            new_edges = edge_set - collected_edges
             stats.new_answers_per_level.append(len(new_edges))
             collected_edges |= new_edges
             step_values = (
-                {l for l, _h in {(r[0], r[1]) for r in rows}}
+                {l for l, _h in edge_set}
                 if frontier_side == "high"
-                else {h for _l, h in {(r[0], r[1]) for r in rows}}
+                else {h for _l, h in edge_set}
             )
             if aligned:
                 # Semi-naive: only genuinely new values continue (cycle-safe).

@@ -15,13 +15,22 @@ instantiated goal is ground.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from ..dbcl.predicate import DbclPredicate
 from ..dbcl.symbols import TargetSymbol
 from ..errors import CouplingError
 from ..prolog.knowledge_base import KnowledgeBase
-from ..prolog.terms import Atom, Clause, Number, Struct, Term, Variable
+from ..prolog.terms import (
+    Atom,
+    Clause,
+    Number,
+    Struct,
+    Term,
+    Variable,
+    goal_indicator,
+    is_ground,
+)
 from ..prolog.unify import EMPTY_SUBSTITUTION, Substitution
 
 Value = Union[int, float, str, None]
@@ -98,6 +107,12 @@ def assert_answers(
     facts added; with ``dedupe`` (default) rows already present are
     skipped, implementing the answer-merge the paper requires between
     internal and external segments.
+
+    Duplicate detection is O(1) per row against the knowledge base's
+    ground-fact hash set (:meth:`KnowledgeBase.has_ground_fact`) — a
+    re-merge of an already-asserted batch never rescans the stored
+    clauses, so merging stays linear in the batch size however large the
+    procedure has grown.
     """
     if not isinstance(goal, (Struct, Atom)):
         raise CouplingError(f"cannot assert answers for goal {goal}")
@@ -106,21 +121,27 @@ def assert_answers(
             "cannot assert answers for a conjunction; wrap it in a view"
         )
 
-    existing: set[Term] = set()
-    if dedupe:
-        indicator = (
-            goal.indicator if isinstance(goal, Struct) else (goal.name, 0)
-        )
-        for clause in kb.all_clauses(indicator):
-            if clause.is_fact:
-                existing.add(clause.head)
+    # Fallback path for the (documented-impossible) case of a row leaving
+    # the instantiated goal non-ground: scan once, lazily.
+    nonground_seen: Optional[set[Term]] = None
 
     added = 0
     for subst in answer_substitutions(predicate, target_vars, rows):
         fact = subst.apply(goal)
-        if dedupe and fact in existing:
-            continue
-        existing.add(fact)
+        if dedupe:
+            if is_ground(fact):
+                if kb.has_ground_fact(fact):
+                    continue
+            else:
+                if nonground_seen is None:
+                    nonground_seen = {
+                        clause.head
+                        for clause in kb.all_clauses(goal_indicator(goal))
+                        if clause.is_fact
+                    }
+                if fact in nonground_seen:
+                    continue
+                nonground_seen.add(fact)
         kb.assertz(Clause(fact))
         added += 1
     return added

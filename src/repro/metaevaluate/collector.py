@@ -61,7 +61,12 @@ class CollectedQuery:
     recursion_depths: dict[tuple[str, int], int] = field(default_factory=dict)
 
     def resolved_dbcalls(self) -> list[Struct]:
-        """Database calls with the branch substitution applied."""
+        """Database calls with the branch substitution applied.
+
+        ``Substitution.apply`` is memoized per substitution node, so the
+        repeated resolution the translator performs (per call here, then
+        per target variable) costs one deep walk per distinct subterm.
+        """
         return [self.substitution.apply(call) for call in self.dbcalls]  # type: ignore[misc]
 
     def resolved_comparisons(self) -> list[Struct]:

@@ -14,6 +14,14 @@ the paper assumes of PROLOG.  Control constructs:
 A step budget guards against runaway recursion: recursive views are meant
 to be evaluated through the database coupling (section 7), not by unbounded
 internal backtracking.
+
+Hot path: user-goal resolution (:meth:`Engine._solve_call`) resolves the
+goal under the current substitution before the candidate lookup (so bound
+arguments drive the knowledge base's per-position indexes), skips
+``rename_apart`` for ground facts, and rides the persistent substitution
+chain of :mod:`repro.prolog.unify`.  The pre-overhaul implementation is
+pinned in :mod:`repro.prolog.legacy` for differential testing and as the
+benchmark baseline (``benchmarks/bench_e11_engine.py``).
 """
 
 from __future__ import annotations
@@ -56,6 +64,11 @@ if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
 class Engine:
     """A Prolog interpreter over a knowledge base."""
 
+    #: Starting substitution for a query; the pinned legacy engine
+    #: (:mod:`repro.prolog.legacy`) overrides this with the original
+    #: dict-copy implementation for differential testing and baselines.
+    EMPTY = EMPTY_SUBSTITUTION
+
     def __init__(
         self,
         kb: Optional[KnowledgeBase] = None,
@@ -95,7 +108,7 @@ class Engine:
         produced = 0
         self._steps = 0
         try:
-            for subst in self._solve_goals(conjuncts(goal), EMPTY_SUBSTITUTION, depth=0):
+            for subst in self._solve_goals(conjuncts(goal), self.EMPTY, depth=0):
                 yield subst.restrict(query_vars)
                 produced += 1
                 if max_solutions is not None and produced >= max_solutions:
@@ -184,15 +197,57 @@ class Engine:
     def _solve_call(
         self, goal: Term, rest: list[Term], subst: Substitution, depth: int
     ) -> Iterator[Substitution]:
-        """Resolve a user-defined goal against the knowledge base."""
-        indicator = goal_indicator(goal)
-        clauses = list(self.kb.clauses_for(goal))
-        if not clauses and self.strict_procedures and not self.kb.has_procedure(indicator):
-            raise ExistenceError(f"unknown procedure {indicator[0]}/{indicator[1]}")
+        """Resolve a user-defined goal against the knowledge base.
+
+        The goal is resolved under the current substitution *before* the
+        candidate lookup, so arguments bound earlier in the proof drive
+        the knowledge base's per-position constant indexes (a join goal
+        whose variable was just bound becomes an indexed probe, not a
+        scan).  Ground facts skip :func:`rename_apart` entirely — a
+        variable-free clause needs no renaming — and their (empty) bodies
+        are not solved, saving a generator frame per fact.
+        """
+        if self.strict_procedures:
+            # has_procedure counts *live* clauses, so a procedure reduced
+            # to tombstones raises just like a never-defined one.
+            indicator = goal_indicator(goal)
+            if not self.kb.has_procedure(indicator):
+                raise ExistenceError(
+                    f"unknown procedure {indicator[0]}/{indicator[1]}"
+                )
+        if isinstance(goal, Struct):
+            resolved = subst.apply(goal)
+        else:
+            resolved = goal
+        clauses = self.kb.clauses_for(resolved)
+        if not clauses:
+            return
         body_depth = depth + 1
-        for clause in clauses:
+        # Bound the iteration to the clauses present at call time: the
+        # stored sequence is aliased (not copied), but clauses appended by
+        # assertz *during* this resolution must not be visited — the
+        # logical-update view every Prolog (and the legacy engine) gives,
+        # and the difference between 'grow(X) :- c(X), assertz(c(3)).'
+        # terminating or looping forever.  Positions are stable: removal
+        # tombstones in place and front-insert/compaction replace the
+        # stored list wholesale.
+        for position in range(len(clauses)):
+            clause = clauses[position]
+            if clause is None:
+                continue  # tombstone left by a lazy retract
+            if clause.is_ground_fact:
+                unified = unify(resolved, clause.head, subst)
+                if unified is None:
+                    continue
+                try:
+                    yield from self._solve_goals(rest, unified, depth)
+                except CutSignal as signal:
+                    if signal.depth == body_depth:
+                        return  # cut committed to this clause
+                    raise
+                continue
             renamed = rename_apart(clause)
-            unified = unify(goal, renamed.head, subst)
+            unified = unify(resolved, renamed.head, subst)
             if unified is None:
                 continue
             try:

@@ -6,82 +6,277 @@ answers fetched from the external DBMS (via ``assertz``), and supports
 ``retract`` so large unused results can be garbage-collected by the
 coupling layer.
 
-Clauses are indexed by predicate indicator and, for facts, additionally by
-the first argument (classic first-argument indexing) so that merging large
-external result sets does not degrade tuple-at-a-time resolution.
+Indexing
+--------
+
+Clauses are indexed by predicate indicator and, additionally, by **every
+argument position of the head that is a constant in all clauses** of the
+procedure (a generalisation of classic first-argument indexing).  A goal
+with a constant in any indexed position is answered from the smallest
+matching bucket; a goal whose constant has no bucket fails without
+touching a single clause.  The engine resolves the goal under the current
+substitution *before* the lookup, so arguments bound earlier in the proof
+are just as selective as literal constants — this is what keeps a join
+proof over a 10k-fact relation linear instead of quadratic.
+
+Ground facts are additionally tracked in a per-procedure hash multiset of
+their heads, giving O(1) duplicate detection for the external-answer
+merge (:func:`repro.dbms.internal_db.assert_answers`) and an O(1) fast
+path for ``retract`` of a ground fact.
+
+Aliasing contract
+-----------------
+
+:meth:`Procedure.candidates` (and therefore
+:meth:`KnowledgeBase.clauses_for`) returns the **stored** clause sequence
+or index bucket, *not* a copy.  Callers must treat it as read-only and
+must be prepared to skip ``None`` tombstones left by lazy removal.
+All mutations are iteration-safe for a consumer that bounds itself to
+``len(seq)`` at call time (as the engine does): removal tombstones in
+place (observed as ``None``), front-inserts and compaction replace the
+stored list wholesale (invisible to a held reference), and end-appends
+only extend the list beyond the captured bound — so a bounded iteration
+sees exactly the clauses present when it started, the classic
+logical-update view.  The previous implementation guaranteed this by
+copying the list on every call, which made ``candidates`` O(n) even for
+fully indexed lookups.
+
+Snapshots are copy-on-write: :meth:`KnowledgeBase.snapshot` shares every
+procedure with the copy and marks both sides shared; the first mutation
+of a procedure on either side clones just that procedure.  Taking a
+snapshot is therefore O(#procedures) instead of O(#clauses).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..errors import PrologError
 from .reader import parse_program
 from .terms import Atom, Clause, Number, PString, Struct, Term, goal_indicator
-from .unify import Substitution, unify
+from .unify import unify
+
+#: Returned by candidate lookups that can prove emptiness from the index.
+_NO_CLAUSES: tuple[Clause, ...] = ()
 
 
-def _first_arg_key(term: Term) -> Optional[object]:
-    """Indexing key on the first argument of a fact, or None if unindexable."""
-    if not isinstance(term, Struct) or not term.args:
-        return None
-    first = term.args[0]
-    if isinstance(first, Atom):
-        return ("atom", first.name)
-    if isinstance(first, Number):
-        return ("number", first.value)
-    if isinstance(first, PString):
-        return ("string", first.value)
+def _const_key(term: Term) -> Optional[object]:
+    """Indexing key for a constant term, or None if unindexable."""
+    if isinstance(term, Atom):
+        return ("atom", term.name)
+    if isinstance(term, Number):
+        return ("number", term.value)
+    if isinstance(term, PString):
+        return ("string", term.value)
     return None
 
 
-class Procedure:
-    """All clauses for one predicate indicator, in assertion order."""
+def _remove_identical(entries: list, target: object) -> bool:
+    """Remove ``target`` from ``entries`` by identity (no deep equality)."""
+    for position, entry in enumerate(entries):
+        if entry is target:
+            del entries[position]
+            return True
+    return False
 
-    __slots__ = ("indicator", "clauses", "_index", "_all_facts")
+
+class Procedure:
+    """All clauses for one predicate indicator, in assertion order.
+
+    Storage is a list with ``None`` tombstones (compacted once half the
+    entries are dead), per-argument-position constant indexes, and a
+    hash multiset of ground-fact heads.  See the module docstring for the
+    aliasing contract of :meth:`candidates`.
+    """
+
+    __slots__ = (
+        "indicator",
+        "_entries",
+        "_live",
+        "_ground_count",
+        "_indexes",
+        "_ground_heads",
+        "shared",
+    )
 
     def __init__(self, indicator: tuple[str, int]):
         self.indicator = indicator
-        self.clauses: list[Clause] = []
-        # key -> clause list; only populated while every clause is a fact.
-        self._index: Optional[dict[object, list[Clause]]] = defaultdict(list)
-        self._all_facts = True
+        #: Clause storage in assertion order; may contain None tombstones.
+        self._entries: list[Optional[Clause]] = []
+        self._live = 0
+        self._ground_count = 0
+        #: One dict per head argument position while *every* clause has a
+        #: constant there; an unindexable position is disabled (None).
+        arity = indicator[1]
+        self._indexes: list[Optional[dict[object, list[Clause]]]] = [
+            {} for _ in range(arity)
+        ]
+        #: Ground-fact head -> clauses with that head (usually one).
+        self._ground_heads: dict[Term, list[Clause]] = {}
+        #: True while this procedure is shared with a snapshot (copy-on-write).
+        self.shared = False
+
+    # -- mutation -----------------------------------------------------------
 
     def add(self, clause: Clause, front: bool = False) -> None:
+        # Front-inserts *replace* the stored lists rather than shifting in
+        # place, so iterators over the old list neither skip nor revisit.
         if front:
-            self.clauses.insert(0, clause)
+            self._entries = [clause] + self._entries
         else:
-            self.clauses.append(clause)
-        if self._all_facts and clause.is_fact:
-            key = _first_arg_key(clause.head)
-            if key is not None and self._index is not None:
-                if front:
-                    self._index[key].insert(0, clause)
-                else:
-                    self._index[key].append(clause)
-                return
-        # A rule or an unindexable fact disables indexing for the procedure.
-        self._all_facts = False
-        self._index = None
+            self._entries.append(clause)
+        self._live += 1
+        head = clause.head
+        args = head.args if isinstance(head, Struct) else ()
+        for position, index in enumerate(self._indexes):
+            if index is None:
+                continue
+            key = _const_key(args[position]) if position < len(args) else None
+            if key is None:
+                # A non-constant at this position makes the index unsound
+                # (the clause would have to live in every bucket): disable.
+                self._indexes[position] = None
+                continue
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [clause]
+            elif front:
+                index[key] = [clause] + bucket
+            else:
+                bucket.append(clause)
+        if clause.is_ground_fact:
+            self._ground_count += 1
+            owners = self._ground_heads.get(head)
+            if owners is None:
+                self._ground_heads[head] = [clause]
+            elif front:
+                owners.insert(0, clause)
+            else:
+                owners.append(clause)
 
     def remove(self, clause: Clause) -> None:
-        self.clauses.remove(clause)
-        if self._index is not None:
-            key = _first_arg_key(clause.head)
-            if key is not None and clause in self._index.get(key, ()):
-                self._index[key].remove(clause)
+        """Remove one stored clause (identified by object identity)."""
+        position = None
+        for entry_position, entry in enumerate(self._entries):
+            if entry is clause:
+                position = entry_position
+                break
+        if position is None:
+            raise ValueError("clause not in procedure")
+        self._entries[position] = None
+        self._live -= 1
+        self._unindex(clause)
+        if self._live * 2 < len(self._entries) and len(self._entries) > 32:
+            self._entries = [entry for entry in self._entries if entry is not None]
 
-    def candidates(self, goal: Term) -> Iterable[Clause]:
-        """Clauses whose head might unify with ``goal`` (index-filtered)."""
-        if self._index is not None:
-            key = _first_arg_key(goal)
+    def remove_ground_fact(self, head: Term) -> bool:
+        """Remove one ground fact with this exact head; O(1) location."""
+        owners = self._ground_heads.get(head)
+        if not owners:
+            return False
+        self.remove(owners[0])
+        return True
+
+    def _unindex(self, clause: Clause) -> None:
+        head = clause.head
+        args = head.args if isinstance(head, Struct) else ()
+        for position, index in enumerate(self._indexes):
+            if index is None or position >= len(args):
+                continue
+            key = _const_key(args[position])
             if key is not None:
-                return list(self._index.get(key, ()))
-        return list(self.clauses)
+                bucket = index.get(key)
+                if bucket is not None:
+                    # Tombstone in place: a live iterator over this bucket
+                    # must not have later elements shift under it.
+                    for bucket_position, entry in enumerate(bucket):
+                        if entry is clause:
+                            bucket[bucket_position] = None
+                            break
+                    live = sum(1 for entry in bucket if entry is not None)
+                    if live == 0:
+                        del index[key]
+                    elif live * 2 < len(bucket) and len(bucket) > 8:
+                        index[key] = [e for e in bucket if e is not None]
+        if clause.is_ground_fact:
+            self._ground_count -= 1
+            owners = self._ground_heads.get(head)
+            if owners is not None:
+                _remove_identical(owners, clause)
+                if not owners:
+                    del self._ground_heads[head]
+
+    # -- copy-on-write ------------------------------------------------------
+
+    def clone(self) -> "Procedure":
+        """An unshared deep-enough copy (clause objects are shared)."""
+        copy = Procedure(self.indicator)
+        copy._entries = [entry for entry in self._entries if entry is not None]
+        copy._live = self._live
+        copy._ground_count = self._ground_count
+        copy._indexes = [
+            None
+            if index is None
+            else {
+                key: [entry for entry in bucket if entry is not None]
+                for key, bucket in index.items()
+            }
+            for index in self._indexes
+        ]
+        copy._ground_heads = {
+            head: list(owners) for head, owners in self._ground_heads.items()
+        }
+        return copy
+
+    # -- querying -----------------------------------------------------------
+
+    def has_ground_fact(self, head: Term) -> bool:
+        """O(1): is there a stored ground fact with exactly this head?"""
+        return head in self._ground_heads
+
+    @property
+    def all_ground_facts(self) -> bool:
+        """True while every live clause is a ground fact.
+
+        Gates the O(1) ``retract`` fast path: only then is "first clause
+        unifying with a ground pattern" the same clause as "first clause
+        whose head *equals* the pattern head"."""
+        return self._ground_count == self._live
+
+    def candidates(self, goal: Term) -> Sequence[Optional[Clause]]:
+        """Clauses whose head might unify with ``goal``.
+
+        Picks the smallest index bucket over every position where the
+        goal carries a constant; proves emptiness without a scan when any
+        such bucket is missing.  Returns the *stored* sequence (bucket or
+        entry list) — see the module docstring for the aliasing contract.
+        """
+        if isinstance(goal, Struct):
+            args = goal.args
+            best: Optional[list[Clause]] = None
+            for position, index in enumerate(self._indexes):
+                if index is None:
+                    continue
+                key = _const_key(args[position])
+                if key is None:
+                    continue
+                bucket = index.get(key)
+                if bucket is None:
+                    return _NO_CLAUSES
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+            if best is not None:
+                return best
+        return self._entries
+
+    def iter_clauses(self) -> Iterator[Clause]:
+        """Live clauses in assertion order."""
+        for entry in self._entries:
+            if entry is not None:
+                yield entry
 
     def __len__(self) -> int:
-        return len(self.clauses)
+        return self._live
 
 
 class KnowledgeBase:
@@ -127,17 +322,30 @@ class KnowledgeBase:
         self.assertz(Clause(Struct(functor, tuple(args))))
 
     def retract(self, pattern: Clause) -> bool:
-        """Remove the first clause unifying with ``pattern``; True if found."""
+        """Remove the first clause unifying with ``pattern``; True if found.
+
+        A ground-fact pattern against a procedure holding only ground
+        facts is located through the ground-head hash set (O(1)
+        membership, no unification scan); anything else — including a
+        ground pattern that might unify with a stored *non-ground* fact
+        like ``p(X).`` — falls back to the first-unifying-clause scan.
+        """
         procedure = self._procedures.get(pattern.indicator)
         if procedure is None:
             return False
-        for clause in list(procedure.clauses):
+        if pattern.is_ground_fact and procedure.all_ground_facts:
+            if not procedure.has_ground_fact(pattern.head):
+                return False
+            return self._procedure(pattern.indicator).remove_ground_fact(
+                pattern.head
+            )
+        for clause in list(procedure.iter_clauses()):
             subst = unify(clause.head, pattern.head)
             if subst is None:
                 continue
             if unify(clause.body, pattern.body, subst) is None:
                 continue
-            procedure.remove(clause)
+            self._procedure(pattern.indicator).remove(clause)
             return True
         return False
 
@@ -151,9 +359,13 @@ class KnowledgeBase:
     # -- querying -----------------------------------------------------------
 
     def _procedure(self, indicator: tuple[str, int]) -> Procedure:
+        """The procedure for ``indicator``, cloned first if snapshot-shared."""
         procedure = self._procedures.get(indicator)
         if procedure is None:
             procedure = Procedure(indicator)
+            self._procedures[indicator] = procedure
+        elif procedure.shared:
+            procedure = procedure.clone()
             self._procedures[indicator] = procedure
         return procedure
 
@@ -161,19 +373,30 @@ class KnowledgeBase:
         procedure = self._procedures.get(indicator)
         return procedure is not None and len(procedure) > 0
 
-    def clauses_for(self, goal: Term) -> Iterable[Clause]:
-        """Candidate clauses for resolving ``goal``."""
+    def has_ground_fact(self, head: Term) -> bool:
+        """O(1): is ``head`` stored as a ground fact?"""
+        procedure = self._procedures.get(goal_indicator(head))
+        return procedure is not None and procedure.has_ground_fact(head)
+
+    def clauses_for(self, goal: Term) -> Sequence[Optional[Clause]]:
+        """Candidate clauses for resolving ``goal``.
+
+        Returns the stored sequence (may contain ``None`` tombstones);
+        see the module docstring for the aliasing contract.  Pass a goal
+        already resolved under the current substitution so bound
+        arguments participate in index selection.
+        """
         procedure = self._procedures.get(goal_indicator(goal))
         if procedure is None:
-            return ()
+            return _NO_CLAUSES
         return procedure.candidates(goal)
 
     def all_clauses(self, indicator: tuple[str, int]) -> list[Clause]:
-        """Every clause of a procedure, in order."""
+        """Every clause of a procedure, in order (a fresh list)."""
         procedure = self._procedures.get(indicator)
         if procedure is None:
             return []
-        return list(procedure.clauses)
+        return list(procedure.iter_clauses())
 
     def indicators(self) -> Iterator[tuple[str, int]]:
         """All defined predicate indicators."""
@@ -185,11 +408,16 @@ class KnowledgeBase:
         return len(procedure) if procedure else 0
 
     def snapshot(self) -> "KnowledgeBase":
-        """A shallow copy usable for what-if evaluation (shared clauses)."""
+        """A copy usable for what-if evaluation (copy-on-write).
+
+        Every procedure is shared with the copy and marked ``shared``;
+        the first mutation on either side clones just the touched
+        procedure.  O(#procedures), not O(#clauses).
+        """
         copy = KnowledgeBase()
-        for indicator, procedure in self._procedures.items():
-            for clause in procedure.clauses:
-                copy.assertz(clause)
+        for procedure in self._procedures.values():
+            procedure.shared = True
+        copy._procedures = dict(self._procedures)
         return copy
 
     def __len__(self) -> int:

@@ -1,0 +1,131 @@
+"""Pinned pre-optimization reference implementation of the resolution path.
+
+This module freezes the engine's original hot path exactly as it stood
+before the persistent-substitution / indexed-candidate overhaul:
+
+* :class:`LegacySubstitution` — the original copy-on-bind substitution
+  (every ``bind`` duplicates the whole binding dict) with the original
+  recursive ``apply``;
+* :class:`LegacyEngine` — an :class:`~repro.prolog.engine.Engine` whose
+  ``_solve_call`` reproduces the original behaviour: candidate clauses
+  are materialised with ``list(...)`` on every call, the goal is *not*
+  resolved under the substitution before index lookup (so bound-variable
+  arguments defeat first-argument indexing), and every clause — ground
+  facts included — is passed through :func:`rename_apart`.
+
+It exists for two reasons and must not be "improved":
+
+1. ``tests/test_engine_equivalence.py`` differentially tests the
+   optimized engine against this one on randomized programs — identical
+   answer sequences and cut behaviour are required;
+2. ``benchmarks/bench_e11_engine.py`` and ``benchmarks/run_all.py`` use
+   it as the measured baseline for the recorded speedups in
+   ``BENCH_engine.json``.
+
+The builtins and the unification algorithm are shared with the live
+engine; both are written against the substitution *protocol* (``walk``,
+``bind``, ``apply``), so threading a :class:`LegacySubstitution` through
+them reproduces the original cost profile faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from ..errors import CutSignal, ExistenceError
+from .engine import Engine
+from .terms import Struct, Term, Variable, rename_apart
+from .unify import unify
+
+
+class LegacySubstitution:
+    """The original immutable dict-backed substitution (copy on bind)."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[Variable, Term]] = None):
+        self._bindings: dict[Variable, Term] = dict(bindings) if bindings else {}
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._bindings
+
+    def __iter__(self):
+        return iter(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LegacySubstitution):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{var}={term}" for var, term in self._bindings.items())
+        return f"LegacySubstitution({{{inner}}})"
+
+    def items(self):
+        return self._bindings.items()
+
+    def bind(self, variable: Variable, term: Term) -> "LegacySubstitution":
+        """Return a new substitution extended with ``variable -> term``.
+
+        This is the O(n)-per-bind copy the optimized engine replaced.
+        """
+        extended = dict(self._bindings)
+        extended[variable] = term
+        return LegacySubstitution(extended)
+
+    def walk(self, term: Term) -> Term:
+        while isinstance(term, Variable):
+            bound = self._bindings.get(term)
+            if bound is None:
+                return term
+            term = bound
+        return term
+
+    def apply(self, term: Term) -> Term:
+        """The original recursive deep substitution (recurses per depth)."""
+        term = self.walk(term)
+        if isinstance(term, Struct):
+            return Struct(term.functor, tuple(self.apply(arg) for arg in term.args))
+        return term
+
+    def restrict(self, variables: Iterable[Variable]) -> dict[Variable, Term]:
+        return {v: self.apply(v) for v in variables}
+
+
+LEGACY_EMPTY_SUBSTITUTION = LegacySubstitution()
+
+
+class LegacyEngine(Engine):
+    """Engine running the original, pre-overhaul resolution hot path."""
+
+    EMPTY = LEGACY_EMPTY_SUBSTITUTION
+
+    def _solve_call(self, goal, rest, subst, depth):
+        """Original behaviour: unresolved-goal index lookup, copied
+        candidate list, ``rename_apart`` on every clause."""
+        indicator = (
+            goal.indicator if isinstance(goal, Struct) else (goal.name, 0)
+        )
+        clauses = [c for c in self.kb.clauses_for(goal) if c is not None]
+        if not clauses and self.strict_procedures and not self.kb.has_procedure(
+            indicator
+        ):
+            raise ExistenceError(f"unknown procedure {indicator[0]}/{indicator[1]}")
+        body_depth = depth + 1
+        for clause in clauses:
+            renamed = rename_apart(clause)
+            unified = unify(goal, renamed.head, subst)
+            if unified is None:
+                continue
+            try:
+                for result in self._solve_goals(
+                    renamed.body_goals(), unified, body_depth
+                ):
+                    yield from self._solve_goals(rest, result, depth)
+            except CutSignal as signal:
+                if signal.depth == body_depth:
+                    return  # cut committed to this clause; drop alternatives
+                raise

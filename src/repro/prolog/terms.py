@@ -12,7 +12,7 @@ makes terms safe to use as dictionary keys throughout the translator.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence, Union
 
 Term = Union["Atom", "Number", "PString", "Variable", "Struct"]
@@ -207,6 +207,18 @@ def is_constant(term: Term) -> bool:
     return isinstance(term, (Atom, Number, PString))
 
 
+def is_ground(term: Term) -> bool:
+    """True if ``term`` contains no variables."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Variable):
+            return False
+        if isinstance(current, Struct):
+            stack.extend(current.args)
+    return True
+
+
 def constant_value(term: Term) -> Union[str, int, float]:
     """Extract the Python value of a constant term."""
     if isinstance(term, Atom):
@@ -307,10 +319,23 @@ def subterms(term: Term) -> Iterator[Term]:
 
 @dataclass(frozen=True, slots=True)
 class Clause:
-    """A Prolog clause ``head :- body`` (facts have body ``true``)."""
+    """A Prolog clause ``head :- body`` (facts have body ``true``).
+
+    ``is_ground_fact`` is precomputed at construction: the resolution
+    engine uses it to skip :func:`rename_apart` entirely (a variable-free
+    clause needs no renaming) and the knowledge base uses it to maintain
+    its ground-fact hash set for O(1) duplicate checks.
+    """
 
     head: Term
     body: Term = TRUE
+    #: True iff the body is ``true`` and the head contains no variables.
+    is_ground_fact: bool = field(init=False, compare=False, repr=False, default=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "is_ground_fact", self.body == TRUE and is_ground(self.head)
+        )
 
     def __str__(self) -> str:
         from .writer import clause_to_string

@@ -1,0 +1,116 @@
+"""Satellite coverage: ``assert_answers`` dedupe at scale.
+
+The overhaul gave the knowledge base a ground-fact hash set so merging an
+external answer batch is O(1) per row.  These tests pin both halves of
+that claim: a 10k-row batch merged twice asserts exactly once, and the
+second merge never rescans the stored clauses (counter hooks on the two
+scan entry points prove it structurally, not by timing).
+"""
+
+import pytest
+
+from repro.dbms.internal_db import assert_answers
+from repro.prolog.knowledge_base import KnowledgeBase, Procedure
+from repro.prolog.terms import Clause, struct, var
+
+pytestmark = pytest.mark.smoke
+
+
+class _Target:
+    """Stands in for a DBCL target symbol (only ``.name`` is consumed)."""
+
+    def __init__(self, name):
+        self.name = name
+
+
+class _StubPredicate:
+    """Minimal stand-in for DbclPredicate: ordered target symbols."""
+
+    def __init__(self, *names):
+        self._targets = [_Target(name) for name in names]
+
+    def target_symbols(self):
+        return list(self._targets)
+
+
+GOAL = struct("pair", var("X"), var("Y"))
+PREDICATE = _StubPredicate("X", "Y")
+TARGETS = [var("X"), var("Y")]
+
+
+def _rows(count):
+    return [(i, i + 1) for i in range(count)]
+
+
+def test_10k_row_merge_twice_asserts_once():
+    kb = KnowledgeBase()
+    rows = _rows(10_000)
+    first = assert_answers(kb, GOAL, PREDICATE, TARGETS, rows)
+    second = assert_answers(kb, GOAL, PREDICATE, TARGETS, rows)
+    assert first == 10_000
+    assert second == 0
+    assert kb.fact_count(("pair", 2)) == 10_000
+
+
+def test_remerge_does_not_scan_stored_clauses(monkeypatch):
+    """Counter hook: the second merge must not iterate existing clauses."""
+    kb = KnowledgeBase()
+    assert_answers(kb, GOAL, PREDICATE, TARGETS, _rows(10_000))
+
+    scans = {"all_clauses": 0, "iter_clauses": 0}
+    original_all = KnowledgeBase.all_clauses
+    original_iter = Procedure.iter_clauses
+
+    def counting_all(self, indicator):
+        scans["all_clauses"] += 1
+        return original_all(self, indicator)
+
+    def counting_iter(self):
+        scans["iter_clauses"] += 1
+        return original_iter(self)
+
+    monkeypatch.setattr(KnowledgeBase, "all_clauses", counting_all)
+    monkeypatch.setattr(Procedure, "iter_clauses", counting_iter)
+
+    added = assert_answers(kb, GOAL, PREDICATE, TARGETS, _rows(10_000))
+    assert added == 0
+    assert scans == {"all_clauses": 0, "iter_clauses": 0}
+
+
+def test_partial_overlap_merges_only_new_rows():
+    kb = KnowledgeBase()
+    assert_answers(kb, GOAL, PREDICATE, TARGETS, _rows(1_000))
+    added = assert_answers(kb, GOAL, PREDICATE, TARGETS, _rows(1_500))
+    assert added == 500
+    assert kb.fact_count(("pair", 2)) == 1_500
+
+
+def test_duplicates_within_one_batch_assert_once():
+    kb = KnowledgeBase()
+    added = assert_answers(
+        kb, GOAL, PREDICATE, TARGETS, [(1, 2), (1, 2), (3, 4)]
+    )
+    assert added == 2
+
+
+def test_dedupe_off_keeps_duplicates():
+    kb = KnowledgeBase()
+    assert_answers(kb, GOAL, PREDICATE, TARGETS, [(1, 2)], dedupe=False)
+    assert_answers(kb, GOAL, PREDICATE, TARGETS, [(1, 2)], dedupe=False)
+    assert kb.fact_count(("pair", 2)) == 2
+
+
+def test_retract_then_remerge_reasserts():
+    """The ground-head set must track retract, or re-merge would skip."""
+    kb = KnowledgeBase()
+    assert_answers(kb, GOAL, PREDICATE, TARGETS, [(1, 2), (3, 4)])
+    assert kb.retract(Clause(struct("pair", *_row_terms(1, 2))))
+    added = assert_answers(kb, GOAL, PREDICATE, TARGETS, [(1, 2), (3, 4)])
+    assert added == 1
+    assert kb.fact_count(("pair", 2)) == 2
+
+
+def _row_terms(*values):
+    from repro.dbms.internal_db import value_to_term
+
+    return tuple(value_to_term(v) for v in values)

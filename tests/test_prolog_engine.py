@@ -8,6 +8,8 @@ from repro.prolog.engine import StepBudgetExceeded
 from repro.prolog.terms import Atom, Number, Struct, atom, number, struct, var
 from repro.prolog.unify import EMPTY_SUBSTITUTION, Substitution, match, unify
 
+pytestmark = pytest.mark.smoke
+
 
 class TestUnify:
     def test_atoms(self):
@@ -341,3 +343,163 @@ class TestKnowledgeBase:
         kb = KnowledgeBase()
         kb.consult("a. b. c :- a.")
         assert len(kb) == 3
+
+
+class TestHotPathStructures:
+    """The overhauled substitution chain and knowledge-base indexing."""
+
+    def test_long_bind_chain_resolves_across_checkpoints(self):
+        subst = EMPTY_SUBSTITUTION
+        for i in range(200):  # crosses several flattening checkpoints
+            subst = subst.bind(var(f"V{i}"), var(f"V{i + 1}"))
+        subst = subst.bind(var("V200"), atom("end"))
+        assert subst.apply(var("V0")) == atom("end")
+        assert len(subst) == 201
+        assert var("V137") in subst
+
+    def test_rebinding_newest_wins(self):
+        subst = EMPTY_SUBSTITUTION.bind(var("X"), atom("old")).bind(
+            var("X"), atom("new")
+        )
+        assert subst.walk(var("X")) == atom("new")
+        assert len(subst) == 1
+
+    def test_apply_returns_identical_object_for_ground_subterms(self):
+        ground = struct("g", atom("a"), number(1))
+        subst = EMPTY_SUBSTITUTION.bind(var("X"), atom("b"))
+        resolved = subst.apply(struct("f", ground, var("X")))
+        assert resolved == struct("f", ground, atom("b"))
+        assert resolved.args[0] is ground
+        # Memoized: a second application returns the cached result.
+        assert subst.apply(ground) is ground
+
+    def test_multi_position_indexing(self):
+        kb = KnowledgeBase()
+        kb.consult("t(a, b). t(a, c). t(b, c).")
+        # Second-position constant is just as selective as the first.
+        assert len(list(kb.clauses_for(struct("t", var("X"), atom("b"))))) == 1
+        assert len(list(kb.clauses_for(struct("t", atom("a"), var("Y"))))) == 2
+        # A constant with no bucket proves emptiness without a scan.
+        assert list(kb.clauses_for(struct("t", atom("z"), var("Y")))) == []
+        # Both constants: the smaller bucket wins, unification finishes.
+        engine = Engine(kb)
+        assert engine.succeeds("t(a, c)")
+        assert not engine.succeeds("t(b, b)")
+
+    def test_bound_variable_drives_index(self):
+        """A join variable bound earlier in the proof becomes an indexed
+        probe — the core of the hot-path fix."""
+        kb = KnowledgeBase()
+        for i in range(500):
+            kb.assert_fact("edge", f"n{i}", f"n{i + 1}")
+        engine = Engine(kb)
+        engine._steps = 0
+        answers = engine.solve_all("edge(n0, X), edge(X, Y), edge(Y, Z)")
+        assert len(answers) == 1
+        # Linear probing: a handful of inferences, not 3 × 500 scans.
+        assert engine._steps < 50
+
+    def test_rule_heads_with_constants_stay_indexed(self):
+        kb = KnowledgeBase()
+        kb.consult("sign(pos, X) :- greater(X, 0). sign(neg, X) :- less(X, 0).")
+        engine = Engine(kb)
+        assert engine.succeeds("sign(pos, 5)")
+        assert engine.succeeds("sign(neg, -3)")
+        assert not engine.succeeds("sign(pos, -3)")
+        # Position 0 is indexable (constants), position 1 is not (variables).
+        assert len(list(kb.clauses_for(struct("sign", atom("pos"), var("X"))))) == 1
+
+    def test_ground_fact_hash_set(self):
+        kb = KnowledgeBase()
+        kb.assert_fact("p", "a", 1)
+        assert kb.has_ground_fact(struct("p", atom("a"), number(1)))
+        assert not kb.has_ground_fact(struct("p", atom("a"), number(2)))
+        from repro.prolog.terms import Clause
+
+        assert kb.retract(Clause(struct("p", atom("a"), number(1))))
+        assert not kb.has_ground_fact(struct("p", atom("a"), number(1)))
+
+    def test_snapshot_copy_on_write_both_directions(self):
+        kb = KnowledgeBase()
+        kb.assert_fact("p", "a")
+        copy = kb.snapshot()
+        kb.assert_fact("p", "b")  # mutate the *original* after snapshotting
+        copy.assert_fact("p", "c")
+        assert {c.head.args[0].name for c in kb.all_clauses(("p", 1))} == {"a", "b"}
+        assert {c.head.args[0].name for c in copy.all_clauses(("p", 1))} == {"a", "c"}
+
+    def test_snapshot_shares_untouched_procedures(self):
+        kb = KnowledgeBase()
+        kb.assert_fact("p", "a")
+        kb.assert_fact("q", "b")
+        copy = kb.snapshot()
+        copy.assert_fact("p", "c")
+        assert copy._procedures[("q", 1)] is kb._procedures[("q", 1)]
+        assert copy._procedures[("p", 1)] is not kb._procedures[("p", 1)]
+
+    def test_retract_during_iteration_skips_no_live_clause(self):
+        """Removal tombstones in place: a clause retracted mid-proof must
+        not shift a *different* live clause out from under the engine."""
+        kb = KnowledgeBase()
+        kb.consult("q(a, 1). q(a, 2). q(a, 3).")
+        engine = Engine(kb)
+        answers = engine.solve_all("q(a, X), (retract(q(a, 1)) ; true)")
+        values = [a[var("X")].value for a in answers]
+        assert values == [1, 1, 2, 3]  # q(a,2) still visited, once
+
+    def test_assertz_into_resolving_predicate_is_not_visited(self):
+        """Logical-update view: clauses appended while their own predicate
+        is being resolved are invisible to the in-flight iteration —
+        without it this terminating program would loop forever."""
+        kb = KnowledgeBase()
+        kb.consult("c(1). c(2). grow(X) :- c(X), assertz(c(3)).")
+        engine = Engine(kb)
+        values = [a[var("X")].value for a in engine.solve_all("grow(X)")]
+        assert values == [1, 2]
+        assert kb.fact_count(("c", 1)) == 4  # but both asserts landed
+        # A *fresh* resolution sees them.
+        assert engine.count_solutions("c(X)") == 4
+
+    def test_ground_pattern_retracts_unifying_nonground_fact(self):
+        """Standard retract/1: a ground pattern unifies with ``p(X).``."""
+        from repro.prolog.terms import Clause
+
+        kb = KnowledgeBase()
+        kb.consult("p(X).")
+        assert kb.retract(Clause(struct("p", atom("a"))))
+        assert kb.fact_count(("p", 1)) == 0
+        # Assertion order decides which unifying clause goes first.
+        kb2 = KnowledgeBase()
+        kb2.consult("p(X). p(a).")
+        assert kb2.retract(Clause(struct("p", atom("a"))))
+        remaining = kb2.all_clauses(("p", 1))
+        assert len(remaining) == 1 and remaining[0].head == struct("p", atom("a"))
+
+    def test_strict_mode_raises_after_all_clauses_retracted(self):
+        from repro.prolog.terms import Clause
+
+        kb = KnowledgeBase()
+        kb.consult("p(a).")
+        assert kb.retract(Clause(struct("p", atom("a"))))
+        engine = Engine(kb, strict_procedures=True)
+        with pytest.raises(ExistenceError):
+            engine.solve_all("p(X)")
+
+    def test_empty_substitution_apply_is_identity_without_caching(self):
+        term = struct("f", struct("g", atom("a")), var("X"))
+        assert EMPTY_SUBSTITUTION.apply(term) is term
+        assert EMPTY_SUBSTITUTION._apply_cache is None  # no leak on the singleton
+
+    def test_retract_keeps_candidates_consistent(self):
+        kb = KnowledgeBase()
+        for i in range(50):
+            kb.assert_fact("p", f"c{i}")
+        from repro.prolog.terms import Clause
+
+        for i in range(0, 50, 2):
+            assert kb.retract(Clause(struct("p", atom(f"c{i}"))))
+        assert kb.fact_count(("p", 1)) == 25
+        engine = Engine(kb)
+        assert not engine.succeeds("p(c0)")
+        assert engine.succeeds("p(c1)")
+        assert engine.count_solutions("p(X)") == 25

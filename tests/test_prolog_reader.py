@@ -20,6 +20,9 @@ from repro.prolog.terms import (
 from repro.prolog.writer import clause_to_string, term_to_string
 
 
+pytestmark = pytest.mark.smoke
+
+
 class TestTokens:
     def test_fact(self):
         clause = parse_clause("specialist(jones, guns).")

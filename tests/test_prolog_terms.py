@@ -33,6 +33,9 @@ from repro.prolog.terms import (
 )
 
 
+pytestmark = pytest.mark.smoke
+
+
 class TestConstruction:
     def test_atom_equality(self):
         assert Atom("empl") == Atom("empl")
