@@ -1,7 +1,8 @@
 #!/usr/bin/env python
-"""Benchmark driver: runs the engine hot-path benchmarks and records
-``BENCH_engine.json`` (per-workload wall-clock + inference steps + the
-speedup over the pinned legacy baseline), gating regressions.
+"""Benchmark driver: runs the engine hot-path benchmarks (E11) and the
+compile-once coupling benchmarks (E12), records ``BENCH_engine.json`` and
+``BENCH_coupling.json`` (per-workload wall-clock + the speedup over the
+pinned baselines), gating regressions.
 
 Usage::
 
@@ -9,13 +10,16 @@ Usage::
     python benchmarks/run_all.py --quick    # CI: smoke tests + small sizes
 
 Full mode gates the committed claims (>= 5x on the 10k-fact join proof,
->= 3x on the E7-shaped recursion proof) and rewrites ``BENCH_engine.json``
-at the repository root.  ``--quick`` first runs the tier-1 ``smoke``
-pytest marker, then the benchmarks at reduced sizes with relaxed gates —
-small enough for a CI timeslice, still loud on an order-of-magnitude
-regression; its record goes to ``BENCH_engine.quick.json`` so the
-committed full-mode numbers are never clobbered (override with
-``--output``).  Exits nonzero if any gate (or the smoke suite) fails.
+>= 3x on the E7-shaped recursion proof, >= 5x warm-vs-cold ask throughput,
+zero per-level SQL re-prints in the setrel loop, warm answers identical to
+fresh compilation) and rewrites the ``BENCH_*.json`` records at the
+repository root.  ``--quick`` first runs the tier-1 ``smoke`` pytest
+marker, then the benchmarks at reduced sizes with relaxed gates — small
+enough for a CI timeslice, still loud on an order-of-magnitude
+regression; its records go to ``BENCH_*.quick.json`` so the committed
+full-mode numbers are never clobbered (override with ``--output`` /
+``--coupling-output``).  Exits nonzero if any gate (or the smoke suite)
+fails.
 """
 
 from __future__ import annotations
@@ -40,6 +44,9 @@ from engine_workloads import (  # noqa: E402  (path setup must precede)
     compare_engines,
 )
 
+import bench_e12_coupling as e12  # noqa: E402
+from repro.dbms import generate_org  # noqa: E402
+
 #: (join facts, join iterations, recursion chain, join gate, recursion gate)
 FULL = (10_000, 5, 300, 5.0, 3.0)
 QUICK = (2_000, 3, 120, 2.0, 2.0)
@@ -59,39 +66,12 @@ def run_smoke_tests() -> bool:
     return completed.returncode == 0
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="CI mode: run the pytest smoke marker plus reduced-size benches",
-    )
-    parser.add_argument(
-        "--skip-tests",
-        action="store_true",
-        help="with --quick: skip the smoke pytest run",
-    )
-    parser.add_argument(
-        "--output",
-        default=None,
-        help="where to write the benchmark record (default: repo-root "
-        "BENCH_engine.json in full mode, BENCH_engine.quick.json in --quick "
-        "mode so the committed record survives CI runs)",
-    )
-    arguments = parser.parse_args()
-    if arguments.output is None:
-        name = "BENCH_engine.quick.json" if arguments.quick else "BENCH_engine.json"
-        arguments.output = str(REPO_ROOT / name)
-
-    smoke_ok = True
-    if arguments.quick and not arguments.skip_tests:
-        smoke_ok = run_smoke_tests()
-
+def run_engine_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
     facts, iterations, chain, join_gate, recursion_gate = (
-        QUICK if arguments.quick else FULL
+        QUICK if quick else FULL
     )
 
-    print(f"== E11 engine benchmarks ({'quick' if arguments.quick else 'full'}) ==")
+    print(f"== E11 engine benchmarks ({'quick' if quick else 'full'}) ==")
     join = compare_engines(build_join_kb(facts), JOIN_GOAL, iterations=iterations)
     join["facts"] = facts
     print(
@@ -116,25 +96,136 @@ def main() -> int:
     )
     record = {
         "benchmark": "E11 resolution hot-path overhaul",
-        "mode": "quick" if arguments.quick else "full",
+        "mode": "quick" if quick else "full",
         "baseline": "repro.prolog.legacy (pinned pre-overhaul engine)",
         "workloads": {"join_proof": join, "recursion_proof": recursion},
         "gates": gates,
         "passed": bool(gates_passed and smoke_ok),
     }
-    Path(arguments.output).write_text(json.dumps(record, indent=2) + "\n")
-    print(f"wrote {arguments.output}")
-
-    if not smoke_ok:
-        print("FAIL: smoke tests failed", file=sys.stderr)
-        return 1
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
     if not gates_passed:
         print(
-            f"FAIL: speedup gates not met "
+            f"FAIL: engine speedup gates not met "
             f"(join {join['speedup']}x < {join_gate}x or "
             f"recursion {recursion['speedup']}x < {recursion_gate}x)",
             file=sys.stderr,
         )
+    return gates_passed
+
+
+def run_coupling_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
+    depth, branching, staff, warm_iters, cold_iters, gate = (
+        e12.QUICK_SIZES if quick else e12.FULL_SIZES
+    )
+    org = generate_org(
+        depth=depth, branching=branching, staff_per_dept=staff, seed=5
+    )
+
+    print(f"== E12 coupling benchmarks ({'quick' if quick else 'full'}) ==")
+    asks = e12.bench_warm_vs_cold(org, warm_iters, cold_iters)
+    print(
+        f"repeated-shape asks: warm={asks['warm_asks_per_second']}/s "
+        f"cold={asks['cold_asks_per_second']}/s speedup={asks['speedup']}x"
+    )
+    differential = e12.differential_check(org)
+    print(
+        f"differential: {differential['goals_checked']} goals, "
+        f"identical={differential['identical']}"
+    )
+    setrel = e12.bench_setrel(org)
+    print(
+        f"setrel loop: {setrel['levels']} levels at "
+        f"{setrel['levels_per_second']}/s, "
+        f"{setrel['sql_prints_during_levels']} SQL re-prints, "
+        f"{setrel['commits']} commits"
+    )
+
+    gates = {
+        "warm_min_speedup": gate,
+        "setrel_max_reprints": 0,
+        "differential_identical": True,
+    }
+    gates_passed = (
+        asks["speedup"] >= gate
+        and setrel["sql_prints_during_levels"] == 0
+        and differential["identical"]
+    )
+    record = {
+        "benchmark": "E12 compile-once ask path (plan cache + prepared statements)",
+        "mode": "quick" if quick else "full",
+        "baseline": "cold path: classify+metaevaluate+simplify+translate+print per ask",
+        "org": {"depth": depth, "branching": branching, "staff_per_dept": staff},
+        "workloads": {
+            "repeated_shape_asks": asks,
+            "setrel_prepared_loop": setrel,
+            "warm_cold_differential": differential,
+        },
+        "gates": gates,
+        "passed": bool(gates_passed and smoke_ok),
+    }
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    if not gates_passed:
+        print(
+            f"FAIL: coupling gates not met (warm speedup {asks['speedup']}x "
+            f"< {gate}x, re-prints {setrel['sql_prints_during_levels']}, "
+            f"differential identical={differential['identical']})",
+            file=sys.stderr,
+        )
+    return gates_passed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: run the pytest smoke marker plus reduced-size benches",
+    )
+    parser.add_argument(
+        "--skip-tests",
+        action="store_true",
+        help="with --quick: skip the smoke pytest run",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the engine benchmark record (default: repo-root "
+        "BENCH_engine.json in full mode, BENCH_engine.quick.json in --quick "
+        "mode so the committed record survives CI runs)",
+    )
+    parser.add_argument(
+        "--coupling-output",
+        default=None,
+        help="where to write the coupling benchmark record (default: "
+        "repo-root BENCH_coupling.json / BENCH_coupling.quick.json)",
+    )
+    arguments = parser.parse_args()
+    if arguments.output is None:
+        name = "BENCH_engine.quick.json" if arguments.quick else "BENCH_engine.json"
+        arguments.output = str(REPO_ROOT / name)
+    if arguments.coupling_output is None:
+        name = (
+            "BENCH_coupling.quick.json"
+            if arguments.quick
+            else "BENCH_coupling.json"
+        )
+        arguments.coupling_output = str(REPO_ROOT / name)
+
+    smoke_ok = True
+    if arguments.quick and not arguments.skip_tests:
+        smoke_ok = run_smoke_tests()
+
+    engine_ok = run_engine_benchmarks(arguments.quick, arguments.output, smoke_ok)
+    coupling_ok = run_coupling_benchmarks(
+        arguments.quick, arguments.coupling_output, smoke_ok
+    )
+
+    if not smoke_ok:
+        print("FAIL: smoke tests failed", file=sys.stderr)
+        return 1
+    if not (engine_ok and coupling_ok):
         return 1
     print("all gates passed")
     return 0

@@ -3,9 +3,14 @@
 from .global_opt import (
     CachePolicy,
     CacheStats,
+    CompiledPlan,
     ExecutionPlan,
+    GoalShape,
+    PlanCache,
+    PlanCacheStats,
     ResultCache,
     classify_conjuncts,
+    goal_shape,
     plan_goal,
 )
 from .multi_query import BatchExecutor, BatchReport
@@ -20,9 +25,14 @@ from .session import PrologDbSession, TranslationTrace
 __all__ = [
     "CachePolicy",
     "CacheStats",
+    "CompiledPlan",
     "ExecutionPlan",
+    "GoalShape",
+    "PlanCache",
+    "PlanCacheStats",
     "ResultCache",
     "classify_conjuncts",
+    "goal_shape",
     "plan_goal",
     "BatchExecutor",
     "BatchReport",

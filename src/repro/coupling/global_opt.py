@@ -13,24 +13,40 @@ remainder* to be resolved tuple-at-a-time over the fetched answers.
 
 :class:`ResultCache` implements the storage decision with a simple,
 inspectable policy (cache results up to a row bound, keyed by the
-canonicalised DBCL predicate), which is what the recursion strategies and
-the multiple-query optimizer build on.
+canonicalised DBCL predicate and invalidated per base relation), which is
+what the recursion strategies and the multiple-query optimizer build on.
+
+:class:`PlanCache` implements the *compile-once* half of the storage
+decision: two goals that differ only in their constants (``works_for(X,
+'emp00001')`` vs ``works_for(X, 'emp00042')``) share one compiled plan —
+classification, metaevaluation, Algorithm 2, SQL translation, and SQL
+printing all happen once per goal *shape*; subsequent asks bind the new
+constants into a prepared statement.  Shapes whose simplification
+consulted a concrete constant value fall back to exact-constant variants
+so warm answers stay identical to fresh compilation (see
+:func:`goal_shape` and the session's ``_compile_plan``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 import networkx as nx
 
 from ..dbcl.predicate import DbclPredicate
+from ..dbcl.symbols import ConstSymbol, ParamMarker, is_param_marker
 from ..errors import CouplingError
-from ..metaevaluate.recursion import view_call_graph
+from ..metaevaluate.recursion import (
+    recursive_indicators as _recursive_indicators,
+    view_call_graph,
+)
 from ..prolog.knowledge_base import KnowledgeBase
 from ..prolog.terms import (
     COMPARISON_PREDICATES,
     Atom,
+    Number,
+    PString,
     Struct,
     Term,
     Variable,
@@ -39,8 +55,11 @@ from ..prolog.terms import (
     variables_of,
 )
 from ..schema.catalog import DatabaseSchema
+from ..schema.constraints import ConstraintSet
 
 Kind = str  # 'external' | 'internal' | 'comparison' | 'mixed'
+
+Value = Union[int, float, str]
 
 
 def _is_database_indicator(schema: DatabaseSchema, indicator: tuple[str, int]) -> bool:
@@ -49,7 +68,10 @@ def _is_database_indicator(schema: DatabaseSchema, indicator: tuple[str, int]) -
 
 
 def classify_conjuncts(
-    kb: KnowledgeBase, schema: DatabaseSchema, goal: Term
+    kb: KnowledgeBase,
+    schema: DatabaseSchema,
+    goal: Term,
+    graph: Optional["nx.DiGraph"] = None,
 ) -> list[tuple[Term, Kind]]:
     """Label each conjunct of ``goal``.
 
@@ -60,8 +82,12 @@ def classify_conjuncts(
     * ``comparison`` — a builtin comparison, attachable to either side;
     * ``mixed`` — reaches both kinds of leaves; the caller must restructure
       (the paper's stepwise-evaluation extension handles these).
+
+    ``graph`` lets callers reuse a memoized view call graph (see
+    :meth:`PlanCache.graph`) instead of rebuilding it per classification.
     """
-    graph = view_call_graph(kb, schema)
+    if graph is None:
+        graph = view_call_graph(kb, schema)
     classified: list[tuple[Term, Kind]] = []
     for subgoal in conjuncts(goal):
         try:
@@ -140,14 +166,19 @@ class ExecutionPlan:
         return not self.external
 
 
-def plan_goal(kb: KnowledgeBase, schema: DatabaseSchema, goal: Term) -> ExecutionPlan:
+def plan_goal(
+    kb: KnowledgeBase,
+    schema: DatabaseSchema,
+    goal: Term,
+    graph: Optional["nx.DiGraph"] = None,
+) -> ExecutionPlan:
     """Split a conjunctive goal into external and internal parts.
 
     Comparisons join the external block when every variable they use is
     produced there (the DBMS can evaluate them); otherwise they stay
     internal.  Mixed conjuncts are rejected with guidance.
     """
-    classified = classify_conjuncts(kb, schema, goal)
+    classified = classify_conjuncts(kb, schema, goal, graph=graph)
     for subgoal, kind in classified:
         if kind == "mixed":
             raise CouplingError(
@@ -189,6 +220,416 @@ def plan_goal(kb: KnowledgeBase, schema: DatabaseSchema, goal: Term) -> Executio
     )
 
 
+# -- goal shapes (parameterized plans) ---------------------------------------------
+
+#: Marker prefix for plan parameters; the trailing index is recoverable.
+_PARAM_PREFIX = "$plan_param_"
+
+
+def marker_for(index: int) -> ParamMarker:
+    """The placeholder constant standing for goal parameter ``index``."""
+    return ParamMarker(f"{_PARAM_PREFIX}{index}$")
+
+
+def marker_index(marker: str) -> int:
+    """Recover the parameter index from a marker's text."""
+    return int(marker[len(_PARAM_PREFIX):-1])
+
+
+@dataclass(frozen=True)
+class GoalShape:
+    """A goal with its constants abstracted to parameters.
+
+    ``key`` is hashable and invariant under constant choice *and* variable
+    ordinals; ``constants`` holds the concrete values in goal-traversal
+    order.  Variables are keyed by source name plus first-occurrence index
+    — the name is what answer columns and interface predicates join on,
+    while the ordinal only distinguishes renamed-apart copies (the engine
+    renames clause variables per resolution, so an ordinal-sensitive key
+    would never repeat for goals built inside rule bodies).  Two goals
+    with equal keys are identical up to constants, so a compiled plan for
+    one answers the other after parameter binding.
+    """
+
+    key: tuple
+    constants: tuple
+
+    @property
+    def parameter_count(self) -> int:
+        return len(self.constants)
+
+
+def _constant_value(term: Term) -> Optional[Value]:
+    if isinstance(term, Atom):
+        return term.name
+    if isinstance(term, Number):
+        return term.value
+    if isinstance(term, PString):
+        return term.value
+    return None
+
+
+def goal_shape(goal: Term) -> Optional[GoalShape]:
+    """Canonicalize a conjunctive goal to its shape, or None if unshapeable.
+
+    Only flat conjunctions of calls over variables and constants — the
+    function-free fragment the coupling pipeline accepts — have a shape;
+    anything else (nested structures, lists) is reported uncacheable and
+    always takes the cold path.
+    """
+    constants: list[Value] = []
+    key_parts: list[tuple] = []
+    variable_index: dict[Variable, int] = {}
+    name_owner: dict[str, Variable] = {}
+    for subgoal in conjuncts(goal):
+        if isinstance(subgoal, Atom):
+            key_parts.append(("a", subgoal.name))
+            continue
+        if not isinstance(subgoal, Struct):
+            return None
+        arg_keys: list[tuple] = []
+        for argument in subgoal.args:
+            if isinstance(argument, Variable):
+                index = variable_index.get(argument)
+                if index is None:
+                    if name_owner.setdefault(argument.name, argument) != argument:
+                        # Two distinct variables sharing a source name
+                        # would collide in answer columns; leave such
+                        # goals to the cold path.
+                        return None
+                    index = len(variable_index)
+                    variable_index[argument] = index
+                arg_keys.append(("v", argument.name, index))
+                continue
+            value = _constant_value(argument)
+            if value is None:
+                return None  # nested structure: not a flat conjunctive goal
+            arg_keys.append(("p", len(constants)))
+            constants.append(value)
+        key_parts.append((subgoal.functor, tuple(arg_keys)))
+    return GoalShape(key=tuple(key_parts), constants=tuple(constants))
+
+
+def goal_with_markers(goal: Term, material: frozenset[int]) -> Term:
+    """Rebuild ``goal`` with marker atoms at non-material constant positions.
+
+    Parameter numbering follows the same traversal as :func:`goal_shape`;
+    constants whose index is in ``material`` keep their concrete value
+    (the plan is specialised on them).
+    """
+    from ..prolog.terms import conjoin
+
+    counter = [0]
+
+    def rebuild(subgoal: Term) -> Term:
+        if not isinstance(subgoal, Struct):
+            return subgoal
+        new_args: list[Term] = []
+        for argument in subgoal.args:
+            if isinstance(argument, Variable):
+                new_args.append(argument)
+                continue
+            index = counter[0]
+            counter[0] += 1
+            if index in material:
+                new_args.append(argument)
+            else:
+                new_args.append(Atom(marker_for(index)))
+        return Struct(subgoal.functor, tuple(new_args))
+
+    return conjoin([rebuild(g) for g in conjuncts(goal)])
+
+
+def markers_in_comparisons(predicate: DbclPredicate) -> set[int]:
+    """Parameter indices whose marker occurs in any Relcomparison."""
+    found: set[int] = set()
+    for comparison in predicate.comparisons:
+        for side in comparison.symbols():
+            if isinstance(side, ConstSymbol) and is_param_marker(side.value):
+                found.add(marker_index(side.value))
+    return found
+
+
+def markers_in_rows(predicate: DbclPredicate) -> set[int]:
+    """Parameter indices whose marker occurs in some tableau cell."""
+    found: set[int] = set()
+    for row in predicate.rows:
+        for entry in row.entries:
+            if isinstance(entry, ConstSymbol) and is_param_marker(entry.value):
+                found.add(marker_index(entry.value))
+    return found
+
+
+def marker_columns(
+    predicate: DbclPredicate,
+) -> dict[int, tuple[tuple[str, str], ...]]:
+    """Per parameter: the (relation, attribute) cells its marker occupies.
+
+    Computed on the *unsimplified* predicate so bind-time bound checks see
+    every column a constant would have been checked against by a fresh
+    compilation's ``check_constants``.
+    """
+    schema = predicate.schema
+    columns: dict[int, list[tuple[str, str]]] = {}
+    for row in predicate.rows:
+        for column, entry in enumerate(row.entries):
+            if isinstance(entry, ConstSymbol) and is_param_marker(entry.value):
+                columns.setdefault(marker_index(entry.value), []).append(
+                    (row.tag, schema.attribute_names[column])
+                )
+    return {index: tuple(cells) for index, cells in columns.items()}
+
+
+@dataclass
+class CompiledPlan:
+    """A reusable, parameter-bindable compilation of one goal shape.
+
+    ``kind``:
+
+    * ``engine`` — resolved entirely by Prolog (pure internal, or the
+      mixed-view fallback); nothing is compiled;
+    * ``recursive`` — routed to the transitive-closure executor;
+    * ``external`` / ``mixed`` — the external block compiled to SQL; a
+      mixed plan additionally records which conjuncts stay internal.
+
+    ``template`` carries marker constants at ``open_params`` positions;
+    :meth:`bind` substitutes concrete values and re-runs the cheap
+    valuebound checks a fresh compile would have applied to them.
+    """
+
+    kind: str
+    template: Optional[DbclPredicate] = None
+    sql_text: Optional[str] = None
+    bind_order: tuple[int, ...] = ()
+    open_params: tuple[int, ...] = ()
+    param_columns: dict[int, tuple[tuple[str, str], ...]] = field(
+        default_factory=dict
+    )
+    fetch_targets: tuple[Variable, ...] = ()
+    internal_indices: tuple[int, ...] = ()
+    is_empty: bool = False
+
+    @property
+    def executes_sql(self) -> bool:
+        return self.kind in ("external", "mixed") and not self.is_empty
+
+    def bind(
+        self, constants: Sequence[Value], constraints: ConstraintSet
+    ) -> Optional[DbclPredicate]:
+        """The template with concrete constants, or None if provably empty.
+
+        Replays ``check_constants`` for the parameter positions: a value
+        outside the declared domain of any column its marker occupied
+        proves the query empty, exactly as the fresh compile would have.
+        """
+        for index in self.open_params:
+            value = constants[index]
+            for relation, attribute in self.param_columns.get(index, ()):
+                bound = constraints.bound_for(relation, attribute)
+                if bound is not None and not bound.contains(value):
+                    return None
+        if not self.open_params:
+            return self.template
+        mapping = {
+            ConstSymbol(marker_for(index)): ConstSymbol(constants[index])
+            for index in self.open_params
+        }
+        assert self.template is not None
+        return self.template.rename(mapping)
+
+    def bind_values(self, constants: Sequence[Value]) -> list[Value]:
+        """Positional parameter values in the prepared statement's order."""
+        return [constants[index] for index in self.bind_order]
+
+
+@dataclass
+class ShapeEntry:
+    """Cache slot for one goal shape.
+
+    ``material`` are parameter positions whose concrete value the
+    compilation consulted (they select among ``variants``); an empty
+    material set means one fully parameterized plan serves every constant
+    choice.  ``uncacheable`` shapes always recompile (disjunctive views,
+    compile errors).  ``attempted`` records whether parameterization has
+    been tried: a shape's first miss stores a cheap exact-constant plan
+    (no second compilation for goals never asked again); the *second*
+    miss pays the marker compilation, and once ``attempted`` a
+    constant-sensitive shape adds further exact variants without ever
+    re-running the marker analysis.
+    """
+
+    material: tuple[int, ...] = ()
+    variants: dict[tuple, CompiledPlan] = field(default_factory=dict)
+    uncacheable: bool = False
+    attempted: bool = False
+
+    def variant_key(self, constants: Sequence[Value]) -> tuple:
+        return tuple(constants[index] for index in self.material)
+
+
+@dataclass
+class PlanCacheStats:
+    hits: int = 0
+    misses: int = 0
+    compiled: int = 0
+    specialised: int = 0  # constant-sensitive variants compiled
+    uncacheable: int = 0  # shapes (not asks) marked uncacheable
+    invalidations: int = 0
+    bind_empties: int = 0
+
+
+#: Sentinel :meth:`PlanCache.lookup` returns for shapes marked uncacheable,
+#: so callers skip both plan execution *and* recompilation attempts.
+UNCACHEABLE = object()
+
+
+class PlanCache:
+    """Compiled plans per goal shape, pinned to a KB generation.
+
+    Also memoizes the view call graph and the recursive-indicator set —
+    the per-ask graph rebuilds classification used to pay for.  Any
+    structural change to the knowledge base (``consult``, ``assert_fact``,
+    ``retract``) advances ``KnowledgeBase.generation`` and empties the
+    cache on the next :meth:`sync`.
+    """
+
+    def __init__(self, max_shapes: int = 512, max_variants: int = 64):
+        self.max_shapes = max_shapes
+        self.max_variants = max_variants
+        self.stats = PlanCacheStats()
+        self._entries: dict[tuple, ShapeEntry] = {}
+        self._generation: Optional[int] = None
+        self._graph: Optional["nx.DiGraph"] = None
+        self._recursive: Optional[set[tuple[str, int]]] = None
+
+    def __len__(self) -> int:
+        return sum(
+            len(entry.variants)
+            for entry in self._entries.values()
+            if not entry.uncacheable
+        )
+
+    def sync(self, kb: KnowledgeBase) -> None:
+        """Drop everything if the knowledge base changed underneath us."""
+        if self._generation == kb.generation:
+            return
+        if self._entries or self._graph is not None:
+            self.stats.invalidations += 1
+        self._entries.clear()
+        self._graph = None
+        self._recursive = None
+        self._generation = kb.generation
+
+    def invalidate(self) -> None:
+        self._entries.clear()
+        self._graph = None
+        self._recursive = None
+        self._generation = None
+
+    # -- memoized call-graph analyses ------------------------------------------
+
+    def graph(self, kb: KnowledgeBase, schema: DatabaseSchema) -> "nx.DiGraph":
+        self.sync(kb)
+        if self._graph is None:
+            self._graph = view_call_graph(kb, schema)
+        return self._graph
+
+    def recursive_indicators(
+        self, kb: KnowledgeBase, schema: DatabaseSchema
+    ) -> set[tuple[str, int]]:
+        self.sync(kb)
+        if self._recursive is None:
+            self._recursive = _recursive_indicators(
+                kb, schema, graph=self.graph(kb, schema)
+            )
+        return self._recursive
+
+    # -- plan lookup/storage ----------------------------------------------------
+
+    def lookup(self, shape: GoalShape):
+        """The cached plan, the :data:`UNCACHEABLE` sentinel, or None.
+
+        The sentinel tells the caller to take the cold path *without*
+        attempting another compilation — a shape marked uncacheable would
+        fail (or be rejected) identically on every retry.
+        """
+        entry = self._entries.get(shape.key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.uncacheable:
+            return UNCACHEABLE
+        plan = entry.variants.get(entry.variant_key(shape.constants))
+        if plan is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return plan
+
+    def entry_for(self, shape: GoalShape) -> Optional[ShapeEntry]:
+        """The raw cache slot for a shape (no stats accounting)."""
+        return self._entries.get(shape.key)
+
+    def store(
+        self,
+        shape: GoalShape,
+        material: Iterable[int],
+        plan: CompiledPlan,
+        attempted: bool = True,
+    ) -> None:
+        material_key = tuple(sorted(material))
+        entry = self._entries.get(shape.key)
+        if entry is None or entry.uncacheable or entry.material != material_key:
+            replaced = entry is not None
+            entry = ShapeEntry(material=material_key)
+            if not replaced:
+                # Overwriting an existing key does not grow the dict, so
+                # evicting would needlessly drop an unrelated shape's plan.
+                self._evict_shapes()
+            self._entries[shape.key] = entry
+        entry.attempted = entry.attempted or attempted
+        if len(entry.variants) >= self.max_variants:
+            entry.variants.pop(next(iter(entry.variants)))
+        entry.variants[entry.variant_key(shape.constants)] = plan
+        self.stats.compiled += 1
+        if material_key:
+            self.stats.specialised += 1
+
+    def mark_uncacheable(self, shape: GoalShape) -> None:
+        existing = self._entries.get(shape.key)
+        if existing is not None and existing.uncacheable:
+            return
+        if existing is None:
+            self._evict_shapes()
+        self._entries[shape.key] = ShapeEntry(uncacheable=True)
+        self.stats.uncacheable += 1
+
+    def retain(self, shape: GoalShape, kb: KnowledgeBase) -> None:
+        """Keep one shape's entry alive across a self-inflicted bump.
+
+        A warm fetch that asserts *new* answer facts advances the KB
+        generation exactly as its cold counterpart does; the cold path
+        then recompiles and re-stores its plan under the new generation.
+        This is the warm path's equivalent: every other plan is dropped
+        (they may be stale against the new facts) but the entry that just
+        executed — whose validity is unaffected by answer facts under its
+        own view, since the fetch path filters fact branches — survives.
+        """
+        if self._generation == kb.generation:
+            return
+        entry = self._entries.get(shape.key)
+        self.sync(kb)
+        if entry is not None:
+            self._entries[shape.key] = entry
+
+    def _evict_shapes(self) -> None:
+        while len(self._entries) >= self.max_shapes:
+            self._entries.pop(next(iter(self._entries)))
+
+
+# -- result storage -----------------------------------------------------------------
+
+
 @dataclass
 class CachePolicy:
     """When is a query result worth storing? (paper section 2, function 2)"""
@@ -214,11 +655,17 @@ class ResultCache:
     Canonical keys are invariant under variable renaming, so two goals
     that compile to isomorphic tableaux share one entry — the paper's
     motivation for storing intermediate results across related queries.
+
+    Each entry also records the base relations its predicate reads, so a
+    change to one relation (``assert_fact`` on ``empl``) invalidates only
+    the results that could observe it instead of dropping everything.
     """
 
     def __init__(self, policy: Optional[CachePolicy] = None):
         self.policy = policy if policy is not None else CachePolicy()
         self._entries: dict[tuple, list[tuple]] = {}
+        self._relations_of: dict[tuple, frozenset[str]] = {}
+        self._keys_by_relation: dict[str, set[tuple]] = {}
         self.stats = CacheStats()
 
     def lookup(self, predicate: DbclPredicate) -> Optional[list[tuple]]:
@@ -233,13 +680,38 @@ class ResultCache:
         if not self.policy.should_store(len(rows)):
             self.stats.rejected += 1
             return False
-        self._entries[predicate.canonical_key()] = list(rows)
+        key = predicate.canonical_key()
+        relations = frozenset(row.tag for row in predicate.rows)
+        self._entries[key] = list(rows)
+        self._relations_of[key] = relations
+        for relation in relations:
+            self._keys_by_relation.setdefault(relation, set()).add(key)
         self.stats.stored += 1
         return True
 
-    def invalidate(self) -> None:
-        """Drop everything (call after base data changes)."""
-        self._entries.clear()
+    def invalidate(self, relations: Optional[Iterable[str]] = None) -> None:
+        """Drop entries reading the given base relations (all when None)."""
+        if relations is None:
+            self._entries.clear()
+            self._relations_of.clear()
+            self._keys_by_relation.clear()
+            return
+        for relation in relations:
+            for key in self._keys_by_relation.pop(relation, ()):
+                self._entries.pop(key, None)
+                for other in self._relations_of.pop(key, ()):
+                    if other != relation:
+                        keys = self._keys_by_relation.get(other)
+                        if keys is not None:
+                            keys.discard(key)
+
+    def invalidate_relation(self, relation: str) -> None:
+        """Drop every entry whose predicate reads ``relation``."""
+        self.invalidate((relation,))
+
+    def relations_of(self, predicate: DbclPredicate) -> frozenset[str]:
+        """The base relations a stored entry for ``predicate`` depends on."""
+        return self._relations_of.get(predicate.canonical_key(), frozenset())
 
     def __len__(self) -> int:
         return len(self._entries)

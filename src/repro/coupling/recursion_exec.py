@@ -110,10 +110,17 @@ class RecursionRun:
 
 @dataclass
 class _EdgeQueries:
-    """Prepared fixed-shape step queries for one direction."""
+    """Prepared fixed-shape step queries for one direction.
+
+    The query *trees* are kept for inspection (:meth:`TransitiveClosure.
+    step_queries`); the loop executes the pre-rendered *texts* so the SQL
+    is printed exactly once per direction, however many levels run.
+    """
 
     descend_sql: object  # SELECT (low, high) ... WHERE high IN intermediate
     ascend_sql: object  # SELECT (low, high) ... WHERE low IN intermediate
+    descend_text: str  # rendered once; re-executed per level
+    ascend_text: str
     database: ExternalDatabase
     low_attribute: str
     high_attribute: str
@@ -224,6 +231,8 @@ class TransitiveClosure:
         self._edges = _EdgeQueries(
             descend_sql=descend_sql,
             ascend_sql=ascend_sql,
+            descend_text=self.database.prepare(descend_sql),
+            ascend_text=self.database.prepare(ascend_sql),
             database=self.database,
             low_attribute=low_attribute,
             high_attribute=high_attribute,
@@ -306,7 +315,7 @@ class TransitiveClosure:
                 if high is not None
                 else self._domain_values(frontier_attribute)
             )
-            step_sql = edges.descend_sql
+            step_text = edges.descend_text
         else:
             frontier_attribute = edges.low_attribute
             seed = (
@@ -314,7 +323,7 @@ class TransitiveClosure:
                 if low is not None
                 else self._domain_values(frontier_attribute)
             )
-            step_sql = edges.ascend_sql
+            step_text = edges.ascend_text
         # The intermediate relation's column matches the frontier side.
         self.database.create_intermediate(INTERMEDIATE, [frontier_attribute])
 
@@ -325,10 +334,14 @@ class TransitiveClosure:
         while frontier and stats.levels < max_levels:
             stats.levels += 1
             stats.frontier_sizes.append(len(frontier))
-            self.database.set_intermediate_rows(
-                INTERMEDIATE, [(value,) for value in frontier]
-            )
-            rows = self.database.execute(step_sql)
+            # One transaction per frontier level: the intermediate swap
+            # (delete + insert) and the prepared step query commit once,
+            # and the step SQL is never re-printed or re-planned.
+            with self.database.transaction():
+                self.database.set_intermediate_rows(
+                    INTERMEDIATE, [(value,) for value in frontier]
+                )
+                rows = self.database.execute_prepared(step_text)
             stats.queries_issued += 1
             seen |= frontier
             edge_set = {(r[0], r[1]) for r in rows}

@@ -18,10 +18,22 @@ Typical use::
 appropriate pipeline, and returns answer bindings as plain Python dicts.
 ``explain`` returns the full translation trace (DBCL, simplified DBCL,
 SQL) without executing, which the examples and EXPERIMENTS.md use.
+
+The ask hot path is *compile-once*: the first time a goal shape is seen
+(constants abstracted to parameters), the session classifies it,
+metaevaluates it, runs Algorithm 2, translates, and prints SQL — then
+caches the whole artifact in a :class:`~repro.coupling.global_opt.PlanCache`.
+Subsequent asks that differ only in constants bind parameters into the
+prepared statement and execute.  Shapes whose simplification consulted a
+concrete constant value (a marker reached a comparison, emptied the
+plan, or vanished from the tableau) are *constant-sensitive*: they cache
+exact-constant variants instead, so warm answers are always identical to
+a fresh compilation.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Union
 
@@ -47,6 +59,7 @@ from ..prolog.terms import (
     Term,
     Variable,
     conjoin,
+    conjuncts,
     goal_indicator,
     list_items,
     variables_of,
@@ -58,7 +71,22 @@ from ..schema.empdep import empdep_constraints, empdep_schema
 from ..sql.ast import SqlQuery
 from ..sql.printer import print_sql
 from ..sql.translate import translate
-from .global_opt import CachePolicy, ExecutionPlan, ResultCache, plan_goal
+from .global_opt import (
+    UNCACHEABLE,
+    CachePolicy,
+    CompiledPlan,
+    ExecutionPlan,
+    GoalShape,
+    PlanCache,
+    ResultCache,
+    goal_shape,
+    goal_with_markers,
+    marker_columns,
+    marker_for,
+    markers_in_comparisons,
+    markers_in_rows,
+    plan_goal,
+)
 from .recursion_exec import RecursionRun, TransitiveClosure
 
 Value = Union[int, float, str, None]
@@ -96,6 +124,7 @@ class PrologDbSession:
         database: Optional[ExternalDatabase] = None,
         optimize: bool = True,
         cache_policy: Optional[CachePolicy] = None,
+        plan_cache: bool = True,
     ):
         self.schema = schema if schema is not None else empdep_schema()
         self.constraints = (
@@ -104,7 +133,9 @@ class PrologDbSession:
             else empdep_constraints(self.schema)
         )
         self.database = (
-            database if database is not None else ExternalDatabase(self.schema)
+            database
+            if database is not None
+            else ExternalDatabase(self.schema, constraints=self.constraints)
         )
         self.optimize = optimize
         self.kb = KnowledgeBase()
@@ -112,6 +143,8 @@ class PrologDbSession:
         self.metaevaluator = Metaevaluator(self.schema, self.kb)
         self.merger = SegmentMerger(self.kb, self.database)
         self.cache = ResultCache(cache_policy)
+        self.plans = PlanCache()
+        self._plan_caching = plan_cache
         self._closures: dict[tuple[str, int], TransitiveClosure] = {}
         self._register_metaevaluate_builtin()
 
@@ -121,11 +154,15 @@ class PrologDbSession:
         """Load Prolog clauses (views, rules, facts) into the session."""
         self.kb.consult(source)
         self._closures.clear()
+        # Compiled plans key on KnowledgeBase.generation, which consult
+        # advanced; the next sync drops them.  Clear eagerly anyway so the
+        # cache never outlives a program change even in direct use.
+        self.plans.invalidate()
 
     def load_org(self, org: OrgHierarchy) -> None:
         """Load a generated organisation into the external database."""
-        load_org(self.database, org)
-        self.cache.invalidate()
+        relations = load_org(self.database, org)
+        self.cache.invalidate(relations)
 
     def assert_fact(self, functor: str, *values) -> None:
         """Add an internal fact (expert-system knowledge).
@@ -133,11 +170,12 @@ class PrologDbSession:
         Facts asserted under a *base relation* name form an internal
         database segment; the merge procedure (paper section 2) pushes
         them to the external DBMS before the next query over that
-        relation, so cached results covering it are invalidated here.
+        relation, so cached results covering that relation — and only
+        that relation — are invalidated here.
         """
         self.kb.assert_fact(functor, *values)
         if self.schema.has_relation(functor):
-            self.cache.invalidate()
+            self.cache.invalidate_relation(functor)
 
     def _merge_internal_segments(self, predicate: DbclPredicate) -> None:
         """Push internal facts for the predicate's relations to the DBMS.
@@ -192,8 +230,28 @@ class PrologDbSession:
         as asserted facts; unfolding now yields extra *fact branches* with
         no database calls.  Those answers are already in the internal
         database, so only the rule branch is compiled.
+
+        Repeated shapes take the prepared path: the rule branch's
+        compilation is cached per goal shape (see the module docstring)
+        and re-executed with bound parameters.
         """
+        use_optim = bool(optimize and self.optimize)
         targets = [v for v in variables_of(goal) if not v.is_anonymous]
+        shape: Optional[GoalShape] = None
+        if self._plan_caching:
+            self.plans.sync(self.kb)
+            base = goal_shape(goal)
+            if base is not None:
+                shape = GoalShape(
+                    key=("fetch", use_optim) + base.key,
+                    constants=base.constants,
+                )
+                plan = self.plans.lookup(shape)
+                if plan is UNCACHEABLE:
+                    shape = None  # cold path, no recompilation attempt
+                elif plan is not None:
+                    return self._execute_fetch_plan(plan, shape, goal, targets)
+
         name = self.metaevaluator._default_name(goal)
         branches = [
             branch
@@ -208,21 +266,36 @@ class PrologDbSession:
                 "ask_disjunctive instead"
             )
         predicate = self.metaevaluator.branch_to_dbcl(branches[0], name, targets)
-        options = (
-            SimplifyOptions()
-            if (optimize and self.optimize)
-            else SimplifyOptions.none()
-        )
+        options = SimplifyOptions() if use_optim else SimplifyOptions.none()
         result = simplify(predicate, self.constraints, options)
         if result.is_empty:
+            if shape is not None:
+                self._compile_fetch_plan(
+                    shape, goal, targets, name, options, None, result.original
+                )
             return result.original, []
         final = result.predicate
         rows = self.cache.lookup(final)
+        sql_text: Optional[str] = None
         if rows is None:
             self._merge_internal_segments(final)
-            rows = self.database.execute(translate(final, distinct=True))
+            sql = translate(final, distinct=True)
+            if sql.is_empty:
+                rows = []
+            else:
+                sql_text = self.database.prepare(sql)
+                rows = self.database.execute_prepared(sql_text)
             self.cache.store(final, rows)
         assert_answers(self.kb, goal, final, targets, rows)
+        if shape is not None:
+            # Compile after asserting: the new answer facts advanced the KB
+            # generation, and a plan stored before them would be dropped on
+            # the next sync.  The plan stays valid — answer facts only add
+            # fact branches, which the fetch path filters out by design.
+            self._compile_fetch_plan(
+                shape, goal, targets, name, options, final, result.original,
+                sql_text,
+            )
         return final, rows
 
     # -- query answering --------------------------------------------------------------
@@ -235,19 +308,53 @@ class PrologDbSession:
             goal = parse_goal(goal)
         goal_vars = [v for v in variables_of(goal) if not v.is_anonymous]
 
-        if self._is_recursive(goal):
-            return self._ask_recursive(goal)
+        shape: Optional[GoalShape] = None
+        if self._plan_caching:
+            self.plans.sync(self.kb)
+            shape = goal_shape(goal)
+            if shape is not None:
+                plan = self.plans.lookup(shape)
+                if plan is UNCACHEABLE:
+                    shape = None  # cold path, no recompilation attempt
+                elif plan is not None:
+                    return self._execute_plan(
+                        plan, shape, goal, goal_vars, max_solutions
+                    )
 
+        answers, artifacts = self._ask_cold(goal, goal_vars, max_solutions)
+        if shape is not None:
+            self._try_compile(shape, goal, artifacts)
+        return answers
+
+    def _ask_cold(
+        self,
+        goal: Term,
+        goal_vars: Sequence[Variable],
+        max_solutions: Optional[int],
+    ) -> tuple[list[dict[str, Value]], dict]:
+        """The full classify→compile→execute pipeline (plan-cache miss)."""
+        if self._is_recursive(goal):
+            return self._ask_recursive(goal), {"kind": "recursive"}
+
+        graph = (
+            self.plans.graph(self.kb, self.schema) if self._plan_caching else None
+        )
         try:
-            plan = plan_goal(self.kb, self.schema, goal)
+            plan = plan_goal(self.kb, self.schema, goal, graph=graph)
         except CouplingError:
             # A "mixed" goal interleaves database and internal knowledge in
             # one view — the paper's programs handle these themselves by
             # calling metaevaluate/4 inside the rule (the partner example),
             # so ordinary Prolog resolution is the correct evaluator.
-            return self._answers_from_engine(goal, goal_vars, max_solutions)
+            return (
+                self._answers_from_engine(goal, goal_vars, max_solutions),
+                {"kind": "engine"},
+            )
         if plan.is_pure_internal:
-            return self._answers_from_engine(goal, goal_vars, max_solutions)
+            return (
+                self._answers_from_engine(goal, goal_vars, max_solutions),
+                {"kind": "engine"},
+            )
 
         external_goal = conjoin(plan.external)
         fetch_targets = [
@@ -255,36 +362,583 @@ class PrologDbSession:
             for v in variables_of(external_goal)
             if not v.is_anonymous and v in set(plan.interface_variables)
         ]
+        kind = "external" if plan.is_pure_external else "mixed"
+        artifacts: dict = {
+            "kind": kind,
+            "plan": plan,
+            "fetch_targets": fetch_targets,
+            "final": None,
+        }
         predicate = self.metaevaluator.metaevaluate(
             external_goal, targets=fetch_targets
         )
         options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
         result = simplify(predicate, self.constraints, options)
         if result.is_empty:
-            return []
+            return [], artifacts
         final = result.predicate
+        artifacts["final"] = final
         rows = self.cache.lookup(final)
         if rows is None:
             self._merge_internal_segments(final)
-            rows = self.database.execute(translate(final, distinct=True))
+            sql = translate(final, distinct=True)
+            if sql.is_empty:
+                # A false ground comparison survived (simplification off):
+                # provably empty, never sent to the DBMS.
+                rows = []
+            else:
+                sql_text = self.database.prepare(sql)
+                rows = self.database.execute_prepared(sql_text)
+                artifacts["sql_text"] = sql_text
             self.cache.store(final, rows)
 
         if plan.is_pure_external:
             answers = self._rows_to_answers(final, fetch_targets, rows, goal_vars)
             if max_solutions is not None:
-                return answers[:max_solutions]
-            return answers
+                return answers[:max_solutions], artifacts
+            return answers, artifacts
 
         # Mixed: assert the external answers under a fresh interface
         # predicate, then let Prolog combine them with internal knowledge.
-        interface_name = f"$ext_{abs(hash(final.canonical_key())) % 10_000_000}"
-        interface_goal = Struct(
-            interface_name, tuple(fetch_targets)
+        answers = self._combine_with_internal(
+            final, fetch_targets, rows, plan.internal, goal_vars, max_solutions
         )
-        self.kb.retract_all((interface_name, len(fetch_targets)))
-        assert_answers(self.kb, interface_goal, final, fetch_targets, rows)
-        rewritten = conjoin([interface_goal] + plan.internal)
+        return answers, artifacts
+
+    def _combine_with_internal(
+        self,
+        final: DbclPredicate,
+        fetch_targets: Sequence[Variable],
+        rows: Sequence[tuple],
+        internal_goals: Sequence[Term],
+        goal_vars: Sequence[Variable],
+        max_solutions: Optional[int],
+    ) -> list[dict[str, Value]]:
+        """Mixed-plan tail: stage fetched answers, resolve the remainder."""
+        interface_name = self._interface_name(final)
+        interface_goal = Struct(interface_name, tuple(fetch_targets))
+        # Interface facts are derived bookkeeping, not program clauses:
+        # they must not invalidate compiled plans (see KnowledgeBase
+        # generation semantics).
+        with self.kb.preserve_generation():
+            self.kb.retract_all((interface_name, len(fetch_targets)))
+            assert_answers(self.kb, interface_goal, final, fetch_targets, rows)
+        rewritten = conjoin([interface_goal] + list(internal_goals))
         return self._answers_from_engine(rewritten, goal_vars, max_solutions)
+
+    @staticmethod
+    def _interface_name(predicate: DbclPredicate) -> str:
+        """A stable, collision-resistant name for an interface predicate.
+
+        Derived from a digest of the canonical key so it is identical
+        across runs (no dependence on Python hash randomization) and
+        distinct for structurally different predicates.
+        """
+        digest = hashlib.blake2b(
+            repr(predicate.canonical_key()).encode("utf-8"), digest_size=6
+        ).hexdigest()
+        return f"$ext_{digest}"
+
+    # -- plan compilation --------------------------------------------------------------
+
+    def _try_compile(self, shape: GoalShape, goal: Term, artifacts: dict) -> None:
+        """Compile and store a reusable plan for the goal's shape.
+
+        Never raises: a shape the machinery cannot compile (disjunctive
+        views, unexpected structure) is marked uncacheable so the session
+        does not retry on every ask.
+        """
+        # retain, not sync: a segment merge during the cold run advanced
+        # the generation, but this shape's own cache slot (and its lazy
+        # `attempted` progress) stays valid across its own side effects.
+        self.plans.retain(shape, self.kb)
+        try:
+            self._compile_plan(shape, goal, artifacts)
+        except Exception:
+            self.plans.mark_uncacheable(shape)
+
+    @staticmethod
+    def _params_in_conjuncts(
+        conjunct_list: Sequence[Term], selected: Sequence[int]
+    ) -> frozenset:
+        """Parameter indices occupied by the selected conjuncts.
+
+        Mirrors :func:`goal_shape`'s traversal: constants are numbered
+        across the whole conjunction; only those inside the selected
+        conjunct positions are returned.
+        """
+        wanted = set(selected)
+        found: set[int] = set()
+        position = 0
+        for index, conjunct in enumerate(conjunct_list):
+            if not isinstance(conjunct, Struct):
+                continue
+            for argument in conjunct.args:
+                if isinstance(argument, Variable):
+                    continue
+                if index in wanted:
+                    found.add(position)
+                position += 1
+        return frozenset(found)
+
+    def _compile_strategy(
+        self, shape: GoalShape, relevant: frozenset
+    ) -> Union[None, str, frozenset]:
+        """How to build this shape's plan, given its cache history.
+
+        * ``None`` — first encounter: store the cold compilation as a
+          cheap exact-constant plan; defer the marker analysis until the
+          shape proves it repeats (one-off goals never pay for it);
+        * ``"exact"`` — parameterization already failed for this shape:
+          add another exact variant without re-running the analysis;
+        * a frozenset — run the marker analysis, seeded with the material
+          set discovered previously (skips the discovery iterations when
+          a partial-material shape compiles a new variant).
+        """
+        entry = self.plans.entry_for(shape)
+        if entry is None or entry.uncacheable:
+            return None
+        if not entry.attempted:
+            return frozenset()
+        if entry.material == tuple(sorted(relevant)):
+            return "exact"
+        return frozenset(entry.material) & relevant
+
+    def _exact_plan(
+        self,
+        kind: str,
+        final: Optional[DbclPredicate],
+        sql_text: Optional[str],
+        fetch_targets: tuple[Variable, ...],
+        internal_indices: tuple[int, ...],
+        original: Optional[DbclPredicate] = None,
+    ) -> CompiledPlan:
+        """A plan replaying one cold compilation for its exact constants."""
+        if final is None:
+            # An empty fetch reports its pre-simplification predicate as
+            # the trace; the ask path just answers [].
+            return CompiledPlan(
+                kind=kind,
+                is_empty=True,
+                template=original,
+                fetch_targets=fetch_targets,
+                internal_indices=internal_indices,
+            )
+        if sql_text is None:
+            sql = translate(final, distinct=True)
+            if sql.is_empty:
+                # A false ground comparison survived into translation
+                # (simplification off): replay the empty answer.
+                return CompiledPlan(
+                    kind=kind,
+                    is_empty=True,
+                    template=final,
+                    fetch_targets=fetch_targets,
+                    internal_indices=internal_indices,
+                )
+            sql_text = self.database.prepare(sql)
+        return CompiledPlan(
+            kind=kind,
+            template=final,
+            sql_text=sql_text,
+            fetch_targets=fetch_targets,
+            internal_indices=internal_indices,
+        )
+
+    def _compile_plan(self, shape: GoalShape, goal: Term, artifacts: dict) -> None:
+        kind = artifacts["kind"]
+        if kind in ("recursive", "engine"):
+            self.plans.store(shape, (), CompiledPlan(kind=kind))
+            return
+
+        split: ExecutionPlan = artifacts["plan"]
+        fetch_targets = tuple(artifacts["fetch_targets"])
+        conjunct_list = conjuncts(goal)
+        index_of = {id(term): i for i, term in enumerate(conjunct_list)}
+        external_indices = [index_of[id(term)] for term in split.external]
+        internal_indices = tuple(index_of[id(term)] for term in split.internal)
+        # Constants inside internal conjuncts never reach the external
+        # compilation, and the warm path re-reads internal conjuncts from
+        # the live goal — so they are neither parameterized nor part of
+        # the variant key, and rotating them reuses one plan.
+        relevant = self._params_in_conjuncts(conjunct_list, external_indices)
+
+        def store_exact(attempted: bool) -> None:
+            plan = self._exact_plan(
+                kind,
+                artifacts["final"],
+                artifacts.get("sql_text"),
+                fetch_targets,
+                internal_indices,
+            )
+            self.plans.store(shape, relevant, plan, attempted=attempted)
+
+        strategy = self._compile_strategy(shape, relevant)
+        if strategy is None:
+            store_exact(attempted=False)
+            return
+        if strategy == "exact":
+            store_exact(attempted=True)
+            return
+
+        options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
+
+        def build_external(marker_conjuncts: Sequence[Term]) -> Term:
+            return conjoin([marker_conjuncts[i] for i in external_indices])
+
+        def compile_external(external_m: Term) -> DbclPredicate:
+            return self.metaevaluator.metaevaluate(
+                external_m, targets=list(fetch_targets)
+            )
+
+        material, compiled = self._parameterize(
+            shape,
+            goal,
+            build_external,
+            compile_external,
+            options,
+            kind=kind,
+            fetch_targets=fetch_targets,
+            internal_indices=internal_indices,
+            external_indicators=[
+                goal_indicator(term)
+                for term in split.external
+                if isinstance(term, Struct)
+            ],
+            relevant=relevant,
+            initial_material=strategy,
+        )
+        if compiled is None:
+            # Constant-sensitive on every relevant position: cache the
+            # cold compilation itself, keyed by the exact constants.
+            store_exact(attempted=True)
+            return
+        self.plans.store(shape, material, compiled)
+
+    def _compile_fetch_plan(
+        self,
+        shape: GoalShape,
+        goal: Term,
+        targets: Sequence[Variable],
+        name: str,
+        options: SimplifyOptions,
+        final: Optional[DbclPredicate],
+        original: Optional[DbclPredicate] = None,
+        sql_text: Optional[str] = None,
+    ) -> None:
+        """Cache the compiled rule branch of a metaevaluate/4 fetch."""
+        # retain, not sync: the assert_answers just above advanced the
+        # generation, but this shape's own cache slot (and its lazy
+        # `attempted` progress) stays valid across its own answer facts.
+        self.plans.retain(shape, self.kb)
+        try:
+            fetch_targets = tuple(targets)
+            relevant = frozenset(range(shape.parameter_count))
+
+            def store_exact(attempted: bool) -> None:
+                plan = self._exact_plan(
+                    "fetch", final, sql_text, fetch_targets, (), original
+                )
+                self.plans.store(shape, relevant, plan, attempted=attempted)
+
+            strategy = self._compile_strategy(shape, relevant)
+            if strategy is None:
+                store_exact(attempted=False)
+                return
+            if strategy == "exact":
+                store_exact(attempted=True)
+                return
+
+            def compile_view(view_goal: Term) -> DbclPredicate:
+                branches = [
+                    branch
+                    for branch in self.metaevaluator.collect_branches(view_goal)
+                    if branch.dbcalls
+                ]
+                if len(branches) != 1:
+                    raise CouplingError("view shape is not a single rule branch")
+                return self.metaevaluator.branch_to_dbcl(
+                    branches[0], name, list(fetch_targets)
+                )
+
+            indicators = [
+                goal_indicator(term)
+                for term in conjuncts(goal)
+                if isinstance(term, Struct)
+            ]
+            material, compiled = self._parameterize(
+                shape,
+                goal,
+                lambda marker_conjuncts: conjoin(list(marker_conjuncts)),
+                compile_view,
+                options,
+                kind="fetch",
+                fetch_targets=fetch_targets,
+                internal_indices=(),
+                external_indicators=indicators,
+                relevant=relevant,
+                initial_material=strategy,
+                ignore_facts=True,
+            )
+            if compiled is None:
+                store_exact(attempted=True)
+                return
+            self.plans.store(shape, material, compiled)
+        except Exception:
+            self.plans.mark_uncacheable(shape)
+
+    def _parameterize(
+        self,
+        shape: GoalShape,
+        goal: Term,
+        build_external,
+        compile_external,
+        options: SimplifyOptions,
+        kind: str,
+        fetch_targets: tuple[Variable, ...],
+        internal_indices: tuple[int, ...],
+        external_indicators: Sequence[tuple[str, int]],
+        relevant: Optional[frozenset] = None,
+        initial_material: frozenset = frozenset(),
+        ignore_facts: bool = False,
+    ) -> tuple[frozenset, Optional[CompiledPlan]]:
+        """Find the maximal parameterization of a shape, compile it.
+
+        Starts with every constant abstracted to a marker and grows the
+        *material* set (constants the compilation must see concretely)
+        until the marker compilation is provably constant-insensitive:
+
+        * Algorithm 2 never consulted a marker's *value* — every ordering
+          decision about constants funnels through ``compare_values``,
+          which a :func:`watch_marker_consultation` witness instruments;
+          equality-only reasoning treats markers as distinct constants,
+          which at worst under-simplifies (answer-preserving) or empties
+          the marker plan (detected below);
+        * the marker plan is non-empty (an empty marker plan means a
+          constant interacted with the constraints);
+        * every marker survives into the simplified predicate (a vanished
+          marker means its restriction was reasoned away).
+
+        Returns ``(material, plan)``; ``plan`` is None when every position
+        is material — the caller falls back to exact-constant caching.
+        Shapes whose reachable clauses pattern-match on constants in their
+        heads cannot be parameterized at all (a marker would fail a head
+        unification a concrete constant might pass).
+        """
+        from ..dbcl.symbols import watch_marker_consultation
+        from ..errors import TranslationError
+
+        all_params = (
+            relevant
+            if relevant is not None
+            else frozenset(range(shape.parameter_count))
+        )
+        irrelevant = frozenset(range(shape.parameter_count)) - all_params
+        if self._constant_discriminating(
+            external_indicators, ignore_facts=ignore_facts
+        ):
+            return all_params, None
+
+        material: frozenset = frozenset(initial_material) & all_params
+        for _attempt in range(4):
+            if all_params and material == all_params:
+                return all_params, None
+            # Irrelevant (internal-conjunct) constants keep their concrete
+            # values: they never reach the compiled predicate anyway.
+            marker_goal = goal_with_markers(goal, material | irrelevant)
+            marker_conjuncts = conjuncts(marker_goal)
+            external_m = build_external(marker_conjuncts)
+            predicate_m = compile_external(external_m)
+            param_cells = marker_columns(predicate_m)
+            open_params = all_params - material
+            with watch_marker_consultation() as witness:
+                result_m = simplify(predicate_m, self.constraints, options)
+            if result_m.is_empty:
+                return all_params, None
+            if witness.consulted:
+                # A marker's value was reasoned about.  Attribute it to the
+                # markers visible in comparisons (the only place ordering
+                # reasoning reaches) and retry with those made concrete;
+                # when the culprit is not attributable, give up entirely.
+                culprits = (
+                    frozenset(markers_in_comparisons(predicate_m))
+                    | frozenset(markers_in_comparisons(result_m.predicate))
+                ) & open_params
+                if culprits:
+                    material |= culprits
+                    continue
+                return all_params, None
+            final_m = result_m.predicate
+            vanished = (
+                open_params
+                - frozenset(markers_in_rows(final_m))
+                - frozenset(markers_in_comparisons(final_m))
+            )
+            if vanished:
+                material |= vanished
+                continue
+            parameter_map = {
+                str(marker_for(index)): index for index in open_params
+            }
+            try:
+                with watch_marker_consultation() as translate_witness:
+                    sql = translate(
+                        final_m, distinct=True, parameters=parameter_map
+                    )
+                if translate_witness.consulted:
+                    return all_params, None
+            except TranslationError:
+                return all_params, None
+            if sql.is_empty:
+                # A marker-free ground comparison is false for every
+                # constant choice; let the exact path replay the empty.
+                return all_params, None
+            plan = CompiledPlan(
+                kind=kind,
+                template=final_m,
+                sql_text=self.database.prepare(sql),
+                bind_order=sql.parameter_order(),
+                open_params=tuple(sorted(open_params)),
+                param_columns={
+                    index: param_cells.get(index, ()) for index in open_params
+                },
+                fetch_targets=fetch_targets,
+                internal_indices=internal_indices,
+            )
+            return material, plan
+        return all_params, None
+
+    def _constant_discriminating(
+        self,
+        indicators: Sequence[tuple[str, int]],
+        ignore_facts: bool = False,
+    ) -> bool:
+        """Do reachable clauses pattern-match constants in their heads?
+
+        Unfolding a goal whose argument is a parameter marker must take
+        exactly the branches a concrete constant would; a clause head with
+        a constant argument breaks that (the marker fails the unification
+        some constants would pass), so such shapes stay unparameterized.
+
+        ``ignore_facts`` skips bodyless clauses: the fetch path discards
+        branches without database calls, so a fact matching one constant
+        and not another never changes the compiled rule branch.
+        """
+        import networkx as nx
+
+        graph = self.plans.graph(self.kb, self.schema)
+        reachable: set[tuple[str, int]] = set()
+        for indicator in indicators:
+            reachable.add(indicator)
+            if graph.has_node(indicator):
+                reachable |= set(nx.descendants(graph, indicator))
+        for indicator in reachable:
+            for clause in self.kb.all_clauses(indicator):
+                if ignore_facts and clause.is_fact:
+                    continue
+                head = clause.head
+                if isinstance(head, Struct) and any(
+                    not isinstance(argument, Variable) for argument in head.args
+                ):
+                    return True
+        return False
+
+    # -- plan execution ----------------------------------------------------------------
+
+    def _execute_plan(
+        self,
+        plan: CompiledPlan,
+        shape: GoalShape,
+        goal: Term,
+        goal_vars: Sequence[Variable],
+        max_solutions: Optional[int],
+    ) -> list[dict[str, Value]]:
+        """Answer a goal through its cached plan (the warm path)."""
+        if plan.kind == "recursive":
+            return self._ask_recursive(goal)
+        if plan.kind == "engine":
+            return self._answers_from_engine(goal, goal_vars, max_solutions)
+        if plan.is_empty:
+            return []
+        bound = plan.bind(shape.constants, self.constraints)
+        if bound is None:
+            self.plans.stats.bind_empties += 1
+            return []
+        rows = self._rows_for_plan(plan, shape, bound)
+        # A segment merge inside _rows_for_plan retracts relation facts and
+        # advances the KB generation; keep this shape's plan alive.
+        self.plans.retain(shape, self.kb)
+        if plan.kind == "external":
+            answers = self._rows_to_answers(
+                bound, plan.fetch_targets, rows, goal_vars
+            )
+            if max_solutions is not None:
+                return answers[:max_solutions]
+            return answers
+        # The stored fetch targets carry compile-time ordinals; resolve
+        # them to this goal's variables by name (the shape key guarantees
+        # names match and are unambiguous) so the interface predicate
+        # joins with the internal conjuncts.
+        by_name = {v.name: v for v in variables_of(goal)}
+        current_targets = [by_name[t.name] for t in plan.fetch_targets]
+        conjunct_list = conjuncts(goal)
+        internal_goals = [conjunct_list[i] for i in plan.internal_indices]
+        return self._combine_with_internal(
+            bound, current_targets, rows, internal_goals, goal_vars,
+            max_solutions,
+        )
+
+    def _execute_fetch_plan(
+        self,
+        plan: CompiledPlan,
+        shape: GoalShape,
+        goal: Term,
+        targets: Sequence[Variable],
+    ) -> tuple[Optional[DbclPredicate], list[tuple]]:
+        """The warm half of ``_fetch_view``."""
+        if plan.is_empty:
+            # The cold compile proved this exact-constant shape empty; it
+            # stored the pre-simplification predicate for the trace.
+            self.plans.stats.bind_empties += 1
+            return plan.template, []
+        bound = plan.bind(shape.constants, self.constraints)
+        if bound is None:
+            self.plans.stats.bind_empties += 1
+            # Match the cold path's contract: a provably-empty fetch still
+            # reports the (unsimplified) predicate it proved empty.  Re-run
+            # the cold front half for the trace (no rows will be fetched).
+            name = self.metaevaluator._default_name(goal)
+            branches = [
+                b
+                for b in self.metaevaluator.collect_branches(goal)
+                if b.dbcalls
+            ]
+            if not branches:
+                return None, []
+            predicate = self.metaevaluator.branch_to_dbcl(
+                branches[0], name, list(targets)
+            )
+            return predicate, []
+        rows = self._rows_for_plan(plan, shape, bound)
+        assert_answers(self.kb, goal, bound, targets, rows)
+        # New answer facts (or a segment merge above) advanced the KB
+        # generation; keep this shape's plan alive across the bump, as the
+        # cold path does by recompiling after its own assert.
+        self.plans.retain(shape, self.kb)
+        return bound, rows
+
+    def _rows_for_plan(
+        self, plan: CompiledPlan, shape: GoalShape, bound: DbclPredicate
+    ) -> list[tuple]:
+        """Result rows for a bound plan: result cache, else prepared SQL."""
+        rows = self.cache.lookup(bound)
+        if rows is None:
+            self._merge_internal_segments(bound)
+            rows = self.database.execute_prepared(
+                plan.sql_text, plan.bind_values(shape.constants)
+            )
+            self.cache.store(bound, rows)
+        return rows
 
     def _answers_from_engine(
         self,
@@ -341,6 +995,14 @@ class PrologDbSession:
     # -- recursion -----------------------------------------------------------------------
 
     def _is_recursive(self, goal: Term) -> bool:
+        if self._plan_caching:
+            return is_recursive_goal(
+                self.kb,
+                self.schema,
+                goal,
+                graph=self.plans.graph(self.kb, self.schema),
+                recursive=self.plans.recursive_indicators(self.kb, self.schema),
+            )
         return is_recursive_goal(self.kb, self.schema, goal)
 
     def closure_for(self, view_name: str) -> TransitiveClosure:
@@ -360,8 +1022,6 @@ class PrologDbSession:
         return executor
 
     def _ask_recursive(self, goal: Term) -> list[dict[str, Value]]:
-        from ..prolog.terms import conjuncts
-
         goals = conjuncts(goal)
         if len(goals) != 1 or not isinstance(goals[0], Struct):
             raise CouplingError(
@@ -370,7 +1030,12 @@ class PrologDbSession:
             )
         call = goals[0]
         indicator = call.indicator
-        if indicator not in recursive_indicators(self.kb, self.schema):
+        recursive = (
+            self.plans.recursive_indicators(self.kb, self.schema)
+            if self._plan_caching
+            else recursive_indicators(self.kb, self.schema)
+        )
+        if indicator not in recursive:
             raise CouplingError(
                 f"goal reaches recursion through {indicator}; call the "
                 "recursive view directly"

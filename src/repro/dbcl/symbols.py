@@ -15,12 +15,75 @@ instantiation.  The encoding is the paper's:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Union
 
 from ..errors import DbclError
 
 Value = Union[int, float, str]
+
+
+class ParamMarker(str):
+    """A placeholder constant standing for a query parameter.
+
+    The plan cache compiles a goal *shape* once by substituting each goal
+    constant with a marker; the marker flows through metaevaluation and
+    Algorithm 2 like any other string constant and is replaced by a ``?``
+    placeholder at SQL translation time.  Being a ``str`` subclass it is
+    hashable/comparable exactly like a constant, but stages that must not
+    reason about a concrete value (the valuebound constant check) can
+    recognise and skip it — any stage that *would* consult its value marks
+    the plan constant-sensitive instead.
+    """
+
+    __slots__ = ()
+
+
+def is_param_marker(value: object) -> bool:
+    """True when ``value`` is a plan-cache parameter placeholder."""
+    return isinstance(value, ParamMarker)
+
+
+class ConsultationWitness:
+    """Records whether a marker's *value* was consulted (see below)."""
+
+    __slots__ = ("consulted",)
+
+    def __init__(self):
+        self.consulted = False
+
+
+_MARKER_WATCHERS: list[ConsultationWitness] = []
+
+
+@contextmanager
+def watch_marker_consultation():
+    """Detect value-level reasoning about parameter markers.
+
+    Every ordering decision about constants funnels through
+    :func:`compare_values` (ground evaluation, the inequality graph's
+    constant ordering, redundancy implication).  While this context is
+    active, any such call involving a :class:`ParamMarker` flips the
+    yielded witness — proof that the optimization pipeline consulted a
+    concrete value the plan cache was trying to abstract, so the plan
+    must fall back to exact-constant caching.  Equality-only reasoning
+    (chase merges, row dedup, tableau containment) needs no tracking:
+    markers behave there like any pair of distinct constants, which at
+    worst under-simplifies or proves the marker plan empty — both
+    detected structurally.
+    """
+    witness = ConsultationWitness()
+    _MARKER_WATCHERS.append(witness)
+    try:
+        yield witness
+    finally:
+        _MARKER_WATCHERS.remove(witness)
+
+
+def _note_marker_consultation() -> None:
+    for witness in _MARKER_WATCHERS:
+        witness.consulted = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,6 +203,10 @@ def compare_values(left: Value, right: Value) -> int:
     the single ordering used by ground evaluation, the inequality graph,
     and client-side filtering.  Returns -1, 0, or 1.
     """
+    if _MARKER_WATCHERS and (
+        isinstance(left, ParamMarker) or isinstance(right, ParamMarker)
+    ):
+        _note_marker_consultation()
     left_numeric = isinstance(left, (int, float))
     right_numeric = isinstance(right, (int, float))
     if left_numeric and not right_numeric:

@@ -8,14 +8,27 @@ recursion strategies create with ``setrel`` (paper section 7).
 
 The interface is deliberately narrow — SQL text in, tuples out — so the
 translation layers above cannot accidentally depend on anything a 1984
-mainframe DBMS would not have offered.
+mainframe DBMS would not have offered.  Three provisions a real DBMS of
+the era *did* offer are modelled explicitly:
+
+* **prepared statements** — :meth:`ExternalDatabase.prepare` renders a
+  query tree to text exactly once; :meth:`execute_prepared` re-executes
+  that text with bound parameters.  ``stats.sql_prints`` counts renders so
+  callers (the recursion loop, the plan cache) can prove they compile
+  once and execute many times;
+* **catalog-driven indexes** — join and key attributes named by the
+  catalog (shared attributes, functional-dependency determinants,
+  referential-integrity endpoints) get a ``CREATE INDEX`` at DDL time;
+* **transactions** — :meth:`transaction` brackets multi-statement work
+  (one frontier level of the setrel loop) in a single commit.
 """
 
 from __future__ import annotations
 
 import sqlite3
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from ..errors import ExecutionError, SchemaError
 from ..schema.catalog import DatabaseSchema, Relation
@@ -33,6 +46,12 @@ class ExecutionStats:
 
     queries_executed: int = 0
     rows_fetched: int = 0
+    #: how many times a query *tree* was rendered to SQL text — the
+    #: compile-once benchmarks gate that this stays flat while
+    #: ``prepared_executions`` grows.
+    sql_prints: int = 0
+    prepared_executions: int = 0
+    commits: int = 0
     statements: list[str] = field(default_factory=list)
     keep_statements: bool = False
 
@@ -45,19 +64,42 @@ class ExecutionStats:
     def reset(self) -> None:
         self.queries_executed = 0
         self.rows_fetched = 0
+        self.sql_prints = 0
+        self.prepared_executions = 0
+        self.commits = 0
         self.statements.clear()
 
 
 class ExternalDatabase:
-    """An SQLite-backed relational store for one catalog."""
+    """An SQLite-backed relational store for one catalog.
 
-    def __init__(self, schema: DatabaseSchema, path: str = ":memory:"):
+    ``constraints`` (optional) widens the catalog-driven index set with
+    functional-dependency determinants and referential-integrity
+    endpoints; without it only attributes shared between relations (the
+    tableau model's join columns) are indexed.  ``auto_index=False``
+    restores the bare 1984 heap-table behaviour.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        path: str = ":memory:",
+        constraints=None,
+        auto_index: bool = True,
+    ):
         self.schema = schema
-        self._connection = sqlite3.connect(path)
+        # cached_statements makes repeated execute() of identical text hit
+        # sqlite3's internal prepared-statement cache — the "existing
+        # database system" side of the compile-once contract.
+        self._connection = sqlite3.connect(path, cached_statements=256)
         self._dialect = SqliteDialect()
         self.stats = ExecutionStats()
         self._intermediates: dict[str, tuple[str, ...]] = {}
+        self._txn_depth = 0
+        self.index_statements: list[str] = []
         self._create_tables()
+        if auto_index:
+            self._create_indexes(constraints)
 
     # -- DDL -----------------------------------------------------------------
 
@@ -69,7 +111,53 @@ class ExternalDatabase:
                 for attribute in relation.attributes
             )
             cursor.execute(f"CREATE TABLE IF NOT EXISTS {relation.name} ({columns})")
-        self._connection.commit()
+        self._commit()
+
+    def indexed_attributes(self, constraints=None) -> dict[str, set[str]]:
+        """Catalog-driven index candidates per relation.
+
+        * attributes appearing in more than one relation — by the tableau
+          model's construction these are exactly the equijoin columns;
+        * functional-dependency determinants (key attributes);
+        * both endpoints of each referential-integrity arc (the chase and
+          the generated SQL join along these).
+        """
+        shared = {
+            attribute.name
+            for attribute in self.schema.attributes
+            if len(self.schema.relations_with_attribute(attribute.name)) > 1
+        }
+        candidates: dict[str, set[str]] = {
+            relation.name: {a for a in relation.attributes if a in shared}
+            for relation in self.schema.relations.values()
+        }
+        if constraints is not None:
+            for funcdep in getattr(constraints, "funcdeps", ()):
+                candidates.setdefault(funcdep.relation, set()).update(funcdep.lhs)
+            for refint in getattr(constraints, "refints", ()):
+                candidates.setdefault(refint.from_relation, set()).update(
+                    refint.from_attributes
+                )
+                candidates.setdefault(refint.to_relation, set()).update(
+                    refint.to_attributes
+                )
+        return {
+            name: attrs for name, attrs in candidates.items() if attrs
+        }
+
+    def _create_indexes(self, constraints=None) -> None:
+        cursor = self._connection.cursor()
+        for relation_name, attributes in self.indexed_attributes(constraints).items():
+            if not self.schema.has_relation(relation_name):
+                continue
+            for attribute in sorted(attributes):
+                ddl = (
+                    f"CREATE INDEX IF NOT EXISTS idx_{relation_name}_{attribute} "
+                    f"ON {relation_name} ({attribute})"
+                )
+                cursor.execute(ddl)
+                self.index_statements.append(ddl)
+        self._commit()
 
     def create_intermediate(
         self, name: str, attributes: Sequence[str]
@@ -86,18 +174,30 @@ class ExternalDatabase:
         cursor = self._connection.cursor()
         cursor.execute(f"DROP TABLE IF EXISTS {name}")
         cursor.execute(f"CREATE TABLE {name} ({column_defs})")
-        self._connection.commit()
+        # The intermediate's column is joined against a base relation on
+        # every level of the setrel loop; index it like any join column.
+        for attribute in attributes:
+            cursor.execute(
+                f"CREATE INDEX IF NOT EXISTS idx_{name}_{attribute} "
+                f"ON {name} ({attribute})"
+            )
+        self._commit()
         self._intermediates[name] = tuple(attributes)
 
     def drop_intermediate(self, name: str) -> None:
         if name not in self._intermediates:
             return
         self._connection.execute(f"DROP TABLE IF EXISTS {name}")
-        self._connection.commit()
+        self._commit()
         del self._intermediates[name]
 
     def set_intermediate_rows(self, name: str, rows: Iterable[Row]) -> int:
-        """Replace the contents of an intermediate relation; returns count."""
+        """Replace the contents of an intermediate relation; returns count.
+
+        The delete and the insert commit together — once per swap, or once
+        per enclosing :meth:`transaction` when the recursion loop brackets
+        a whole frontier level.
+        """
         if name not in self._intermediates:
             raise ExecutionError(f"unknown intermediate relation {name!r}")
         attributes = self._intermediates[name]
@@ -106,8 +206,34 @@ class ExternalDatabase:
         placeholders = ", ".join("?" * len(attributes))
         data = [tuple(row) for row in rows]
         cursor.executemany(f"INSERT INTO {name} VALUES ({placeholders})", data)
-        self._connection.commit()
+        self._commit()
         return len(data)
+
+    # -- transactions -----------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Group several statements into one commit (nestable).
+
+        Inner commits are suppressed; the outermost exit commits once, or
+        rolls back if the block raised.
+        """
+        self._txn_depth += 1
+        try:
+            yield
+        except BaseException:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self._connection.rollback()
+            raise
+        else:
+            self._txn_depth -= 1
+            self._commit()
+
+    def _commit(self) -> None:
+        if self._txn_depth == 0:
+            self._connection.commit()
+            self.stats.commits += 1
 
     # -- loading ---------------------------------------------------------------
 
@@ -125,13 +251,13 @@ class ExternalDatabase:
         cursor.executemany(
             f"INSERT INTO {relation_name} VALUES ({placeholders})", data
         )
-        self._connection.commit()
+        self._commit()
         return len(data)
 
     def clear_relation(self, relation_name: str) -> None:
         self.schema.relation(relation_name)  # validates
         self._connection.execute(f"DELETE FROM {relation_name}")
-        self._connection.commit()
+        self._commit()
 
     def row_count(self, relation_name: str) -> int:
         cursor = self._connection.execute(f"SELECT COUNT(*) FROM {relation_name}")
@@ -139,16 +265,51 @@ class ExternalDatabase:
 
     # -- query execution -----------------------------------------------------------
 
+    def render(self, query: Union[SqlQuery, UnionQuery]) -> str:
+        """Render a query tree to executable text (counted in stats)."""
+        self.stats.sql_prints += 1
+        if isinstance(query, SqlQuery):
+            return print_sql(query, oneline=True, dialect=self._dialect)
+        return print_union(query, oneline=True)
+
+    def prepare(self, query: Union[SqlQuery, UnionQuery, str]) -> str:
+        """Render once for repeated :meth:`execute_prepared` calls.
+
+        The returned text is the prepared-statement handle: sqlite3 keeps
+        the compiled statement in its per-connection cache, so executing
+        the same text again skips re-parsing as well as re-printing.
+        """
+        if isinstance(query, str):
+            return query
+        if isinstance(query, SqlQuery) and query.is_empty:
+            raise ExecutionError("cannot prepare a provably-empty query")
+        return self.render(query)
+
+    def execute_prepared(
+        self, text: str, parameters: Sequence[Value] = ()
+    ) -> list[Row]:
+        """Execute prepared SQL text with positional bind parameters."""
+        try:
+            cursor = self._connection.execute(text, tuple(parameters))
+            rows = cursor.fetchall()
+        except sqlite3.Error as error:
+            raise ExecutionError(
+                f"SQLite rejected prepared {text!r}: {error}"
+            ) from error
+        self.stats.prepared_executions += 1
+        self.stats.record(text, len(rows))
+        return rows
+
     def execute(self, query: Union[SqlQuery, UnionQuery, str]) -> list[Row]:
         """Run a generated query and fetch all result tuples."""
         if isinstance(query, SqlQuery):
             if query.is_empty:
                 return []  # proven empty: never hits the DBMS
-            text = print_sql(query, oneline=True, dialect=self._dialect)
+            text = self.render(query)
         elif isinstance(query, UnionQuery):
             if not query.live_branches:
                 return []
-            text = print_union(query, oneline=True)
+            text = self.render(query)
         else:
             text = query
         try:

@@ -247,12 +247,14 @@ def generate_org(
     )
 
 
-def load_org(database: ExternalDatabase, org: OrgHierarchy) -> None:
-    """Load a generated organisation into the external database."""
-    database.clear_relation("empl")
-    database.clear_relation("dept")
-    database.insert_rows("empl", [e.as_row() for e in org.employees])
-    database.insert_rows("dept", [d.as_row() for d in org.departments])
+def load_org(database: ExternalDatabase, org: OrgHierarchy) -> tuple[str, ...]:
+    """Load a generated organisation; returns the relations it replaced."""
+    with database.transaction():
+        database.clear_relation("empl")
+        database.clear_relation("dept")
+        database.insert_rows("empl", [e.as_row() for e in org.employees])
+        database.insert_rows("dept", [d.as_row() for d in org.departments])
+    return ("empl", "dept")
 
 
 def make_loaded_database(

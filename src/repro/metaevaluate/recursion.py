@@ -60,9 +60,14 @@ def view_call_graph(kb: KnowledgeBase, schema: DatabaseSchema) -> "nx.DiGraph":
     return graph
 
 
-def recursive_indicators(kb: KnowledgeBase, schema: DatabaseSchema) -> set[Indicator]:
+def recursive_indicators(
+    kb: KnowledgeBase,
+    schema: DatabaseSchema,
+    graph: Optional["nx.DiGraph"] = None,
+) -> set[Indicator]:
     """All predicates on a call-graph cycle (directly or mutually recursive)."""
-    graph = view_call_graph(kb, schema)
+    if graph is None:
+        graph = view_call_graph(kb, schema)
     recursive: set[Indicator] = set()
     for component in nx.strongly_connected_components(graph):
         if len(component) > 1:
@@ -75,15 +80,26 @@ def recursive_indicators(kb: KnowledgeBase, schema: DatabaseSchema) -> set[Indic
 
 
 def is_recursive_goal(
-    kb: KnowledgeBase, schema: DatabaseSchema, goal: Union[Term, str]
+    kb: KnowledgeBase,
+    schema: DatabaseSchema,
+    goal: Union[Term, str],
+    graph: Optional["nx.DiGraph"] = None,
+    recursive: Optional[set[Indicator]] = None,
 ) -> bool:
-    """Does evaluating ``goal`` reach any recursive predicate?"""
+    """Does evaluating ``goal`` reach any recursive predicate?
+
+    ``graph`` and ``recursive`` let callers supply memoized analyses (the
+    session's plan cache holds both per KB generation) instead of
+    rebuilding the call graph on every ask.
+    """
     if isinstance(goal, str):
         goal = parse_goal(goal)
-    recursive = recursive_indicators(kb, schema)
+    if recursive is None:
+        recursive = recursive_indicators(kb, schema)
     if not recursive:
         return False
-    graph = view_call_graph(kb, schema)
+    if graph is None:
+        graph = view_call_graph(kb, schema)
     from ..prolog.terms import conjuncts
 
     for subgoal in conjuncts(goal):

@@ -19,7 +19,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..dbcl.predicate import Comparison, DbclPredicate
-from ..dbcl.symbols import ConstSymbol, JoinableSymbol, is_constant_symbol
+from ..dbcl.symbols import (
+    ConstSymbol,
+    JoinableSymbol,
+    is_constant_symbol,
+    is_param_marker,
+)
 from ..schema.constraints import ConstraintSet, ValueBound
 
 
@@ -51,6 +56,11 @@ def check_constants(
             column = schema.column_of(attribute)
             entry = row.entries[column]
             if not isinstance(entry, ConstSymbol):
+                continue
+            if is_param_marker(entry.value):
+                # Plan-cache placeholder: the concrete value is unknown at
+                # compile time; the plan re-checks it at bind time against
+                # the bounds of every column the marker occupied.
                 continue
             bound = constraints.bound_for(row.tag, attribute)
             if bound is not None and not bound.contains(entry.value):

@@ -49,6 +49,7 @@ snapshot is therefore O(#procedures) instead of O(#clauses).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterable, Iterator, Optional, Sequence
 
 from ..errors import PrologError
@@ -280,10 +281,34 @@ class Procedure:
 
 
 class KnowledgeBase:
-    """A mutable store of Prolog clauses with assert/retract semantics."""
+    """A mutable store of Prolog clauses with assert/retract semantics.
+
+    ``generation`` counts structural mutations (assert/retract); compiled
+    artifacts such as the coupling layer's plan cache key themselves on it
+    and drop everything when it moves.  Mutations that provably do not
+    change what a compiled plan would look like (the session's
+    derived-answer bookkeeping) can be wrapped in
+    :meth:`preserve_generation`.
+    """
 
     def __init__(self):
         self._procedures: dict[tuple[str, int], Procedure] = {}
+        self.generation = 0
+
+    @contextmanager
+    def preserve_generation(self) -> Iterator[None]:
+        """Run mutations without advancing ``generation``.
+
+        Only for *derived* data whose presence cannot change how a goal
+        compiles: interface-predicate answer facts the session asserts and
+        retracts around engine calls.  Program clauses (views, rules, user
+        facts) must never be asserted under this.
+        """
+        saved = self.generation
+        try:
+            yield
+        finally:
+            self.generation = saved
 
     # -- loading ------------------------------------------------------------
 
@@ -302,10 +327,12 @@ class KnowledgeBase:
     def assertz(self, clause: Clause) -> None:
         """Add a clause at the end of its procedure."""
         self._procedure(clause.indicator).add(clause)
+        self.generation += 1
 
     def asserta(self, clause: Clause) -> None:
         """Add a clause at the front of its procedure."""
         self._procedure(clause.indicator).add(clause, front=True)
+        self.generation += 1
 
     def assert_fact(self, functor: str, *values: object) -> None:
         """Convenience: assert a ground fact from Python values."""
@@ -336,9 +363,12 @@ class KnowledgeBase:
         if pattern.is_ground_fact and procedure.all_ground_facts:
             if not procedure.has_ground_fact(pattern.head):
                 return False
-            return self._procedure(pattern.indicator).remove_ground_fact(
+            removed = self._procedure(pattern.indicator).remove_ground_fact(
                 pattern.head
             )
+            if removed:
+                self.generation += 1
+            return removed
         for clause in list(procedure.iter_clauses()):
             subst = unify(clause.head, pattern.head)
             if subst is None:
@@ -346,6 +376,7 @@ class KnowledgeBase:
             if unify(clause.body, pattern.body, subst) is None:
                 continue
             self._procedure(pattern.indicator).remove(clause)
+            self.generation += 1
             return True
         return False
 
@@ -354,6 +385,7 @@ class KnowledgeBase:
         procedure = self._procedures.pop(indicator, None)
         if procedure is None:
             return 0
+        self.generation += 1
         return len(procedure)
 
     # -- querying -----------------------------------------------------------
@@ -418,6 +450,7 @@ class KnowledgeBase:
         for procedure in self._procedures.values():
             procedure.shared = True
         copy._procedures = dict(self._procedures)
+        copy.generation = self.generation
         return copy
 
     def __len__(self) -> int:

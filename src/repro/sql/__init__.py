@@ -5,6 +5,7 @@ from .ast import (
     Condition,
     Literal,
     NotInCondition,
+    Parameter,
     SelectItem,
     SqlQuery,
     TableRef,
@@ -20,6 +21,7 @@ __all__ = [
     "Condition",
     "Literal",
     "NotInCondition",
+    "Parameter",
     "SelectItem",
     "SqlQuery",
     "TableRef",

@@ -54,7 +54,24 @@ class Literal:
         return str(self.value)
 
 
-Operand = Union[ColumnRef, Literal]
+@dataclass(frozen=True, slots=True)
+class Parameter:
+    """A bind-parameter placeholder (prepared-statement ``?``).
+
+    ``index`` identifies the goal constant the placeholder stands for, in
+    goal-traversal order.  The printed form is always ``?``; callers obtain
+    the positional bind order via :meth:`SqlQuery.parameter_order` (qmark
+    parameters bind by occurrence order, and one goal constant may occur
+    several times after chase renaming).
+    """
+
+    index: int
+
+    def __str__(self) -> str:
+        return "?"
+
+
+Operand = Union[ColumnRef, Literal, Parameter]
 
 
 @dataclass(frozen=True, slots=True)
@@ -168,6 +185,29 @@ class SqlQuery:
     def table_count(self) -> int:
         return len(self.from_tables)
 
+    # -- prepared-statement support ---------------------------------------------
+
+    def parameter_order(self) -> tuple[int, ...]:
+        """Parameter indices in ``?``-occurrence order of the printed text.
+
+        Must mirror the printer's traversal: WHERE conjuncts in order (left
+        operand before right), then extra NOT-IN conditions (whose
+        subqueries are walked recursively).  Binding a value list in this
+        order to the qmark placeholders reproduces the query.
+        """
+        order: list[int] = []
+        for condition in self.where:
+            for side in (condition.left, condition.right):
+                if isinstance(side, Parameter):
+                    order.append(side.index)
+        for extra in self.extra_conditions:
+            order.extend(extra.subquery.parameter_order())
+        return tuple(order)
+
+    @property
+    def parameter_count(self) -> int:
+        return len(self.parameter_order())
+
     # -- paper appendix form ---------------------------------------------------
 
     def to_prolog_text(self) -> str:
@@ -189,6 +229,8 @@ class SqlQuery:
         def operand(op: Operand) -> str:
             if isinstance(op, ColumnRef):
                 return f"dot({op.alias}, {op.attribute})"
+            if isinstance(op, Parameter):
+                return f"param({op.index})"
             return str(op.value) if not isinstance(op.value, str) else op.value
 
         where_items = ", ".join(

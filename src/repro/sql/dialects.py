@@ -15,7 +15,7 @@ the final rendering step.  Three dialects are provided:
 from __future__ import annotations
 
 from ..errors import TranslationError
-from .ast import ColumnRef, Condition, Literal, SqlQuery
+from .ast import ColumnRef, Condition, Literal, Parameter, SqlQuery
 from .printer import print_sql
 
 
@@ -56,6 +56,8 @@ class QuelDialect:
             if isinstance(operand.value, str):
                 return f'"{operand.value}"'
             return str(operand.value)
+        if isinstance(operand, Parameter):
+            return "?"
         return f"{operand.alias}.{operand.attribute}"
 
     def render_condition(self, condition: Condition) -> str:

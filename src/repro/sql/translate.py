@@ -16,7 +16,7 @@ Function-free conjunctive DBCL predicates translate into a single flat
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..dbcl.predicate import Comparison, DbclPredicate
 from ..dbcl.symbols import (
@@ -24,6 +24,7 @@ from ..dbcl.symbols import (
     JoinableSymbol,
     TargetSymbol,
     VarSymbol,
+    is_param_marker,
     is_star,
     is_variable_symbol,
 )
@@ -33,6 +34,7 @@ from .ast import (
     Condition,
     Literal,
     Operand,
+    Parameter,
     SelectItem,
     SqlQuery,
     TableRef,
@@ -56,12 +58,26 @@ class SqlTranslator:
         distinct: bool = False,
         alias_base: str = "v",
         alias_start: int = 1,
+        parameters: Optional[Mapping[str, int]] = None,
     ):
         self.distinct = distinct
         self.alias_base = alias_base
         self.alias_start = alias_start
+        #: marker value -> parameter index; constants found here translate
+        #: into ``?`` placeholders instead of literals (plan-cache path).
+        self.parameters = dict(parameters or {})
 
     # -- helpers -----------------------------------------------------------------
+
+    def _constant(self, symbol: ConstSymbol) -> Union[Literal, Parameter]:
+        if is_param_marker(symbol.value):
+            index = self.parameters.get(symbol.value)
+            if index is None:
+                raise TranslationError(
+                    f"parameter marker {symbol.value!r} has no assigned index"
+                )
+            return Parameter(index)
+        return Literal(symbol.value)
 
     def _column_ref(self, predicate: DbclPredicate, symbol: JoinableSymbol) -> ColumnRef:
         """Rule 5's locator: alias.attribute of the symbol's first occurrence."""
@@ -73,7 +89,7 @@ class SqlTranslator:
 
     def _operand(self, predicate: DbclPredicate, symbol: JoinableSymbol) -> Operand:
         if isinstance(symbol, ConstSymbol):
-            return Literal(symbol.value)
+            return self._constant(symbol)
         return self._column_ref(predicate, symbol)
 
     # -- translation --------------------------------------------------------------
@@ -109,7 +125,7 @@ class SqlTranslator:
                         Condition(
                             "eq",
                             ColumnRef(alias, predicate.attribute_of_column(column)),
-                            Literal(entry.value),
+                            self._constant(entry),
                         )
                     )
 
@@ -136,6 +152,17 @@ class SqlTranslator:
 
         # Rule 5: Relcomparisons map to restriction or join terms.
         for comparison in predicate.comparisons:
+            if comparison.is_ground and any(
+                isinstance(side, ConstSymbol) and is_param_marker(side.value)
+                for side in comparison.symbols()
+            ):
+                # A ground comparison over a marker is a truth value that
+                # depends on the concrete constant; such plans must have
+                # fallen back to exact-constant caching before translation.
+                raise TranslationError(
+                    f"parameter marker in ground comparison {comparison}; "
+                    "constant-sensitive plans cannot be parameterized"
+                )
             if comparison.is_ground:
                 # A ground comparison is a constant truth value; the
                 # optimizer removes these, but translation must stay total.
@@ -164,6 +191,12 @@ class SqlTranslator:
         )
 
 
-def translate(predicate: DbclPredicate, distinct: bool = False) -> SqlQuery:
+def translate(
+    predicate: DbclPredicate,
+    distinct: bool = False,
+    parameters: Optional[Mapping[str, int]] = None,
+) -> SqlQuery:
     """Module-level convenience wrapper."""
-    return SqlTranslator(distinct=distinct).translate(predicate)
+    return SqlTranslator(distinct=distinct, parameters=parameters).translate(
+        predicate
+    )
