@@ -1,8 +1,9 @@
 #!/usr/bin/env python
-"""Benchmark driver: runs the engine hot-path benchmarks (E11) and the
-compile-once coupling benchmarks (E12), records ``BENCH_engine.json`` and
-``BENCH_coupling.json`` (per-workload wall-clock + the speedup over the
-pinned baselines), gating regressions.
+"""Benchmark driver: runs the engine hot-path benchmarks (E11), the
+compile-once coupling benchmarks (E12), and the incremental
+view-maintenance benchmarks (E13); records ``BENCH_engine.json``,
+``BENCH_coupling.json``, and ``BENCH_materialize.json`` (per-workload
+wall-clock + the speedup over the pinned baselines), gating regressions.
 
 Usage::
 
@@ -45,6 +46,7 @@ from engine_workloads import (  # noqa: E402  (path setup must precede)
 )
 
 import bench_e12_coupling as e12  # noqa: E402
+import bench_e13_materialize as e13  # noqa: E402
 from repro.dbms import generate_org  # noqa: E402
 
 #: (join facts, join iterations, recursion chain, join gate, recursion gate)
@@ -176,6 +178,77 @@ def run_coupling_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
     return gates_passed
 
 
+def run_materialize_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
+    depth, branching, staff, cycles, asks_per_cycle, gate = (
+        e13.QUICK_SIZES if quick else e13.FULL_SIZES
+    )
+    diff_ops, checkpoint_every = e13.QUICK_DIFF if quick else e13.FULL_DIFF
+    org = generate_org(
+        depth=depth, branching=branching, staff_per_dept=staff, seed=5
+    )
+
+    print(f"== E13 materialize benchmarks ({'quick' if quick else 'full'}) ==")
+    interleaved = e13.bench_interleaved(org, cycles, asks_per_cycle)
+    print(
+        f"interleaved update/ask: maintained="
+        f"{interleaved['maintained_asks_per_second']}/s baseline="
+        f"{interleaved['baseline_asks_per_second']}/s "
+        f"speedup={interleaved['speedup']}x "
+        f"({interleaved['deltas_applied']} deltas, "
+        f"{interleaved['maintained_refreshes']} refreshes)"
+    )
+    differential = e13.differential_check(org, diff_ops, checkpoint_every)
+    print(
+        f"randomized differential: {differential['ops']} ops, "
+        f"{differential['checkpoints']} checkpoints, "
+        f"identical={differential['identical']}"
+    )
+    recursive = e13.bench_recursive_maintained(org)
+    print(
+        f"recursive closure vs batch setrel: {recursive['speedup']}x"
+    )
+
+    gates = {
+        "interleaved_min_speedup": gate,
+        "max_refreshes": 0,
+        "max_fallbacks": 0,
+        "differential_identical": True,
+    }
+    gates_passed = (
+        interleaved["speedup"] >= gate
+        and interleaved["maintained_refreshes"] == 0
+        and interleaved["maintenance_fallbacks"] == 0
+        and differential["identical"]
+        and differential["maintenance_fallbacks"] == 0
+    )
+    record = {
+        "benchmark": "E13 incremental view maintenance (maintain, don't recompute)",
+        "mode": "quick" if quick else "full",
+        "baseline": "invalidate-and-recompute: every write drops plans and "
+        "cached rows; every ask recompiles and re-executes",
+        "org": {"depth": depth, "branching": branching, "staff_per_dept": staff},
+        "workloads": {
+            "interleaved_update_ask": interleaved,
+            "randomized_differential": differential,
+            "recursive_closure": recursive,
+        },
+        "gates": gates,
+        "passed": bool(gates_passed and smoke_ok),
+    }
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    if not gates_passed:
+        print(
+            f"FAIL: materialize gates not met (speedup "
+            f"{interleaved['speedup']}x < {gate}x, refreshes "
+            f"{interleaved['maintained_refreshes']}, fallbacks "
+            f"{interleaved['maintenance_fallbacks']}, differential "
+            f"identical={differential['identical']})",
+            file=sys.stderr,
+        )
+    return gates_passed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -201,6 +274,12 @@ def main() -> int:
         help="where to write the coupling benchmark record (default: "
         "repo-root BENCH_coupling.json / BENCH_coupling.quick.json)",
     )
+    parser.add_argument(
+        "--materialize-output",
+        default=None,
+        help="where to write the materialize benchmark record (default: "
+        "repo-root BENCH_materialize.json / BENCH_materialize.quick.json)",
+    )
     arguments = parser.parse_args()
     if arguments.output is None:
         name = "BENCH_engine.quick.json" if arguments.quick else "BENCH_engine.json"
@@ -212,6 +291,13 @@ def main() -> int:
             else "BENCH_coupling.json"
         )
         arguments.coupling_output = str(REPO_ROOT / name)
+    if arguments.materialize_output is None:
+        name = (
+            "BENCH_materialize.quick.json"
+            if arguments.quick
+            else "BENCH_materialize.json"
+        )
+        arguments.materialize_output = str(REPO_ROOT / name)
 
     smoke_ok = True
     if arguments.quick and not arguments.skip_tests:
@@ -221,11 +307,14 @@ def main() -> int:
     coupling_ok = run_coupling_benchmarks(
         arguments.quick, arguments.coupling_output, smoke_ok
     )
+    materialize_ok = run_materialize_benchmarks(
+        arguments.quick, arguments.materialize_output, smoke_ok
+    )
 
     if not smoke_ok:
         print("FAIL: smoke tests failed", file=sys.stderr)
         return 1
-    if not (engine_ok and coupling_ok):
+    if not (engine_ok and coupling_ok and materialize_ok):
         return 1
     print("all gates passed")
     return 0

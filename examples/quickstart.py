@@ -64,6 +64,22 @@ def main() -> None:
     print(f"  compiled={stats.compiled} hits={stats.hits} misses={stats.misses}")
     print(f"  prepared executions={session.database.stats.prepared_executions}")
 
+    # Materialize the view and the answers survive *updates*: asserts and
+    # retracts apply counting delta rules (prepared statements) to the
+    # maintained rows instead of invalidating and recomputing them.
+    session.materialize.view("same_manager(X, Y)")
+    session.assert_fact("empl", 9001, "emp_new_hire", 25000, org.departments[0].dno)
+    with_hire = session.ask(f"same_manager(X, {employee})")
+    session.retract_fact("empl", 9001, "emp_new_hire", 25000, org.departments[0].dno)
+    print()
+    print("=== Incremental maintenance (session.materialize.stats) ===")
+    print(f"  answers while the new hire existed: {len(with_hire)}")
+    for key, value in session.materialize.stats.as_dict().items():
+        if key != "per_view":
+            print(f"  {key}={value}")
+    snapshot = session.stats()
+    print(f"  unified session.stats() keys: {sorted(snapshot)}")
+
     session.close()
 
 

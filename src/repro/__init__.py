@@ -29,6 +29,7 @@ from .coupling import (
 from .dbcl import DbclPredicate, TableauBuilder, format_dbcl, parse_dbcl
 from .dbms import ExternalDatabase, OrgHierarchy, generate_org, load_org
 from .errors import ReproError
+from .materialize import MaterializeManager, MaterializedView, StoragePolicy
 from .metaevaluate import Metaevaluator, metaevaluate
 from .optimize import SimplificationResult, SimplifyOptions, simplify
 from .prolog import Engine, KnowledgeBase
@@ -58,6 +59,9 @@ __all__ = [
     "generate_org",
     "load_org",
     "ReproError",
+    "MaterializeManager",
+    "MaterializedView",
+    "StoragePolicy",
     "Metaevaluator",
     "metaevaluate",
     "SimplificationResult",

@@ -656,9 +656,17 @@ class ResultCache:
     that compile to isomorphic tableaux share one entry — the paper's
     motivation for storing intermediate results across related queries.
 
-    Each entry also records the base relations its predicate reads, so a
-    change to one relation (``assert_fact`` on ``empl``) invalidates only
-    the results that could observe it instead of dropping everything.
+    Each entry also records what it *depends on*, so a change to one
+    relation (``assert_fact`` on ``empl``) invalidates only the results
+    that could observe it instead of dropping everything.  Dependencies
+    default to the predicate's row tags (its base relations), but the
+    session passes the **transitive** set instead: every view name and
+    base relation reachable from the original goal through the view call
+    graph.  That way a result for a view defined over other views is
+    dropped both when an indirect base relation changes and when an
+    intermediate view's own definition or facts change
+    (``invalidate_relation("works_dir_for")``) — the row tags alone never
+    mention intermediate views, because metaevaluation unfolds them away.
     """
 
     def __init__(self, policy: Optional[CachePolicy] = None):
@@ -676,12 +684,28 @@ class ResultCache:
         self.stats.hits += 1
         return entry
 
-    def store(self, predicate: DbclPredicate, rows: Sequence[tuple]) -> bool:
+    def store(
+        self,
+        predicate: DbclPredicate,
+        rows: Sequence[tuple],
+        relations: Optional[Iterable[str]] = None,
+    ) -> bool:
+        """Store rows for a predicate, tracking its dependencies.
+
+        ``relations`` overrides the default row-tag dependency set; pass
+        the transitive closure over the view call graph so indirect base
+        relations and intermediate view names invalidate this entry too.
+        """
         if not self.policy.should_store(len(rows)):
             self.stats.rejected += 1
             return False
         key = predicate.canonical_key()
-        relations = frozenset(row.tag for row in predicate.rows)
+        if relations is None:
+            relations = frozenset(row.tag for row in predicate.rows)
+        else:
+            relations = frozenset(relations) | frozenset(
+                row.tag for row in predicate.rows
+            )
         self._entries[key] = list(rows)
         self._relations_of[key] = relations
         for relation in relations:

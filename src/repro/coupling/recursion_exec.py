@@ -53,6 +53,37 @@ from ..dbms.sqlite_backend import ExternalDatabase
 INTERMEDIATE = "intermediate"
 
 
+def find_base_clause(
+    kb: KnowledgeBase, view: tuple[str, int]
+) -> tuple[Struct, list[Term]]:
+    """The single non-recursive clause of a linear recursive view.
+
+    Returns ``(head, body_goals)``.  Shared by the closure executors and
+    the materialized-view subsystem (which maintains the base clause's
+    *edge view* incrementally and folds edge deltas into the closure).
+    """
+    base_clauses = [
+        clause
+        for clause in kb.all_clauses(view)
+        if not any(
+            isinstance(g, Struct) and g.indicator == view
+            for g in clause.body_goals()
+        )
+    ]
+    if len(base_clauses) != 1:
+        raise CouplingError(
+            f"{view[0]}/2 needs exactly one non-recursive clause, "
+            f"found {len(base_clauses)}"
+        )
+    clause = base_clauses[0]
+    head = clause.head
+    if not isinstance(head, Struct) or not all(
+        isinstance(a, Variable) for a in head.args
+    ):
+        raise CouplingError("base clause head must use distinct variables")
+    return head, clause.body_goals()
+
+
 def schema_with_intermediate(
     schema: DatabaseSchema, attribute: str, name: str = INTERMEDIATE
 ) -> DatabaseSchema:
@@ -151,32 +182,8 @@ class TransitiveClosure:
         self.database = database
         self.view = view
         self.optimize = optimize
-        self._base_head, self._base_body = self._find_base_clause()
+        self._base_head, self._base_body = find_base_clause(kb, view)
         self._edges: Optional[_EdgeQueries] = None
-
-    # -- clause analysis -----------------------------------------------------------
-
-    def _find_base_clause(self) -> tuple[Struct, list[Term]]:
-        base_clauses = [
-            clause
-            for clause in self.kb.all_clauses(self.view)
-            if not any(
-                isinstance(g, Struct) and g.indicator == self.view
-                for g in clause.body_goals()
-            )
-        ]
-        if len(base_clauses) != 1:
-            raise CouplingError(
-                f"{self.view[0]}/2 needs exactly one non-recursive clause, "
-                f"found {len(base_clauses)}"
-            )
-        clause = base_clauses[0]
-        head = clause.head
-        if not isinstance(head, Struct) or not all(
-            isinstance(a, Variable) for a in head.args
-        ):
-            raise CouplingError("base clause head must use distinct variables")
-        return head, clause.body_goals()
 
     # -- step-query preparation -------------------------------------------------------
 
@@ -478,3 +485,150 @@ class TransitiveClosure:
                 f"naive expansion did not converge in {max_levels} levels"
             )
         return RecursionRun(pairs=pairs, stats=stats)
+
+
+# -- incremental closure maintenance (the materialize subsystem) --------------------
+
+
+class IncrementalClosure:
+    """A transitive closure maintained under edge inserts and deletes.
+
+    The batch executors above answer one ``view(low, high)`` query by
+    iterating the setrel loop from scratch.  The materialized-view
+    subsystem instead keeps the *whole* closure live:
+
+    * :meth:`insert_edge` propagates semi-naively — a new edge ``l -> h``
+      can only create pairs ``(x, y)`` with ``x`` reaching ``l`` and ``h``
+      reaching ``y``, so exactly that product is probed and only
+      genuinely new pairs are added;
+    * :meth:`delete_edge` is DRed-style delete/re-derive: every pair
+      whose derivations *might* route through the deleted edge is
+      over-deleted, then pairs still derivable from the remaining edges
+      are re-derived semi-naively until fixpoint.
+
+    Both operations return the exact pair delta, so a downstream consumer
+    (a count table, a subscriber view) can be maintained without diffing
+    the full closure.  Cycles are handled: a pair ``(x, x)`` exists iff
+    ``x`` lies on a cycle, matching the batch executors' semantics.
+    """
+
+    def __init__(self, edges: Optional[Sequence[tuple[str, str]]] = None):
+        self._successors: dict[str, set[str]] = {}
+        self._predecessors: dict[str, set[str]] = {}
+        self._edges: set[tuple[str, str]] = set()
+        self._pairs: set[tuple[str, str]] = set()
+        #: Closure adjacency (node -> reachable / reaching nodes), kept in
+        #: lockstep with ``_pairs`` so cone probes never scan the pair set.
+        self._reach: dict[str, set[str]] = {}
+        self._reached_by: dict[str, set[str]] = {}
+        for low, high in edges or ():
+            self.insert_edge(low, high)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def pairs(self) -> set[tuple[str, str]]:
+        """The current closure (a live reference; treat as read-only)."""
+        return self._pairs
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return pair in self._pairs
+
+    # -- helpers ------------------------------------------------------------
+
+    def _sources_into(self, node: str) -> set[str]:
+        """``node`` plus every x with (x, node) in the closure."""
+        return {node} | self._reached_by.get(node, set())
+
+    def _targets_from(self, node: str) -> set[str]:
+        """``node`` plus every y with (node, y) in the closure."""
+        return {node} | self._reach.get(node, set())
+
+    def _add_pair(self, pair: tuple[str, str]) -> None:
+        self._pairs.add(pair)
+        x, y = pair
+        self._reach.setdefault(x, set()).add(y)
+        self._reached_by.setdefault(y, set()).add(x)
+
+    def _remove_pair(self, pair: tuple[str, str]) -> None:
+        self._pairs.discard(pair)
+        x, y = pair
+        bucket = self._reach.get(x)
+        if bucket is not None:
+            bucket.discard(y)
+            if not bucket:
+                del self._reach[x]
+        bucket = self._reached_by.get(y)
+        if bucket is not None:
+            bucket.discard(x)
+            if not bucket:
+                del self._reached_by[y]
+
+    # -- maintenance --------------------------------------------------------
+
+    def insert_edge(self, low: str, high: str) -> set[tuple[str, str]]:
+        """Add edge ``low -> high``; returns the newly derivable pairs."""
+        if (low, high) in self._edges:
+            return set()
+        self._edges.add((low, high))
+        self._successors.setdefault(low, set()).add(high)
+        self._predecessors.setdefault(high, set()).add(low)
+        sources = self._sources_into(low)
+        targets = self._targets_from(high)
+        added = {
+            (x, y)
+            for x in sources
+            for y in targets
+            if (x, y) not in self._pairs
+        }
+        for pair in added:
+            self._add_pair(pair)
+        return added
+
+    def delete_edge(self, low: str, high: str) -> set[tuple[str, str]]:
+        """Remove edge ``low -> high``; returns the pairs that died.
+
+        Over-deletes the cone of pairs that could route through the edge,
+        then re-derives: a removed pair ``(x, y)`` comes back if some
+        remaining edge ``x -> z`` has ``z == y`` or ``(z, y)`` surviving.
+        Iterates to fixpoint because one re-derivation can support
+        another (paths sharing suffixes).
+        """
+        if (low, high) not in self._edges:
+            return set()
+        # Cone computed on the OLD closure (before anything is removed).
+        sources = self._sources_into(low)
+        targets = self._targets_from(high)
+        self._edges.discard((low, high))
+        self._successors[low].discard(high)
+        if not self._successors[low]:
+            del self._successors[low]
+        self._predecessors[high].discard(low)
+        if not self._predecessors[high]:
+            del self._predecessors[high]
+
+        suspect = {
+            (x, y) for x in sources for y in targets if (x, y) in self._pairs
+        }
+        for pair in suspect:
+            self._remove_pair(pair)
+
+        changed = True
+        while changed:
+            changed = False
+            for pair in list(suspect):
+                x, y = pair
+                for z in self._successors.get(x, ()):
+                    if z == y or (z, y) in self._pairs:
+                        self._add_pair(pair)
+                        suspect.discard(pair)
+                        changed = True
+                        break
+        return suspect

@@ -47,6 +47,7 @@ from ..errors import CouplingError, MetaevaluationError
 from ..metaevaluate.recursion import (
     is_recursive_goal,
     recursive_indicators,
+    view_call_graph,
 )
 from ..metaevaluate.translator import Metaevaluator
 from ..optimize.pipeline import SimplificationResult, SimplifyOptions, simplify
@@ -55,6 +56,8 @@ from ..prolog.knowledge_base import KnowledgeBase
 from ..prolog.reader import parse_goal
 from ..prolog.terms import (
     Atom,
+    Clause,
+    Number,
     Struct,
     Term,
     Variable,
@@ -125,6 +128,7 @@ class PrologDbSession:
         optimize: bool = True,
         cache_policy: Optional[CachePolicy] = None,
         plan_cache: bool = True,
+        storage_policy=None,
     ):
         self.schema = schema if schema is not None else empdep_schema()
         self.constraints = (
@@ -147,22 +151,74 @@ class PrologDbSession:
         self._plan_caching = plan_cache
         self._closures: dict[tuple[str, int], TransitiveClosure] = {}
         self._register_metaevaluate_builtin()
+        # Any base-relation mutation (including engine-level assertz or
+        # retract from inside a Prolog program) invalidates exactly the
+        # cached results that could observe it.
+        self.kb.add_listener(self._on_base_relation_change)
+        # Imported here, not at module level: repro.materialize reaches
+        # back into repro.coupling for the closure machinery.
+        from ..materialize.manager import MaterializeManager
+
+        #: The incremental view-maintenance subsystem (maintain-on-write).
+        self.materialize = MaterializeManager(
+            kb=self.kb,
+            schema=self.schema,
+            database=self.database,
+            constraints=self.constraints,
+            metaevaluator=self.metaevaluator,
+            merger=self.merger,
+            plans=self.plans if plan_cache else None,
+            result_cache=self.cache,
+            policy=storage_policy,
+            optimize=optimize,
+        )
+
+    def _on_base_relation_change(self, kind, indicator, clauses) -> None:
+        name, arity = indicator
+        if self.schema.has_relation(name) and (
+            self.schema.relation(name).arity == arity
+        ):
+            self.cache.invalidate_relation(name)
 
     # -- program loading ---------------------------------------------------------
 
     def consult(self, source: str) -> None:
         """Load Prolog clauses (views, rules, facts) into the session."""
-        self.kb.consult(source)
+        clauses = self.kb.consult(source)
         self._closures.clear()
         # Compiled plans key on KnowledgeBase.generation, which consult
         # advanced; the next sync drops them.  Clear eagerly anyway so the
         # cache never outlives a program change even in direct use.
         self.plans.invalidate()
+        # Cached results track dependencies transitively (view names as
+        # well as base relations), so invalidating each consulted head
+        # also drops results for views defined *over* the changed ones.
+        for name in {clause.indicator[0] for clause in clauses}:
+            self.cache.invalidate_relation(name)
+        self.materialize.on_consult([clause.indicator for clause in clauses])
 
     def load_org(self, org: OrgHierarchy) -> None:
         """Load a generated organisation into the external database."""
-        relations = load_org(self.database, org)
+        # One generation bump for the whole load, however the loader (or
+        # a change listener) touches the knowledge base.
+        with self.kb.bulk_update():
+            relations = load_org(self.database, org)
         self.cache.invalidate(relations)
+        self.materialize.on_load(relations)
+
+    @staticmethod
+    def _fact_terms(values) -> tuple[Term, ...]:
+        args: list[Term] = []
+        for value in values:
+            if isinstance(value, bool):
+                args.append(Atom("true" if value else "false"))
+            elif isinstance(value, (int, float)):
+                args.append(Number(value))
+            elif isinstance(value, str):
+                args.append(Atom(value))
+            else:
+                raise TypeError(f"unsupported fact argument: {value!r}")
+        return tuple(args)
 
     def assert_fact(self, functor: str, *values) -> None:
         """Add an internal fact (expert-system knowledge).
@@ -170,12 +226,38 @@ class PrologDbSession:
         Facts asserted under a *base relation* name form an internal
         database segment; the merge procedure (paper section 2) pushes
         them to the external DBMS before the next query over that
-        relation, so cached results covering that relation — and only
-        that relation — are invalidated here.
+        relation.  The change listeners registered on the knowledge base
+        invalidate affected cached results and — when materialized views
+        depend on the relation — apply maintenance deltas instead of
+        recomputing.
         """
         self.kb.assert_fact(functor, *values)
-        if self.schema.has_relation(functor):
-            self.cache.invalidate_relation(functor)
+
+    def retract_fact(self, functor: str, *values) -> bool:
+        """Remove a fact from the session's visible union of segments.
+
+        The internal copy is retracted if present; for base relations the
+        external tuple is removed as well, with materialized views
+        maintained through delete deltas (DRed delete/re-derive for
+        recursive views).  Returns True when something was removed.
+        """
+        args = self._fact_terms(values)
+        clause = Clause(Struct(functor, args))
+        found = self.kb.retract(clause)
+        if not (
+            self.schema.has_relation(functor)
+            and self.schema.relation(functor).arity == len(args)
+        ):
+            return found
+        row = tuple(term_to_value(argument) for argument in args)
+        if self.materialize.is_maintained(functor):
+            if not found:
+                found = bool(self.materialize.external_delete(functor, row))
+        else:
+            removed = self.database.delete_row(functor, row)
+            found = found or removed > 0
+        self.cache.invalidate_relation(functor)
+        return found
 
     def _merge_internal_segments(self, predicate: DbclPredicate) -> None:
         """Push internal facts for the predicate's relations to the DBMS.
@@ -285,7 +367,7 @@ class PrologDbSession:
             else:
                 sql_text = self.database.prepare(sql)
                 rows = self.database.execute_prepared(sql_text)
-            self.cache.store(final, rows)
+            self.cache.store(final, rows, self._result_dependencies(final, goal))
         assert_answers(self.kb, goal, final, targets, rows)
         if shape is not None:
             # Compile after asserting: the new answer facts advanced the KB
@@ -306,6 +388,9 @@ class PrologDbSession:
         """Answer a goal, routing each part to the right evaluator."""
         if isinstance(goal, str):
             goal = parse_goal(goal)
+        maintained = self.materialize.answer(goal, max_solutions)
+        if maintained is not None:
+            return maintained
         goal_vars = [v for v in variables_of(goal) if not v.is_anonymous]
 
         shape: Optional[GoalShape] = None
@@ -390,7 +475,9 @@ class PrologDbSession:
                 sql_text = self.database.prepare(sql)
                 rows = self.database.execute_prepared(sql_text)
                 artifacts["sql_text"] = sql_text
-            self.cache.store(final, rows)
+            self.cache.store(
+                final, rows, self._result_dependencies(final, external_goal)
+            )
 
         if plan.is_pure_external:
             answers = self._rows_to_answers(final, fetch_targets, rows, goal_vars)
@@ -425,6 +512,45 @@ class PrologDbSession:
             assert_answers(self.kb, interface_goal, final, fetch_targets, rows)
         rewritten = conjoin([interface_goal] + list(internal_goals))
         return self._answers_from_engine(rewritten, goal_vars, max_solutions)
+
+    def _result_dependencies(
+        self, predicate: DbclPredicate, goal: Optional[Term] = None
+    ) -> frozenset:
+        """What a cached result for ``predicate`` depends on, transitively.
+
+        Row tags cover the base relations the *compiled* query reads, but
+        a goal over views depends on the intermediate view definitions
+        too: new clauses (or facts) for ``works_dir_for`` must drop a
+        cached ``same_manager`` result even though the compiled tableau
+        only mentions ``empl``/``dept``.  The view call graph supplies the
+        names on the path plus any indirect base relations simplification
+        may have reasoned away.
+        """
+        import networkx as nx
+
+        relations = {row.tag for row in predicate.rows}
+        if goal is None:
+            return frozenset(relations)
+        graph = (
+            self.plans.graph(self.kb, self.schema)
+            if self._plan_caching
+            else view_call_graph(self.kb, self.schema)
+        )
+        for term in conjuncts(goal):
+            try:
+                indicator = goal_indicator(term)
+            except ValueError:
+                continue
+            reachable = {indicator}
+            if graph.has_node(indicator):
+                reachable |= set(nx.descendants(graph, indicator))
+            for name, arity in reachable:
+                if (
+                    self.schema.has_relation(name)
+                    and self.schema.relation(name).arity == arity
+                ) or self.kb.has_procedure((name, arity)):
+                    relations.add(name)
+        return frozenset(relations)
 
     @staticmethod
     def _interface_name(predicate: DbclPredicate) -> str:
@@ -864,7 +990,7 @@ class PrologDbSession:
         if bound is None:
             self.plans.stats.bind_empties += 1
             return []
-        rows = self._rows_for_plan(plan, shape, bound)
+        rows = self._rows_for_plan(plan, shape, bound, goal)
         # A segment merge inside _rows_for_plan retracts relation facts and
         # advances the KB generation; keep this shape's plan alive.
         self.plans.retain(shape, self.kb)
@@ -919,7 +1045,7 @@ class PrologDbSession:
                 branches[0], name, list(targets)
             )
             return predicate, []
-        rows = self._rows_for_plan(plan, shape, bound)
+        rows = self._rows_for_plan(plan, shape, bound, goal)
         assert_answers(self.kb, goal, bound, targets, rows)
         # New answer facts (or a segment merge above) advanced the KB
         # generation; keep this shape's plan alive across the bump, as the
@@ -928,7 +1054,11 @@ class PrologDbSession:
         return bound, rows
 
     def _rows_for_plan(
-        self, plan: CompiledPlan, shape: GoalShape, bound: DbclPredicate
+        self,
+        plan: CompiledPlan,
+        shape: GoalShape,
+        bound: DbclPredicate,
+        goal: Optional[Term] = None,
     ) -> list[tuple]:
         """Result rows for a bound plan: result cache, else prepared SQL."""
         rows = self.cache.lookup(bound)
@@ -937,7 +1067,7 @@ class PrologDbSession:
             rows = self.database.execute_prepared(
                 plan.sql_text, plan.bind_values(shape.constants)
             )
-            self.cache.store(bound, rows)
+            self.cache.store(bound, rows, self._result_dependencies(bound, goal))
         return rows
 
     def _answers_from_engine(
@@ -1137,6 +1267,48 @@ class PrologDbSession:
         return evaluator.evaluate(goal)
 
     # -- inspection ------------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One snapshot of every performance-relevant counter.
+
+        Benchmarks, CI gates, and docs read this instead of poking at the
+        knowledge base, plan cache, result cache, backend, and
+        maintenance manager separately.
+        """
+        plan_stats = self.plans.stats
+        cache_stats = self.cache.stats
+        db_stats = self.database.stats
+        return {
+            "kb": {
+                "generation": self.kb.generation,
+                "clauses": len(self.kb),
+            },
+            "plan_cache": {
+                "entries": len(self.plans),
+                "hits": plan_stats.hits,
+                "misses": plan_stats.misses,
+                "compiled": plan_stats.compiled,
+                "specialised": plan_stats.specialised,
+                "uncacheable": plan_stats.uncacheable,
+                "invalidations": plan_stats.invalidations,
+                "bind_empties": plan_stats.bind_empties,
+            },
+            "result_cache": {
+                "entries": len(self.cache),
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "stored": cache_stats.stored,
+                "rejected": cache_stats.rejected,
+            },
+            "database": {
+                "queries_executed": db_stats.queries_executed,
+                "rows_fetched": db_stats.rows_fetched,
+                "sql_prints": db_stats.sql_prints,
+                "prepared_executions": db_stats.prepared_executions,
+                "commits": db_stats.commits,
+            },
+            "materialize": self.materialize.stats_dict(),
+        }
 
     def explain(self, goal: Union[str, Term]) -> TranslationTrace:
         """The full translation trace for an external goal (no execution)."""

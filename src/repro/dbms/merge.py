@@ -92,7 +92,11 @@ class SegmentMerger:
         if new_rows:
             self.database.insert_rows(relation_name, new_rows)
         relation = self.database.schema.relation(relation_name)
-        self.kb.retract_all((relation_name, relation.arity))
+        # Relocation, not deletion: the retracted internal copies live on
+        # externally, so change listeners (incremental view maintenance)
+        # must not observe this as a data change.
+        with self.kb.suspend_deltas():
+            self.kb.retract_all((relation_name, relation.arity))
         return report
 
     def pull_external(self, relation_name: str) -> MergeReport:
@@ -103,11 +107,16 @@ class SegmentMerger:
         """
         merged, report = self.merged_rows(relation_name)
         relation = self.database.schema.relation(relation_name)
-        self.kb.retract_all((relation_name, relation.arity))
-        for row in merged:
-            self.kb.assertz(
-                Clause(Struct(relation_name, tuple(value_to_term(v) for v in row)))
-            )
+        # Also a relocation (external tuples re-homed as internal facts);
+        # suppress change listeners and coalesce the generation bumps.
+        with self.kb.suspend_deltas(), self.kb.bulk_update():
+            self.kb.retract_all((relation_name, relation.arity))
+            for row in merged:
+                self.kb.assertz(
+                    Clause(
+                        Struct(relation_name, tuple(value_to_term(v) for v in row))
+                    )
+                )
         return report
 
     def collect_garbage(self, indicator: tuple[str, int]) -> int:

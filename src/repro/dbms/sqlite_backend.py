@@ -21,6 +21,13 @@ the era *did* offer are modelled explicitly:
   referential-integrity endpoints) get a ``CREATE INDEX`` at DDL time;
 * **transactions** — :meth:`transaction` brackets multi-statement work
   (one frontier level of the setrel loop) in a single commit.
+
+On top of the era-faithful core, the incremental-maintenance subsystem
+(:mod:`repro.materialize`) uses **materialized tables**: per-view count
+tables (:meth:`create_materialized`) whose rows carry a support count and
+whose deltas apply transactionally (:meth:`apply_materialized_delta`) —
+the physical half of the paper's "store query results for future
+reference" storage decision.
 """
 
 from __future__ import annotations
@@ -95,6 +102,7 @@ class ExternalDatabase:
         self._dialect = SqliteDialect()
         self.stats = ExecutionStats()
         self._intermediates: dict[str, tuple[str, ...]] = {}
+        self._materialized: dict[str, tuple[str, ...]] = {}
         self._txn_depth = 0
         self.index_statements: list[str] = []
         self._create_tables()
@@ -208,6 +216,146 @@ class ExternalDatabase:
         cursor.executemany(f"INSERT INTO {name} VALUES ({placeholders})", data)
         self._commit()
         return len(data)
+
+    # -- materialized view tables ------------------------------------------------
+
+    #: Reserved name prefix so materialized tables can never collide with
+    #: base relations or setrel intermediates.
+    MATERIALIZED_PREFIX = "mv_"
+
+    def create_materialized(self, name: str, attributes: Sequence[str]) -> None:
+        """Create (or reset) a materialized count table for one view.
+
+        Columns follow the view's SELECT list (typed from the catalog when
+        the attribute is known, TEXT otherwise) plus a ``support`` count —
+        the number of derivations of the row, maintained by the counting
+        algorithm so deletions know when a row loses its last derivation.
+        """
+        if not name.startswith(self.MATERIALIZED_PREFIX):
+            raise SchemaError(
+                f"materialized table {name!r} must use the "
+                f"{self.MATERIALIZED_PREFIX!r} prefix"
+            )
+        if self.schema.has_relation(name):
+            raise SchemaError(f"{name!r} clashes with a base relation")
+        labels = [f"c{i}_{attribute}" for i, attribute in enumerate(attributes)]
+        column_defs = ", ".join(
+            f"{label} {self.schema.attribute(attribute).sql_type}"
+            if attribute in self.schema.attribute_names
+            else f"{label} TEXT"
+            for label, attribute in zip(labels, attributes)
+        )
+        cursor = self._connection.cursor()
+        cursor.execute(f"DROP TABLE IF EXISTS {name}")
+        cursor.execute(
+            f"CREATE TABLE {name} ({column_defs}, support INTEGER NOT NULL)"
+        )
+        cursor.execute(
+            f"CREATE UNIQUE INDEX idx_{name}_row ON {name} ({', '.join(labels)})"
+        )
+        self._commit()
+        self._materialized[name] = tuple(labels)
+
+    def drop_materialized(self, name: str) -> None:
+        if name not in self._materialized:
+            return
+        self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+        self._commit()
+        del self._materialized[name]
+
+    def set_materialized_rows(
+        self, name: str, counted_rows: Iterable[tuple[Row, int]]
+    ) -> int:
+        """Replace a materialized table's contents with (row, support) pairs."""
+        labels = self._materialized_labels(name)
+        cursor = self._connection.cursor()
+        cursor.execute(f"DELETE FROM {name}")
+        placeholders = ", ".join("?" * (len(labels) + 1))
+        data = [tuple(row) + (support,) for row, support in counted_rows]
+        cursor.executemany(f"INSERT INTO {name} VALUES ({placeholders})", data)
+        self._commit()
+        return len(data)
+
+    def apply_materialized_delta(
+        self, name: str, changes: Iterable[tuple[Row, int]]
+    ) -> int:
+        """Apply per-row support deltas in one transaction.
+
+        Each ``(row, delta)`` adjusts the row's support count: missing
+        rows are inserted, rows whose support reaches zero are deleted.
+        The whole batch commits once (or rolls back together).  Returns
+        the number of rows touched.
+        """
+        labels = self._materialized_labels(name)
+        match = " AND ".join(f"{label} = ?" for label in labels)
+        placeholders = ", ".join("?" * (len(labels) + 1))
+        touched = 0
+        with self.transaction():
+            for row, delta in changes:
+                if delta == 0:
+                    continue
+                values = tuple(row)
+                cursor = self._connection.execute(
+                    f"UPDATE {name} SET support = support + ? WHERE {match}",
+                    (delta,) + values,
+                )
+                if cursor.rowcount == 0:
+                    if delta < 0:
+                        raise ExecutionError(
+                            f"materialized {name}: negative support for {row!r}"
+                        )
+                    self._connection.execute(
+                        f"INSERT INTO {name} VALUES ({placeholders})",
+                        values + (delta,),
+                    )
+                else:
+                    self._connection.execute(
+                        f"DELETE FROM {name} WHERE support <= 0 AND {match}",
+                        values,
+                    )
+                touched += 1
+        return touched
+
+    def fetch_materialized(self, name: str) -> list[Row]:
+        """The distinct rows of a materialized view (support > 0)."""
+        labels = self._materialized_labels(name)
+        return self.execute(
+            f"SELECT {', '.join(labels)} FROM {name} WHERE support > 0"
+        )
+
+    def materialized_select(
+        self, name: str, bound_columns: Sequence[int]
+    ) -> str:
+        """Prepared text selecting rows matching ``?`` at the bound columns."""
+        labels = self._materialized_labels(name)
+        text = f"SELECT {', '.join(labels)} FROM {name} WHERE support > 0"
+        for column in bound_columns:
+            text += f" AND {labels[column]} = ?"
+        return text
+
+    def _materialized_labels(self, name: str) -> tuple[str, ...]:
+        labels = self._materialized.get(name)
+        if labels is None:
+            raise ExecutionError(f"unknown materialized table {name!r}")
+        return labels
+
+    # -- row-level DML (maintenance deltas) ---------------------------------------
+
+    def delete_row(self, relation_name: str, row: Sequence[Value]) -> int:
+        """Delete tuples equal to ``row`` from a base relation; returns count."""
+        relation = self.schema.relation(relation_name)
+        if len(row) != relation.arity:
+            raise ExecutionError(
+                f"{relation_name}: expected {relation.arity} values, got {len(row)}"
+            )
+        match = " AND ".join(
+            f"{attribute} = ?" for attribute in relation.attributes
+        )
+        cursor = self._connection.execute(
+            f"DELETE FROM {relation_name} WHERE {match}", tuple(row)
+        )
+        self._commit()
+        return cursor.rowcount
 
     # -- transactions -----------------------------------------------------------
 

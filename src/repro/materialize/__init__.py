@@ -1,0 +1,45 @@
+"""Incremental materialized-view maintenance (maintain, don't recompute).
+
+The paper's "global optimization" decides which intermediate results are
+worth *storing*.  PR 2 built the compile-once half of that decision (the
+plan cache) plus a result cache that merely *invalidates* per relation:
+any update still forces affected views to recompute from scratch.  This
+package closes the loop — derived relations are **maintained under
+change**:
+
+* :class:`~repro.materialize.manager.MaterializeManager` subscribes to
+  :class:`~repro.prolog.knowledge_base.KnowledgeBase` mutation events and
+  turns asserts/retracts of base-relation facts into per-relation
+  insert/delete deltas;
+* :class:`~repro.materialize.views.MaterializedView` maintains a
+  non-recursive view with **counting-based delta rules** compiled through
+  the existing metaevaluate → DBCL → SQL pipeline; the delta queries are
+  parameterized prepared statements (the PR 2 ``Parameter`` machinery),
+  rendered once per view and re-executed per update;
+* :class:`~repro.materialize.recursive.RecursiveMaterializedView`
+  maintains a recursive ``setrel`` view through
+  :class:`~repro.coupling.recursion_exec.IncrementalClosure` — semi-naive
+  delta propagation for inserts, DRed-style delete/re-derive for
+  retracts;
+* :class:`~repro.materialize.policy.StoragePolicy` is the paper's storage
+  decision made cost-based: fed by plan-cache and result-cache hit
+  statistics, it chooses which views get promoted to backend materialized
+  tables (DDL plus transactional delta DML in the SQLite backend) versus
+  staying invalidate-only.
+"""
+
+from .delta import Delta, MaintenanceStats
+from .manager import MaterializeManager
+from .policy import StoragePolicy
+from .recursive import RecursiveMaterializedView
+from .views import DeltaRule, MaterializedView
+
+__all__ = [
+    "Delta",
+    "DeltaRule",
+    "MaintenanceStats",
+    "MaterializeManager",
+    "MaterializedView",
+    "RecursiveMaterializedView",
+    "StoragePolicy",
+]

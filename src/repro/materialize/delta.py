@@ -1,0 +1,93 @@
+"""Relation-level deltas and maintenance statistics.
+
+A :class:`Delta` is one base-relation tuple entering or leaving the
+*visible union* of the database (external tuples plus internally asserted
+facts).  The manager produces them from knowledge-base mutation events;
+views consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dbms.internal_db import term_to_value
+from ..errors import CouplingError
+from ..prolog.terms import Clause, Struct
+
+INSERT = "insert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One tuple-level change to a base relation's visible union."""
+
+    relation: str
+    kind: str  # INSERT or DELETE
+    row: tuple
+
+
+def fact_row(clause: Clause) -> Optional[tuple]:
+    """The value tuple of a ground relational fact, or None.
+
+    Non-ground facts and structured arguments cannot be database tuples;
+    the segment merger skips them identically
+    (:meth:`repro.dbms.merge.SegmentMerger.internal_rows`), so ignoring
+    them here keeps maintenance aligned with merge semantics.
+    """
+    if not clause.is_fact or not isinstance(clause.head, Struct):
+        return None
+    try:
+        return tuple(term_to_value(argument) for argument in clause.head.args)
+    except CouplingError:
+        return None
+
+
+@dataclass
+class ViewStats:
+    """Per-view maintenance counters."""
+
+    maintained_asks: int = 0
+    deltas_applied: int = 0
+    delta_executions: int = 0  # prepared delta-query executions
+    rows_added: int = 0
+    rows_removed: int = 0
+    refreshes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "maintained_asks": self.maintained_asks,
+            "deltas_applied": self.deltas_applied,
+            "delta_executions": self.delta_executions,
+            "rows_added": self.rows_added,
+            "rows_removed": self.rows_removed,
+            "refreshes": self.refreshes,
+        }
+
+
+@dataclass
+class MaintenanceStats:
+    """Aggregate counters the manager exposes (``session.materialize.stats``)."""
+
+    views: int = 0
+    deltas_applied: int = 0
+    maintained_asks: int = 0
+    refreshes: int = 0
+    fallbacks: int = 0  # maintenance errors answered by marking stale
+    promotions: int = 0  # memory views promoted to backend tables
+    per_view: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "views": self.views,
+            "deltas_applied": self.deltas_applied,
+            "maintained_asks": self.maintained_asks,
+            "refreshes": self.refreshes,
+            "fallbacks": self.fallbacks,
+            "promotions": self.promotions,
+            "per_view": {
+                name: stats.as_dict() if isinstance(stats, ViewStats) else stats
+                for name, stats in self.per_view.items()
+            },
+        }

@@ -1,0 +1,416 @@
+"""Orchestration of incremental view maintenance for one session.
+
+The manager owns every registered materialized view, subscribes to
+knowledge-base mutation events, and keeps three invariants:
+
+1. **Eager externalization** — base relations that back at least one
+   registered view are kept physically current in the external DBMS: an
+   asserted fact is pushed out immediately (instead of waiting for the
+   next query's segment merge), a retracted one is deleted.  Delta
+   queries therefore always see the visible union.
+2. **Set semantics of the union** — merge semantics deduplicate internal
+   against external segments, so the manager tracks the visible rows per
+   relation as a set; re-asserting an existing tuple or retracting a
+   missing one is a no-op delta.
+3. **Order of application** — insert deltas evaluate against the
+   *post*-insert state, delete deltas against the *pre*-delete state;
+   the inclusion–exclusion rules in :mod:`repro.materialize.views` are
+   derived for exactly those states.
+
+Anything the delta path cannot handle exactly (a ``retract_all`` sweep,
+a maintenance error, a wholesale ``load_org``) marks affected views
+*stale*; a stale view recomputes once on its next ask — never worse than
+the invalidate-and-recompute behaviour this subsystem replaces.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence, Union
+
+from ..errors import CouplingError
+from ..metaevaluate.recursion import recursive_indicators
+from ..optimize.pipeline import SimplifyOptions, simplify
+from ..prolog.reader import parse_goal
+from ..prolog.terms import Struct, Term, Variable, conjoin, conjuncts
+from .delta import DELETE, INSERT, Delta, MaintenanceStats, fact_row
+from .policy import BACKEND, INVALIDATE, MEMORY, StoragePolicy
+from .recursive import RecursiveMaterializedView
+from .views import MaterializedView
+
+MaintainedView = Union[MaterializedView, RecursiveMaterializedView]
+
+
+class MaterializeManager:
+    """Registers, maintains, and serves materialized views."""
+
+    def __init__(
+        self,
+        kb,
+        schema,
+        database,
+        constraints,
+        metaevaluator,
+        merger,
+        plans=None,
+        result_cache=None,
+        policy: Optional[StoragePolicy] = None,
+        optimize: bool = True,
+    ):
+        self.kb = kb
+        self.schema = schema
+        self.database = database
+        self.constraints = constraints
+        self.metaevaluator = metaevaluator
+        self.merger = merger
+        self.plans = plans
+        self.result_cache = result_cache
+        self.policy = policy if policy is not None else StoragePolicy()
+        self.optimize = optimize
+        self.stats = MaintenanceStats()
+        self._views: dict[tuple[str, int], MaintainedView] = {}
+        self._storage_request: dict[tuple[str, int], str] = {}
+        self._by_relation: dict[str, list[MaintainedView]] = {}
+        self._union: dict[str, set[tuple]] = {}
+        kb.add_listener(self._on_kb_event)
+
+    # -- registration -------------------------------------------------------
+
+    def view(
+        self,
+        goal: Union[str, Term],
+        storage: str = "auto",
+        name: Optional[str] = None,
+    ) -> MaintainedView:
+        """Register a view goal for incremental maintenance.
+
+        ``goal`` must be a single view call whose arguments are distinct
+        variables (the "materialize the whole view" shape; constants in
+        later *asks* restrict the maintained rows).  ``storage`` is
+        ``auto`` (ask the :class:`StoragePolicy`), ``memory``,
+        ``backend``, or ``invalidate``.
+        """
+        StoragePolicy.validate(storage)
+        if isinstance(goal, str):
+            goal = parse_goal(goal)
+        call = self._registrable_call(goal)
+        indicator = call.indicator
+        view_name = name if name is not None else indicator[0]
+        args = list(call.args)
+
+        # Re-registration replaces the old view wholesale: unsubscribe it
+        # so writes are not maintained twice (and its backend table, keyed
+        # by the view name, is not double-updated).
+        self._unregister(indicator)
+
+        recursive = indicator in self._recursive_indicators()
+        if recursive:
+            view: MaintainedView = self._build_recursive(view_name, call, args)
+        else:
+            view = self._build_flat(view_name, call, args)
+
+        chosen = storage
+        if storage == "auto":
+            chosen = self.policy.choose(view.row_count, self._observed_demand())
+        if chosen == BACKEND and not view.recursive:
+            view.promote_to_backend(self._table_name(view_name))
+        elif chosen == INVALIDATE:
+            view.storage = INVALIDATE
+        # recursive views maintain their closure in memory; a BACKEND
+        # request degrades gracefully to memory counts + closure.
+
+        self._views[indicator] = view
+        self._storage_request[indicator] = storage
+        for relation in view.relations:
+            self._by_relation.setdefault(relation, []).append(view)
+            if relation not in self._union:
+                self._union[relation] = set(
+                    self.database.fetch_relation(relation)
+                )
+        self.stats.views = len(self._views)
+        self.stats.per_view[view_name] = view.stats
+        return view
+
+    def _unregister(self, indicator: tuple) -> None:
+        old = self._views.pop(indicator, None)
+        if old is None:
+            return
+        self._storage_request.pop(indicator, None)
+        self.stats.per_view.pop(old.name, None)
+        if getattr(old, "backend_table", None):
+            self.database.drop_materialized(old.backend_table)
+        for relation in old.relations:
+            dependents = self._by_relation.get(relation)
+            if dependents is None:
+                continue
+            dependents[:] = [view for view in dependents if view is not old]
+            if not dependents:
+                del self._by_relation[relation]
+                self._union.pop(relation, None)
+        self.stats.views = len(self._views)
+
+    def _registrable_call(self, goal: Term) -> Struct:
+        parts = conjuncts(goal)
+        if len(parts) != 1 or not isinstance(parts[0], Struct):
+            raise CouplingError(
+                "materialized views are registered per view call; "
+                "conjunctions are answered by asking over maintained views"
+            )
+        call = parts[0]
+        names = set()
+        for argument in call.args:
+            if not isinstance(argument, Variable) or argument.is_anonymous:
+                raise CouplingError(
+                    "register the open view shape (distinct variables); "
+                    "constants belong in asks, which filter maintained rows"
+                )
+            if argument.name in names:
+                raise CouplingError(
+                    "registration arguments must be distinct variables"
+                )
+            names.add(argument.name)
+        return call
+
+    def _build_flat(
+        self, view_name: str, call: Struct, args: Sequence[Variable]
+    ) -> MaterializedView:
+        options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
+        raw = self.metaevaluator.metaevaluate(call, targets=list(args))
+        result = simplify(raw, self.constraints, options)
+        if result.is_empty:
+            raise CouplingError(
+                f"view {view_name} is provably empty under the constraints; "
+                "nothing to maintain"
+            )
+        self._merge_segments(frozenset(row.tag for row in result.predicate.rows))
+        view = MaterializedView(
+            view_name,
+            call,
+            args,
+            result.predicate,
+            result.original,
+            self.database,
+            self.constraints,
+        )
+        view.refresh()
+        return view
+
+    def _build_recursive(
+        self, view_name: str, call: Struct, args: Sequence[Variable]
+    ) -> RecursiveMaterializedView:
+        from ..coupling.recursion_exec import find_base_clause
+
+        indicator = call.indicator
+        if indicator[1] != 2:
+            raise CouplingError(
+                "recursive materialized views support binary views only"
+            )
+        head, body = find_base_clause(self.kb, indicator)
+        low_var, high_var = head.args  # find_base_clause guarantees Variables
+        edge_view = self._build_flat(
+            f"{view_name}__edge", conjoin(body), [low_var, high_var]
+        )
+        if any(column is None for column in edge_view.position_column):
+            raise CouplingError(
+                f"view {view_name}: base clause does not project both edge ends"
+            )
+        return RecursiveMaterializedView(view_name, call, args, edge_view)
+
+    def _merge_segments(self, relations: frozenset) -> None:
+        """Push pending internal facts external before the initial load."""
+        for relation_name in relations:
+            if not self.schema.has_relation(relation_name):
+                continue
+            arity = self.schema.relation(relation_name).arity
+            if self.kb.fact_count((relation_name, arity)):
+                self.merger.materialise_internal(relation_name)
+
+    def _recursive_indicators(self) -> set:
+        if self.plans is not None:
+            return self.plans.recursive_indicators(self.kb, self.schema)
+        return recursive_indicators(self.kb, self.schema)
+
+    def _observed_demand(self) -> int:
+        demand = 0
+        if self.plans is not None:
+            demand += self.plans.stats.hits
+        if self.result_cache is not None:
+            demand += self.result_cache.stats.hits
+        return demand
+
+    @staticmethod
+    def _table_name(view_name: str) -> str:
+        from ..dbms.sqlite_backend import ExternalDatabase
+
+        safe = re.sub(r"[^A-Za-z0-9_]", "_", view_name)
+        return f"{ExternalDatabase.MATERIALIZED_PREFIX}{safe}"
+
+    # -- delta capture ------------------------------------------------------
+
+    def _on_kb_event(self, kind: str, indicator, clauses) -> None:
+        name, arity = indicator
+        dependents = self._by_relation.get(name)
+        if not dependents:
+            return
+        if not self.schema.has_relation(name):
+            return
+        if self.schema.relation(name).arity != arity:
+            return
+        if kind == "clear":
+            # A retract_all sweep mixes removals with rows that survive
+            # externally; recompute instead of guessing.
+            for view in dependents:
+                view.stale = True
+            return
+        for clause in clauses:
+            row = fact_row(clause)
+            if row is None:
+                continue  # non-tuple fact: invisible to the merged union
+            if kind == "insert":
+                self._apply_insert(name, row)
+            elif kind == "delete":
+                self._apply_delete(name, row)
+
+    def _apply_insert(self, relation: str, row: tuple) -> None:
+        union = self._union[relation]
+        if row in union:
+            return  # merge semantics: duplicate of a visible tuple
+        self.database.insert_rows(relation, [row])
+        union.add(row)
+        self._dispatch(Delta(relation, INSERT, row))
+
+    def _apply_delete(self, relation: str, row: tuple) -> None:
+        union = self._union[relation]
+        if row not in union:
+            return
+        # Delete deltas evaluate against the pre-delete state.
+        self._dispatch(Delta(relation, DELETE, row))
+        self.database.delete_row(relation, row)
+        union.discard(row)
+
+    def external_delete(self, relation: str, row: tuple) -> bool:
+        """Remove a tuple that exists only externally (no internal fact).
+
+        The session's ``retract_fact`` calls this when ``kb.retract``
+        found nothing to remove; returns True only when a tuple was
+        actually removed (a maintained relation knows its visible union,
+        so an absent row is a definite no-op).
+        """
+        if relation not in self._by_relation:
+            return False
+        if row not in self._union[relation]:
+            return False
+        self._apply_delete(relation, row)
+        return True
+
+    def _dispatch(self, delta: Delta) -> None:
+        for view in self._by_relation.get(delta.relation, ()):
+            if view.storage == INVALIDATE or view.stale:
+                view.stale = True
+                continue
+            try:
+                view.apply_delta(delta)
+                self.stats.deltas_applied += 1
+            except Exception:
+                view.stale = True
+                self.stats.fallbacks += 1
+
+    # -- serving ------------------------------------------------------------
+
+    def answer(
+        self, goal: Term, max_solutions: Optional[int] = None
+    ) -> Optional[list[dict]]:
+        """Maintained answers for ``goal``, or None to fall to the cold path."""
+        parts = conjuncts(goal)
+        if len(parts) != 1 or not isinstance(parts[0], Struct):
+            return None
+        call = parts[0]
+        view = self._views.get(call.indicator)
+        if view is None:
+            return None
+        if view.stale:
+            view.refresh()
+            self.stats.refreshes += 1
+        answers = view.answers(call)
+        if answers is None:
+            return None
+        self.stats.maintained_asks += 1
+        if not view.recursive:
+            self._maybe_promote(view)
+            if max_solutions is not None:
+                return answers[:max_solutions]
+        # The batch recursive path ignores max_solutions; mirror it.
+        return answers
+
+    def _maybe_promote(self, view: MaterializedView) -> None:
+        if view.backend_table is not None:
+            return
+        if self._storage_request.get(view.goal.indicator) not in ("auto", None):
+            return
+        if self.policy.promotion_due(
+            view.storage, view.row_count, view.stats.maintained_asks
+        ):
+            view.promote_to_backend(self._table_name(view.name))
+            self.stats.promotions += 1
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_load(self, relations: Sequence[str]) -> None:
+        """A wholesale load replaced base relations: resync and go stale.
+
+        Refreshes happen lazily on the next ask of each affected view.
+        """
+        for relation in relations:
+            if relation in self._union:
+                self._union[relation] = set(
+                    self.database.fetch_relation(relation)
+                )
+            for view in self._by_relation.get(relation, ()):
+                view.stale = True
+
+    def on_consult(self, indicators: Sequence[tuple]) -> None:
+        """Program clauses changed: rebuild views whose rules may differ.
+
+        Pure base-relation facts arrive as ordinary insert deltas and
+        need no rebuild; anything else (view rules, rules for a base
+        relation) conservatively re-registers every view.
+        """
+        def is_base_fact(indicator: tuple) -> bool:
+            name, arity = indicator
+            return (
+                self.schema.has_relation(name)
+                and self.schema.relation(name).arity == arity
+            )
+
+        if all(is_base_fact(indicator) for indicator in indicators):
+            return
+        if not self._views:
+            return
+        registered = [
+            (view.goal, self._storage_request[indicator], view.name)
+            for indicator, view in self._views.items()
+        ]
+        self._teardown()
+        for goal, storage, view_name in registered:
+            self.view(goal, storage=storage, name=view_name)
+
+    def _teardown(self) -> None:
+        for view in self._views.values():
+            if getattr(view, "backend_table", None):
+                self.database.drop_materialized(view.backend_table)
+        self._views.clear()
+        self._storage_request.clear()
+        self._by_relation.clear()
+        self._union.clear()
+        self.stats.views = 0
+
+    # -- inspection ---------------------------------------------------------
+
+    def views(self) -> list[MaintainedView]:
+        return list(self._views.values())
+
+    def is_maintained(self, relation: str) -> bool:
+        return relation in self._by_relation
+
+    def stats_dict(self) -> dict:
+        return self.stats.as_dict()

@@ -1,0 +1,80 @@
+"""The storage decision, made cost-based (paper section 2, function 2).
+
+The paper's global optimizer decides "whether query results should be
+stored for future reference".  PR 2 answered *how to store a compilation*
+(the plan cache); :class:`StoragePolicy` answers how to store the
+**result relation itself**, per materialized view:
+
+* ``memory`` — maintain support counts in a Python dict; cheapest for
+  small, hot views (every maintained ask is a dict scan);
+* ``backend`` — additionally keep a count table in the external DBMS
+  (``mv_*``), with deltas applied transactionally; pays off once the view
+  is large enough that Python-side filtering loses to an indexed SQL
+  probe, and keeps the derived relation queryable by other SQL;
+* ``invalidate`` — do not maintain at all: writes mark the view stale and
+  the next ask recomputes (the pre-subsystem behaviour, kept for views
+  whose update rate dwarfs their ask rate).
+
+The policy is *fed by cache statistics*: ``observed_demand`` combines
+plan-cache and result-cache hits — repeated-shape traffic is exactly the
+evidence that a view's answers will be asked again, which is what makes
+maintenance worth its per-update cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MEMORY = "memory"
+BACKEND = "backend"
+INVALIDATE = "invalidate"
+
+_CHOICES = (MEMORY, BACKEND, INVALIDATE, "auto")
+
+
+@dataclass
+class StoragePolicy:
+    """Knobs for the materialized-view storage decision."""
+
+    #: Views at or above this many rows get a backend count table.
+    backend_min_rows: int = 2048
+    #: Views above this many rows are not maintained at all (delta cost
+    #: and memory footprint dominate; recompute-on-demand wins).
+    maintain_max_rows: int = 500_000
+    #: With fewer than this many observed cache hits (plan + result), an
+    #: ``auto`` registration sees no evidence of repeated demand and
+    #: stays invalidate-only ... unless the caller forces maintenance.
+    min_demand: int = 0
+    #: A memory view promotes itself to ``backend`` after this many
+    #: maintained asks once it also clears ``backend_min_rows``.
+    promote_after_asks: int = 64
+
+    def choose(self, row_count: int, observed_demand: int = 0) -> str:
+        """Pick a storage class for a view of ``row_count`` rows.
+
+        ``observed_demand`` is the caller's evidence of repeated asks —
+        the session passes ``plans.stats.hits + cache.stats.hits``.
+        """
+        if row_count > self.maintain_max_rows:
+            return INVALIDATE
+        if observed_demand < self.min_demand:
+            return INVALIDATE
+        if row_count >= self.backend_min_rows:
+            return BACKEND
+        return MEMORY
+
+    def promotion_due(self, storage: str, row_count: int, maintained_asks: int) -> bool:
+        """Should a memory view be promoted to a backend table now?"""
+        return (
+            storage == MEMORY
+            and row_count >= self.backend_min_rows
+            and maintained_asks >= self.promote_after_asks
+        )
+
+    @staticmethod
+    def validate(storage: str) -> str:
+        if storage not in _CHOICES:
+            raise ValueError(
+                f"unknown storage class {storage!r}; expected one of {_CHOICES}"
+            )
+        return storage

@@ -45,11 +45,25 @@ Snapshots are copy-on-write: :meth:`KnowledgeBase.snapshot` shares every
 procedure with the copy and marks both sides shared; the first mutation
 of a procedure on either side clones just that procedure.  Taking a
 snapshot is therefore O(#procedures) instead of O(#clauses).
+
+Change capture
+--------------
+
+Mutations can be observed through :meth:`KnowledgeBase.add_listener`:
+every ``assertz``/``asserta``/``assert_fact`` reports an ``insert``,
+every successful ``retract`` a ``delete``, and ``retract_all`` a
+``clear`` carrying the removed clauses.  The materialized-view subsystem
+(:mod:`repro.materialize`) subscribes here to turn writes into
+relation-level deltas.  Bookkeeping moves that do not change the visible
+union of data (the segment merger relocating facts between the internal
+and external store) run under :meth:`KnowledgeBase.suspend_deltas` so
+listeners never mistake them for updates.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from itertools import count
 from typing import Iterable, Iterator, Optional, Sequence
 
 from ..errors import PrologError
@@ -280,20 +294,83 @@ class Procedure:
         return self._live
 
 
+#: Class-wide monotone source of generation stamps.  Shared across all
+#: KnowledgeBase instances so two stores can never reach the same
+#: generation through different mutation histories — a plan cache handed
+#: a restored snapshot either sees the exact generation it compiled
+#: against (identical content, plans stay valid) or a fresh stamp.
+_generation_source = count(1)
+
+
 class KnowledgeBase:
     """A mutable store of Prolog clauses with assert/retract semantics.
 
-    ``generation`` counts structural mutations (assert/retract); compiled
-    artifacts such as the coupling layer's plan cache key themselves on it
-    and drop everything when it moves.  Mutations that provably do not
-    change what a compiled plan would look like (the session's
-    derived-answer bookkeeping) can be wrapped in
-    :meth:`preserve_generation`.
+    ``generation`` identifies the current structural state
+    (assert/retract history); compiled artifacts such as the coupling
+    layer's plan cache key themselves on it and drop everything when it
+    moves.  Stamps are drawn from a process-wide monotone counter, so
+    equal generations imply identical clause content even across
+    :meth:`snapshot` copies that were mutated independently.  Mutations
+    that provably do not change what a compiled plan would look like (the
+    session's derived-answer bookkeeping) can be wrapped in
+    :meth:`preserve_generation`; batch loads wrap themselves in
+    :meth:`bulk_update` so a thousand asserts advance the generation
+    once, not a thousand times.
     """
 
     def __init__(self):
         self._procedures: dict[tuple[str, int], Procedure] = {}
         self.generation = 0
+        self._listeners: list = []
+        self._bulk_depth = 0
+        self._bulk_dirty = False
+        self._suspend_depth = 0
+
+    # -- change capture -----------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Subscribe ``listener(kind, indicator, clauses)`` to mutations.
+
+        ``kind`` is ``"insert"`` (assertz/asserta), ``"delete"`` (a
+        successful retract), or ``"clear"`` (retract_all); ``clauses`` is
+        the tuple of affected clause objects.  Listeners run synchronously
+        inside the mutation and must not mutate this knowledge base.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        self._listeners.remove(listener)
+
+    @contextmanager
+    def suspend_deltas(self) -> Iterator[None]:
+        """Hide mutations from listeners (generation still advances).
+
+        For bookkeeping that relocates data without changing the visible
+        union — the segment merger pushing internal facts to the external
+        store retracts the internal copies, which is not a deletion of
+        data.
+        """
+        self._suspend_depth += 1
+        try:
+            yield
+        finally:
+            self._suspend_depth -= 1
+
+    def _notify(
+        self, kind: str, indicator: tuple[str, int], clauses: tuple
+    ) -> None:
+        if self._suspend_depth or not self._listeners:
+            return
+        for listener in list(self._listeners):
+            listener(kind, indicator, clauses)
+
+    # -- generation bookkeeping ---------------------------------------------
+
+    def _bump(self) -> None:
+        if self._bulk_depth:
+            self._bulk_dirty = True
+        else:
+            self.generation = next(_generation_source)
 
     @contextmanager
     def preserve_generation(self) -> Iterator[None]:
@@ -310,29 +387,50 @@ class KnowledgeBase:
         finally:
             self.generation = saved
 
+    @contextmanager
+    def bulk_update(self) -> Iterator[None]:
+        """Coalesce a batch of asserts/retracts into one generation bump.
+
+        A 1000-fact load advances ``generation`` exactly once (at exit,
+        and only if something actually changed), so generation-keyed
+        caches invalidate once per batch instead of per fact.  Nestable;
+        listeners still observe every individual mutation.
+        """
+        self._bulk_depth += 1
+        try:
+            yield
+        finally:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0 and self._bulk_dirty:
+                self._bulk_dirty = False
+                self.generation = next(_generation_source)
+
     # -- loading ------------------------------------------------------------
 
     def consult(self, source: str) -> list[Clause]:
         """Parse and assert all clauses in ``source``; returns them."""
         clauses = parse_program(source)
-        for clause in clauses:
-            if clause.head == Atom("?-"):
-                raise PrologError(
-                    "directives are not allowed in consulted source; "
-                    "use Engine.solve for queries"
-                )
-            self.assertz(clause)
+        with self.bulk_update():
+            for clause in clauses:
+                if clause.head == Atom("?-"):
+                    raise PrologError(
+                        "directives are not allowed in consulted source; "
+                        "use Engine.solve for queries"
+                    )
+                self.assertz(clause)
         return clauses
 
     def assertz(self, clause: Clause) -> None:
         """Add a clause at the end of its procedure."""
         self._procedure(clause.indicator).add(clause)
-        self.generation += 1
+        self._bump()
+        self._notify("insert", clause.indicator, (clause,))
 
     def asserta(self, clause: Clause) -> None:
         """Add a clause at the front of its procedure."""
         self._procedure(clause.indicator).add(clause, front=True)
-        self.generation += 1
+        self._bump()
+        self._notify("insert", clause.indicator, (clause,))
 
     def assert_fact(self, functor: str, *values: object) -> None:
         """Convenience: assert a ground fact from Python values."""
@@ -363,11 +461,12 @@ class KnowledgeBase:
         if pattern.is_ground_fact and procedure.all_ground_facts:
             if not procedure.has_ground_fact(pattern.head):
                 return False
-            removed = self._procedure(pattern.indicator).remove_ground_fact(
-                pattern.head
-            )
+            owner = self._procedure(pattern.indicator)
+            removed_clause = owner._ground_heads[pattern.head][0]
+            removed = owner.remove_ground_fact(pattern.head)
             if removed:
-                self.generation += 1
+                self._bump()
+                self._notify("delete", pattern.indicator, (removed_clause,))
             return removed
         for clause in list(procedure.iter_clauses()):
             subst = unify(clause.head, pattern.head)
@@ -376,7 +475,8 @@ class KnowledgeBase:
             if unify(clause.body, pattern.body, subst) is None:
                 continue
             self._procedure(pattern.indicator).remove(clause)
-            self.generation += 1
+            self._bump()
+            self._notify("delete", pattern.indicator, (clause,))
             return True
         return False
 
@@ -385,7 +485,9 @@ class KnowledgeBase:
         procedure = self._procedures.pop(indicator, None)
         if procedure is None:
             return 0
-        self.generation += 1
+        self._bump()
+        if self._listeners and not self._suspend_depth:
+            self._notify("clear", indicator, tuple(procedure.iter_clauses()))
         return len(procedure)
 
     # -- querying -----------------------------------------------------------
