@@ -1,26 +1,34 @@
 #!/usr/bin/env python
 """Benchmark driver: runs the engine hot-path benchmarks (E11), the
-compile-once coupling benchmarks (E12), and the incremental
-view-maintenance benchmarks (E13); records ``BENCH_engine.json``,
-``BENCH_coupling.json``, and ``BENCH_materialize.json`` (per-workload
+compile-once coupling benchmarks (E12), the incremental view-maintenance
+benchmarks (E13), and the concurrent batched serving benchmarks (E14);
+records ``BENCH_engine.json``, ``BENCH_coupling.json``,
+``BENCH_materialize.json``, and ``BENCH_serving.json`` (per-workload
 wall-clock + the speedup over the pinned baselines), gating regressions.
 
 Usage::
 
     python benchmarks/run_all.py            # full sizes, strict gates
     python benchmarks/run_all.py --quick    # CI: smoke tests + small sizes
+    python benchmarks/run_all.py --seed 42  # reproduce a differential run
 
 Full mode gates the committed claims (>= 5x on the 10k-fact join proof,
 >= 3x on the E7-shaped recursion proof, >= 5x warm-vs-cold ask throughput,
-zero per-level SQL re-prints in the setrel loop, warm answers identical to
-fresh compilation) and rewrites the ``BENCH_*.json`` records at the
-repository root.  ``--quick`` first runs the tier-1 ``smoke`` pytest
-marker, then the benchmarks at reduced sizes with relaxed gates — small
-enough for a CI timeslice, still loud on an order-of-magnitude
+zero per-level SQL re-prints in the setrel loop, >= 5x batched ask_many
+vs serial asks, multi-thread warm throughput over single-thread, and
+every differential identical) and rewrites the ``BENCH_*.json`` records
+at the repository root.  ``--quick`` first runs the tier-1 ``smoke``
+pytest marker, then the benchmarks at reduced sizes with relaxed gates —
+small enough for a CI timeslice, still loud on an order-of-magnitude
 regression; its records go to ``BENCH_*.quick.json`` so the committed
 full-mode numbers are never clobbered (override with ``--output`` /
-``--coupling-output``).  Exits nonzero if any gate (or the smoke suite)
-fails.
+``--coupling-output`` / ``--materialize-output`` / ``--serving-output``).
+
+``--seed`` threads one seed into every *randomized* differential (E13's
+assert/retract trace, E14's batched and concurrent differentials) so a
+bench failure is reproducible bit-for-bit; the seed in effect is
+recorded in every ``BENCH_*.json``.  Exits nonzero if any gate (or the
+smoke suite) fails.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ from engine_workloads import (  # noqa: E402  (path setup must precede)
 
 import bench_e12_coupling as e12  # noqa: E402
 import bench_e13_materialize as e13  # noqa: E402
+import bench_e14_serving as e14  # noqa: E402
 from repro.dbms import generate_org  # noqa: E402
 
 #: (join facts, join iterations, recursion chain, join gate, recursion gate)
@@ -68,7 +77,9 @@ def run_smoke_tests() -> bool:
     return completed.returncode == 0
 
 
-def run_engine_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
+def run_engine_benchmarks(
+    quick: bool, output: str, smoke_ok: bool, seed: int
+) -> bool:
     facts, iterations, chain, join_gate, recursion_gate = (
         QUICK if quick else FULL
     )
@@ -99,6 +110,7 @@ def run_engine_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
     record = {
         "benchmark": "E11 resolution hot-path overhaul",
         "mode": "quick" if quick else "full",
+        "seed": seed,
         "baseline": "repro.prolog.legacy (pinned pre-overhaul engine)",
         "workloads": {"join_proof": join, "recursion_proof": recursion},
         "gates": gates,
@@ -116,7 +128,9 @@ def run_engine_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
     return gates_passed
 
 
-def run_coupling_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
+def run_coupling_benchmarks(
+    quick: bool, output: str, smoke_ok: bool, seed: int
+) -> bool:
     depth, branching, staff, warm_iters, cold_iters, gate = (
         e12.QUICK_SIZES if quick else e12.FULL_SIZES
     )
@@ -156,6 +170,7 @@ def run_coupling_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
     record = {
         "benchmark": "E12 compile-once ask path (plan cache + prepared statements)",
         "mode": "quick" if quick else "full",
+        "seed": seed,
         "baseline": "cold path: classify+metaevaluate+simplify+translate+print per ask",
         "org": {"depth": depth, "branching": branching, "staff_per_dept": staff},
         "workloads": {
@@ -178,7 +193,9 @@ def run_coupling_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
     return gates_passed
 
 
-def run_materialize_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool:
+def run_materialize_benchmarks(
+    quick: bool, output: str, smoke_ok: bool, seed: int
+) -> bool:
     depth, branching, staff, cycles, asks_per_cycle, gate = (
         e13.QUICK_SIZES if quick else e13.FULL_SIZES
     )
@@ -197,7 +214,7 @@ def run_materialize_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool
         f"({interleaved['deltas_applied']} deltas, "
         f"{interleaved['maintained_refreshes']} refreshes)"
     )
-    differential = e13.differential_check(org, diff_ops, checkpoint_every)
+    differential = e13.differential_check(org, diff_ops, checkpoint_every, seed=seed)
     print(
         f"randomized differential: {differential['ops']} ops, "
         f"{differential['checkpoints']} checkpoints, "
@@ -224,6 +241,7 @@ def run_materialize_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool
     record = {
         "benchmark": "E13 incremental view maintenance (maintain, don't recompute)",
         "mode": "quick" if quick else "full",
+        "seed": seed,
         "baseline": "invalidate-and-recompute: every write drops plans and "
         "cached rows; every ask recompiles and re-executes",
         "org": {"depth": depth, "branching": branching, "staff_per_dept": staff},
@@ -244,6 +262,96 @@ def run_materialize_benchmarks(quick: bool, output: str, smoke_ok: bool) -> bool
             f"{interleaved['maintained_refreshes']}, fallbacks "
             f"{interleaved['maintenance_fallbacks']}, differential "
             f"identical={differential['identical']})",
+            file=sys.stderr,
+        )
+    return gates_passed
+
+
+def run_serving_benchmarks(
+    quick: bool, output: str, smoke_ok: bool, seed: int
+) -> bool:
+    depth, branching, staff, total, batch_size, gate = (
+        e14.QUICK_SIZES if quick else e14.FULL_SIZES
+    )
+    threads, per_thread = e14.QUICK_THREADS if quick else e14.FULL_THREADS
+    diff_rounds, diff_goals = e14.QUICK_DIFF if quick else e14.FULL_DIFF
+    readers, reader_asks, writes = e14.QUICK_CONC if quick else e14.FULL_CONC
+    org = generate_org(
+        depth=depth, branching=branching, staff_per_dept=staff, seed=5
+    )
+
+    print(f"== E14 serving benchmarks ({'quick' if quick else 'full'}) ==")
+    batching = e14.bench_ask_many(org, total, batch_size)
+    print(
+        f"ask_many (batch={batch_size}): batched="
+        f"{batching['batched_asks_per_second']}/s serial="
+        f"{batching['serial_asks_per_second']}/s "
+        f"speedup={batching['speedup']}x "
+        f"({batching['batch_executions']} batch statements)"
+    )
+    threading_result = e14.bench_threads(org, threads, per_thread)
+    thread_min, threads_ok = e14.thread_gate(threading_result)
+    print(
+        f"{threads}-thread warm asks: multi="
+        f"{threading_result['multi_thread_asks_per_second']}/s single="
+        f"{threading_result['single_thread_asks_per_second']}/s "
+        f"speedup={threading_result['speedup']}x "
+        f"(gate {thread_min} on {threading_result['cpu_count']} cpu(s), "
+        f"{threading_result['pooled_read_connections']} pooled readers)"
+    )
+    differential = e14.differential_check(org, diff_rounds, diff_goals, seed=seed)
+    print(
+        f"batched differential: {differential['goals_checked']} goals over "
+        f"{differential['rounds']} write rounds, "
+        f"identical={differential['identical']}"
+    )
+    concurrent = e14.concurrent_differential(
+        org, readers, reader_asks, writes, seed=seed
+    )
+    print(
+        f"concurrent differential: {concurrent['answers_observed']} answers "
+        f"vs {concurrent['checkpoint_states']} states, "
+        f"stray={concurrent['stray_answers']}, "
+        f"identical={concurrent['identical']}"
+    )
+
+    gates = {
+        "ask_many_min_speedup": gate,
+        "thread_min_speedup": thread_min,
+        "batched_differential_identical": True,
+        "concurrent_differential_identical": True,
+    }
+    gates_passed = (
+        batching["speedup"] >= gate
+        and batching["batch_executions"] > 0
+        and threads_ok
+        and differential["identical"]
+        and concurrent["identical"]
+    )
+    record = {
+        "benchmark": "E14 concurrent batched serving "
+        "(ask_many + thread-safe caches + pooled backend)",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "baseline": "serial warm ask() round trips on one thread",
+        "org": {"depth": depth, "branching": branching, "staff_per_dept": staff},
+        "workloads": {
+            "batched_ask_many": batching,
+            "multi_thread_warm_asks": threading_result,
+            "batched_differential": differential,
+            "concurrent_differential": concurrent,
+        },
+        "gates": gates,
+        "passed": bool(gates_passed and smoke_ok),
+    }
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    if not gates_passed:
+        print(
+            f"FAIL: serving gates not met (ask_many {batching['speedup']}x "
+            f"< {gate}x, threads {threading_result['speedup']}x vs gate "
+            f"{thread_min}, batched identical={differential['identical']}, "
+            f"concurrent identical={concurrent['identical']})",
             file=sys.stderr,
         )
     return gates_passed
@@ -280,6 +388,20 @@ def main() -> int:
         help="where to write the materialize benchmark record (default: "
         "repo-root BENCH_materialize.json / BENCH_materialize.quick.json)",
     )
+    parser.add_argument(
+        "--serving-output",
+        default=None,
+        help="where to write the serving benchmark record (default: "
+        "repo-root BENCH_serving.json / BENCH_serving.quick.json)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=5,
+        help="seed threaded into every randomized differential (E13 trace, "
+        "E14 batched + concurrent); recorded in each BENCH_*.json so a "
+        "failing run is reproducible",
+    )
     arguments = parser.parse_args()
     if arguments.output is None:
         name = "BENCH_engine.quick.json" if arguments.quick else "BENCH_engine.json"
@@ -298,23 +420,36 @@ def main() -> int:
             else "BENCH_materialize.json"
         )
         arguments.materialize_output = str(REPO_ROOT / name)
+    if arguments.serving_output is None:
+        name = (
+            "BENCH_serving.quick.json"
+            if arguments.quick
+            else "BENCH_serving.json"
+        )
+        arguments.serving_output = str(REPO_ROOT / name)
 
     smoke_ok = True
     if arguments.quick and not arguments.skip_tests:
         smoke_ok = run_smoke_tests()
 
-    engine_ok = run_engine_benchmarks(arguments.quick, arguments.output, smoke_ok)
+    seed = arguments.seed
+    engine_ok = run_engine_benchmarks(
+        arguments.quick, arguments.output, smoke_ok, seed
+    )
     coupling_ok = run_coupling_benchmarks(
-        arguments.quick, arguments.coupling_output, smoke_ok
+        arguments.quick, arguments.coupling_output, smoke_ok, seed
     )
     materialize_ok = run_materialize_benchmarks(
-        arguments.quick, arguments.materialize_output, smoke_ok
+        arguments.quick, arguments.materialize_output, smoke_ok, seed
+    )
+    serving_ok = run_serving_benchmarks(
+        arguments.quick, arguments.serving_output, smoke_ok, seed
     )
 
     if not smoke_ok:
         print("FAIL: smoke tests failed", file=sys.stderr)
         return 1
-    if not (engine_ok and coupling_ok and materialize_ok):
+    if not (engine_ok and coupling_ok and materialize_ok and serving_ok):
         return 1
     print("all gates passed")
     return 0

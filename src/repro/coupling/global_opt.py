@@ -29,11 +29,13 @@ so warm answers stay identical to fresh compilation (see
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Union
 
 import networkx as nx
 
+from ..concurrency import LockedCounters, StripedLock
 from ..dbcl.predicate import DbclPredicate
 from ..dbcl.symbols import ConstSymbol, ParamMarker, is_param_marker
 from ..errors import CouplingError
@@ -400,6 +402,9 @@ class CompiledPlan:
     kind: str
     template: Optional[DbclPredicate] = None
     sql_text: Optional[str] = None
+    #: the parameterized syntax tree behind ``sql_text`` — the batch path
+    #: derives its ``IN (VALUES …)`` variants from it.
+    sql: Optional[object] = None
     bind_order: tuple[int, ...] = ()
     open_params: tuple[int, ...] = ()
     param_columns: dict[int, tuple[tuple[str, str], ...]] = field(
@@ -408,6 +413,14 @@ class CompiledPlan:
     fetch_targets: tuple[Variable, ...] = ()
     internal_indices: tuple[int, ...] = ()
     is_empty: bool = False
+    #: lazily-built prepared batch statements, keyed by batch size; False
+    #: once the shape is proven unbatchable (no equality column for some
+    #: parameter).  Guarded by ``_batch_lock``.
+    _batch_texts: dict[int, str] = field(default_factory=dict, repr=False)
+    _batchable: Optional[bool] = field(default=None, repr=False)
+    _batch_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def executes_sql(self) -> bool:
@@ -422,12 +435,8 @@ class CompiledPlan:
         outside the declared domain of any column its marker occupied
         proves the query empty, exactly as the fresh compile would have.
         """
-        for index in self.open_params:
-            value = constants[index]
-            for relation, attribute in self.param_columns.get(index, ()):
-                bound = constraints.bound_for(relation, attribute)
-                if bound is not None and not bound.contains(value):
-                    return None
+        if self.bind_is_empty(constants, constraints):
+            return None
         if not self.open_params:
             return self.template
         mapping = {
@@ -437,9 +446,61 @@ class CompiledPlan:
         assert self.template is not None
         return self.template.rename(mapping)
 
+    def bind_is_empty(
+        self, constants: Sequence[Value], constraints: ConstraintSet
+    ) -> bool:
+        """The cheap half of :meth:`bind`: just the valuebound re-checks."""
+        for index in self.open_params:
+            value = constants[index]
+            for relation, attribute in self.param_columns.get(index, ()):
+                bound = constraints.bound_for(relation, attribute)
+                if bound is not None and not bound.contains(value):
+                    return True
+        return False
+
     def bind_values(self, constants: Sequence[Value]) -> list[Value]:
         """Positional parameter values in the prepared statement's order."""
         return [constants[index] for index in self.bind_order]
+
+    # -- set-oriented batch execution -------------------------------------------
+
+    def batch_statement(self, database, batch_size: int) -> Optional[str]:
+        """Prepared text answering ``batch_size`` constant tuples at once.
+
+        Built (and cached per batch size) from the parameterized syntax
+        tree by :func:`repro.sql.translate.batch_variant`; ``None`` when
+        this plan cannot be batched (no stored tree, a parameter with no
+        equality column, or an empty/partial plan).
+        """
+        if not self.executes_sql or self.is_empty or not self.open_params:
+            return None
+        with self._batch_lock:
+            if self._batchable is False:
+                return None
+            text = self._batch_texts.get(batch_size)
+            if text is not None:
+                return text
+            if self.sql is None:
+                self._batchable = False
+                return None
+            from ..sql.translate import batch_variant
+
+            variant = batch_variant(self.sql, self.open_params, batch_size)
+            if variant is None:
+                self._batchable = False
+                return None
+            self._batchable = True
+            text = database.prepare(variant)
+            self._batch_texts[batch_size] = text
+            return text
+
+    def batch_bind_values(
+        self, batch: Sequence[Sequence[Value]]
+    ) -> list[Value]:
+        """Bind values for :meth:`batch_statement`, row-major per member."""
+        return [
+            constants[index] for constants in batch for index in self.open_params
+        ]
 
 
 @dataclass
@@ -468,7 +529,7 @@ class ShapeEntry:
 
 
 @dataclass
-class PlanCacheStats:
+class PlanCacheStats(LockedCounters):
     hits: int = 0
     misses: int = 0
     compiled: int = 0
@@ -476,6 +537,23 @@ class PlanCacheStats:
     uncacheable: int = 0  # shapes (not asks) marked uncacheable
     invalidations: int = 0
     bind_empties: int = 0
+    batched_asks: int = 0  # goals answered through a set-oriented batch
+    batch_executions: int = 0  # IN (VALUES …) statements executed
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    _snapshot_fields = (
+        "hits",
+        "misses",
+        "compiled",
+        "specialised",
+        "uncacheable",
+        "invalidations",
+        "bind_empties",
+        "batched_asks",
+        "batch_executions",
+    )
 
 
 #: Sentinel :meth:`PlanCache.lookup` returns for shapes marked uncacheable,
@@ -501,48 +579,62 @@ class PlanCache:
         self._generation: Optional[int] = None
         self._graph: Optional["nx.DiGraph"] = None
         self._recursive: Optional[set[tuple[str, int]]] = None
+        #: Per-shape critical sections stripe by shape key so concurrent
+        #: warm asks of *different* shapes never contend; whole-cache
+        #: operations (sync's clear, eviction, the memoized analyses)
+        #: take ``_structure``.  Stripe→structure is the only nesting
+        #: order, so the two levels cannot deadlock.
+        self._stripes = StripedLock()
+        self._structure = threading.RLock()
 
     def __len__(self) -> int:
-        return sum(
-            len(entry.variants)
-            for entry in self._entries.values()
-            if not entry.uncacheable
-        )
+        with self._structure:
+            return sum(
+                len(entry.variants)
+                for entry in self._entries.values()
+                if not entry.uncacheable
+            )
 
     def sync(self, kb: KnowledgeBase) -> None:
         """Drop everything if the knowledge base changed underneath us."""
         if self._generation == kb.generation:
-            return
-        if self._entries or self._graph is not None:
-            self.stats.invalidations += 1
-        self._entries.clear()
-        self._graph = None
-        self._recursive = None
-        self._generation = kb.generation
+            return  # racy fast path: generation reads are atomic ints
+        with self._structure:
+            if self._generation == kb.generation:
+                return
+            if self._entries or self._graph is not None:
+                self.stats.incr("invalidations")
+            self._entries.clear()
+            self._graph = None
+            self._recursive = None
+            self._generation = kb.generation
 
     def invalidate(self) -> None:
-        self._entries.clear()
-        self._graph = None
-        self._recursive = None
-        self._generation = None
+        with self._structure:
+            self._entries.clear()
+            self._graph = None
+            self._recursive = None
+            self._generation = None
 
     # -- memoized call-graph analyses ------------------------------------------
 
     def graph(self, kb: KnowledgeBase, schema: DatabaseSchema) -> "nx.DiGraph":
         self.sync(kb)
-        if self._graph is None:
-            self._graph = view_call_graph(kb, schema)
-        return self._graph
+        with self._structure:
+            if self._graph is None:
+                self._graph = view_call_graph(kb, schema)
+            return self._graph
 
     def recursive_indicators(
         self, kb: KnowledgeBase, schema: DatabaseSchema
     ) -> set[tuple[str, int]]:
         self.sync(kb)
-        if self._recursive is None:
-            self._recursive = _recursive_indicators(
-                kb, schema, graph=self.graph(kb, schema)
-            )
-        return self._recursive
+        with self._structure:
+            if self._recursive is None:
+                self._recursive = _recursive_indicators(
+                    kb, schema, graph=self.graph(kb, schema)
+                )
+            return self._recursive
 
     # -- plan lookup/storage ----------------------------------------------------
 
@@ -553,18 +645,19 @@ class PlanCache:
         attempting another compilation — a shape marked uncacheable would
         fail (or be rejected) identically on every retry.
         """
-        entry = self._entries.get(shape.key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.uncacheable:
-            return UNCACHEABLE
-        plan = entry.variants.get(entry.variant_key(shape.constants))
-        if plan is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return plan
+        with self._stripes.for_key(shape.key):
+            entry = self._entries.get(shape.key)
+            if entry is None:
+                self.stats.incr("misses")
+                return None
+            if entry.uncacheable:
+                return UNCACHEABLE
+            plan = entry.variants.get(entry.variant_key(shape.constants))
+            if plan is None:
+                self.stats.incr("misses")
+                return None
+            self.stats.incr("hits")
+            return plan
 
     def entry_for(self, shape: GoalShape) -> Optional[ShapeEntry]:
         """The raw cache slot for a shape (no stats accounting)."""
@@ -578,31 +671,39 @@ class PlanCache:
         attempted: bool = True,
     ) -> None:
         material_key = tuple(sorted(material))
-        entry = self._entries.get(shape.key)
-        if entry is None or entry.uncacheable or entry.material != material_key:
-            replaced = entry is not None
-            entry = ShapeEntry(material=material_key)
-            if not replaced:
-                # Overwriting an existing key does not grow the dict, so
-                # evicting would needlessly drop an unrelated shape's plan.
-                self._evict_shapes()
-            self._entries[shape.key] = entry
-        entry.attempted = entry.attempted or attempted
-        if len(entry.variants) >= self.max_variants:
-            entry.variants.pop(next(iter(entry.variants)))
-        entry.variants[entry.variant_key(shape.constants)] = plan
-        self.stats.compiled += 1
+        with self._stripes.for_key(shape.key):
+            entry = self._entries.get(shape.key)
+            if entry is None or entry.uncacheable or entry.material != material_key:
+                replaced = entry is not None
+                entry = ShapeEntry(material=material_key)
+                # Dict *writes* additionally hold _structure so whole-dict
+                # walkers (__len__, eviction, sync's clear) never see the
+                # mapping resize mid-iteration.
+                with self._structure:
+                    if not replaced:
+                        # Overwriting an existing key does not grow the
+                        # dict, so evicting would needlessly drop an
+                        # unrelated shape's plan.
+                        self._evict_shapes()
+                    self._entries[shape.key] = entry
+            entry.attempted = entry.attempted or attempted
+            if len(entry.variants) >= self.max_variants:
+                entry.variants.pop(next(iter(entry.variants)))
+            entry.variants[entry.variant_key(shape.constants)] = plan
+        self.stats.incr("compiled")
         if material_key:
-            self.stats.specialised += 1
+            self.stats.incr("specialised")
 
     def mark_uncacheable(self, shape: GoalShape) -> None:
-        existing = self._entries.get(shape.key)
-        if existing is not None and existing.uncacheable:
-            return
-        if existing is None:
-            self._evict_shapes()
-        self._entries[shape.key] = ShapeEntry(uncacheable=True)
-        self.stats.uncacheable += 1
+        with self._stripes.for_key(shape.key):
+            existing = self._entries.get(shape.key)
+            if existing is not None and existing.uncacheable:
+                return
+            with self._structure:
+                if existing is None:
+                    self._evict_shapes()
+                self._entries[shape.key] = ShapeEntry(uncacheable=True)
+        self.stats.incr("uncacheable")
 
     def retain(self, shape: GoalShape, kb: KnowledgeBase) -> None:
         """Keep one shape's entry alive across a self-inflicted bump.
@@ -617,10 +718,12 @@ class PlanCache:
         """
         if self._generation == kb.generation:
             return
-        entry = self._entries.get(shape.key)
-        self.sync(kb)
-        if entry is not None:
-            self._entries[shape.key] = entry
+        with self._stripes.for_key(shape.key):
+            entry = self._entries.get(shape.key)
+            self.sync(kb)
+            if entry is not None:
+                with self._structure:
+                    self._entries[shape.key] = entry
 
     def _evict_shapes(self) -> None:
         while len(self._entries) >= self.max_shapes:
@@ -642,11 +745,16 @@ class CachePolicy:
 
 
 @dataclass
-class CacheStats:
+class CacheStats(LockedCounters):
     hits: int = 0
     misses: int = 0
     stored: int = 0
     rejected: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    _snapshot_fields = ("hits", "misses", "stored", "rejected")
 
 
 class ResultCache:
@@ -675,13 +783,20 @@ class ResultCache:
         self._relations_of: dict[tuple, frozenset[str]] = {}
         self._keys_by_relation: dict[str, set[tuple]] = {}
         self.stats = CacheStats()
+        #: Entry lookups/stores stripe by canonical key; the relation →
+        #: keys dependency index is cross-stripe, so it has its own lock
+        #: (acquired after a stripe, never before one is *waited on*).
+        self._stripes = StripedLock()
+        self._index_lock = threading.RLock()
 
     def lookup(self, predicate: DbclPredicate) -> Optional[list[tuple]]:
-        entry = self._entries.get(predicate.canonical_key())
+        key = predicate.canonical_key()
+        with self._stripes.for_key(key):
+            entry = self._entries.get(key)
         if entry is None:
-            self.stats.misses += 1
+            self.stats.incr("misses")
             return None
-        self.stats.hits += 1
+        self.stats.incr("hits")
         return entry
 
     def store(
@@ -697,7 +812,7 @@ class ResultCache:
         relations and intermediate view names invalidate this entry too.
         """
         if not self.policy.should_store(len(rows)):
-            self.stats.rejected += 1
+            self.stats.incr("rejected")
             return False
         key = predicate.canonical_key()
         if relations is None:
@@ -706,28 +821,31 @@ class ResultCache:
             relations = frozenset(relations) | frozenset(
                 row.tag for row in predicate.rows
             )
-        self._entries[key] = list(rows)
-        self._relations_of[key] = relations
-        for relation in relations:
-            self._keys_by_relation.setdefault(relation, set()).add(key)
-        self.stats.stored += 1
+        with self._stripes.for_key(key):
+            with self._index_lock:
+                self._entries[key] = list(rows)
+                self._relations_of[key] = relations
+                for relation in relations:
+                    self._keys_by_relation.setdefault(relation, set()).add(key)
+        self.stats.incr("stored")
         return True
 
     def invalidate(self, relations: Optional[Iterable[str]] = None) -> None:
         """Drop entries reading the given base relations (all when None)."""
-        if relations is None:
-            self._entries.clear()
-            self._relations_of.clear()
-            self._keys_by_relation.clear()
-            return
-        for relation in relations:
-            for key in self._keys_by_relation.pop(relation, ()):
-                self._entries.pop(key, None)
-                for other in self._relations_of.pop(key, ()):
-                    if other != relation:
-                        keys = self._keys_by_relation.get(other)
-                        if keys is not None:
-                            keys.discard(key)
+        with self._index_lock:
+            if relations is None:
+                self._entries.clear()
+                self._relations_of.clear()
+                self._keys_by_relation.clear()
+                return
+            for relation in relations:
+                for key in self._keys_by_relation.pop(relation, ()):
+                    self._entries.pop(key, None)
+                    for other in self._relations_of.pop(key, ()):
+                        if other != relation:
+                            keys = self._keys_by_relation.get(other)
+                            if keys is not None:
+                                keys.discard(key)
 
     def invalidate_relation(self, relation: str) -> None:
         """Drop every entry whose predicate reads ``relation``."""
@@ -735,7 +853,8 @@ class ResultCache:
 
     def relations_of(self, predicate: DbclPredicate) -> frozenset[str]:
         """The base relations a stored entry for ``predicate`` depends on."""
-        return self._relations_of.get(predicate.canonical_key(), frozenset())
+        with self._index_lock:
+            return self._relations_of.get(predicate.canonical_key(), frozenset())
 
     def __len__(self) -> int:
         return len(self._entries)

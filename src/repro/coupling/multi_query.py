@@ -14,6 +14,15 @@ predicates:
    are applied to the fetched tuples (the stored intermediate result
    playing the role of the paper's ``setrel`` relation).
 
+Execution is built on the session's :class:`~repro.coupling.global_opt.
+PlanCache`: every scan — shared or singleton — is rendered to SQL once
+per canonical form and stored as a prepared statement under a pseudo
+goal shape, so repeated batches re-execute prepared text instead of
+re-translating and re-printing (the compile-once discipline of the warm
+ask path, extended to the widened scans).  Client-side comparison
+filtering follows SQL three-valued semantics: a NULL operand rejects the
+row, exactly as the backend's WHERE clause would.
+
 The report records how many DBMS queries were issued against the
 unshared baseline, which is the series Experiment E8 regenerates.
 """
@@ -36,6 +45,7 @@ from ..dbms.sqlite_backend import ExternalDatabase
 from ..optimize.pipeline import SimplifyOptions, simplify
 from ..schema.constraints import ConstraintSet
 from ..sql.translate import translate
+from .global_opt import CompiledPlan, GoalShape, PlanCache
 
 Value = Union[int, float, str, None]
 
@@ -48,6 +58,9 @@ class BatchReport:
     queries_issued: int = 0
     duplicates_shared: int = 0
     cores_shared: int = 0
+    #: scans answered through an already-prepared statement (no
+    #: translate/print work at all this batch)
+    statements_reused: int = 0
 
     @property
     def baseline_queries(self) -> int:
@@ -69,8 +82,18 @@ _COMPARISON_TESTS = {
 
 
 def _evaluate_comparison(op: str, left: Value, right: Value) -> bool:
+    """One WHERE-conjunct applied client-side, with SQL NULL semantics.
+
+    Three-valued logic: a comparison with a NULL operand is *unknown*,
+    and an unknown conjunct rejects the row — for every operator,
+    including ``neq`` (``NULL <> x`` is not true in SQL).  The NULL check
+    must happen before :func:`compare_values`, which orders only
+    non-NULL constants.  Everything else defers to the same total order
+    the backend and the optimizer use, so client-side filtering of a
+    widened scan is indistinguishable from the unshared query's WHERE.
+    """
     if left is None or right is None:
-        return False  # SQL NULL semantics: comparisons are never true
+        return False  # SQL three-valued logic: unknown rejects the row
     return _COMPARISON_TESTS[op](compare_values(left, right))
 
 
@@ -85,7 +108,17 @@ class _CoreGroup:
 
 
 class BatchExecutor:
-    """Evaluates a batch of DBCL predicates with subexpression sharing."""
+    """Evaluates a batch of DBCL predicates with subexpression sharing.
+
+    ``plans`` (optional) is the session's plan cache: every scan the
+    executor issues is prepared once per canonical form and stored there
+    under a pseudo goal shape, so later batches (and other executors
+    sharing the cache) skip translation and printing entirely.  ``kb``
+    (optional, with ``plans``) keys the reuse to the knowledge base
+    generation — a consult or assert drops the prepared scans with
+    everything else.  Without ``plans`` a private per-executor memo gives
+    the same reuse for the executor's own lifetime.
+    """
 
     def __init__(
         self,
@@ -93,11 +126,69 @@ class BatchExecutor:
         constraints: ConstraintSet,
         optimize: bool = True,
         share: bool = True,
+        plans: Optional[PlanCache] = None,
+        kb=None,
     ):
         self.database = database
         self.constraints = constraints
         self.options = SimplifyOptions() if optimize else SimplifyOptions.none()
         self.share = share
+        self.plans = plans
+        self.kb = kb
+        self._local_statements: dict[tuple, Optional[str]] = {}
+
+    # -- prepared-scan reuse ----------------------------------------------------------
+
+    def _prepared_scan(
+        self, predicate: DbclPredicate, report: BatchReport
+    ) -> Optional[str]:
+        """Prepared SQL text for a scan, compiled at most once per form.
+
+        Returns ``None`` for a provably-empty translation (the caller
+        answers ``[]`` without touching the DBMS).
+        """
+        key = ("mqo",) + (predicate.canonical_key(),)
+        if self.plans is not None:
+            if self.kb is not None:
+                self.plans.sync(self.kb)
+            shape = GoalShape(key=key, constants=())
+            cached = self.plans.lookup(shape)
+            if isinstance(cached, CompiledPlan):
+                report.statements_reused += 1
+                return None if cached.is_empty else cached.sql_text
+            sql = translate(predicate, distinct=True)
+            if sql.is_empty:
+                self.plans.store(
+                    shape, (), CompiledPlan(kind="external", is_empty=True)
+                )
+                return None
+            text = self.database.prepare(sql)
+            self.plans.store(
+                shape,
+                (),
+                CompiledPlan(kind="external", sql_text=text, sql=sql),
+            )
+            return text
+        if key in self._local_statements:
+            report.statements_reused += 1
+            return self._local_statements[key]
+        sql = translate(predicate, distinct=True)
+        if sql.is_empty:
+            self._local_statements[key] = None  # memoize the empty proof too
+            return None
+        text = self.database.prepare(sql)
+        self._local_statements[key] = text
+        return text
+
+    def _run_scan(
+        self, predicate: DbclPredicate, report: BatchReport
+    ) -> list[tuple]:
+        text = self._prepared_scan(predicate, report)
+        if text is None:
+            return []
+        rows = self.database.execute_prepared(text)
+        report.queries_issued += 1
+        return rows
 
     # -- public API -----------------------------------------------------------------
 
@@ -118,10 +209,7 @@ class BatchExecutor:
                 if predicate is None:
                     answers[position] = []
                 else:
-                    answers[position] = self.database.execute(
-                        translate(predicate, distinct=True)
-                    )
-                    report.queries_issued += 1
+                    answers[position] = self._run_scan(predicate, report)
             return [a if a is not None else [] for a in answers], report
 
         # -- level 1: duplicate elimination over canonical forms -----------------
@@ -157,23 +245,17 @@ class BatchExecutor:
             if len(distinct_comparison_sets) <= 1:
                 # No comparison variance: run each distinct query directly
                 # (it is one query thanks to level-1 dedup).
-                rows = self.database.execute(
-                    translate(
-                        group.core.replace(
-                            comparisons=group.member_comparisons[0]
-                        ),
-                        distinct=True,
-                    )
+                rows = self._run_scan(
+                    group.core.replace(comparisons=group.member_comparisons[0]),
+                    report,
                 )
-                report.queries_issued += 1
                 for position in group.members:
                     answers[position] = rows
                 continue
 
             report.cores_shared += len(group.members) - 1
             widened, column_of = self._widen(group)
-            all_rows = self.database.execute(translate(widened, distinct=True))
-            report.queries_issued += 1
+            all_rows = self._run_scan(widened, report)
             arity = group.member_arity
             for position, comparisons in zip(
                 group.members, group.member_comparisons

@@ -22,6 +22,7 @@ question, solved here with the bound-argument heuristic.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -184,6 +185,12 @@ class TransitiveClosure:
         self.optimize = optimize
         self._base_head, self._base_body = find_base_clause(kb, view)
         self._edges: Optional[_EdgeQueries] = None
+        # The setrel loop mutates one shared intermediate table per view;
+        # two concurrent solves of the same closure would interleave
+        # frontier swaps.  The session routes recursive asks through the
+        # knowledge base's write lock already; this mutex keeps *direct*
+        # executor use safe too.
+        self._solve_lock = threading.RLock()
 
     # -- step-query preparation -------------------------------------------------------
 
@@ -286,19 +293,20 @@ class TransitiveClosure:
         """
         if (low is None) == (high is None):
             raise CouplingError("exactly one of low/high must be bound")
-        if strategy == "naive":
-            return self._solve_naive(low, high, max_levels)
-        if strategy == "auto":
-            strategy = "bottomup" if low is not None else "topdown"
-        if strategy == "topdown":
-            return self._solve_frontier(
-                low, high, frontier_side="high", max_levels=max_levels
-            )
-        if strategy == "bottomup":
-            return self._solve_frontier(
-                low, high, frontier_side="low", max_levels=max_levels
-            )
-        raise CouplingError(f"unknown strategy {strategy!r}")
+        with self._solve_lock:
+            if strategy == "naive":
+                return self._solve_naive(low, high, max_levels)
+            if strategy == "auto":
+                strategy = "bottomup" if low is not None else "topdown"
+            if strategy == "topdown":
+                return self._solve_frontier(
+                    low, high, frontier_side="high", max_levels=max_levels
+                )
+            if strategy == "bottomup":
+                return self._solve_frontier(
+                    low, high, frontier_side="low", max_levels=max_levels
+                )
+            raise CouplingError(f"unknown strategy {strategy!r}")
 
     # The frontier executor: iterate the fixed-shape step query, replacing
     # the intermediate relation's contents each round (the setrel scheme).

@@ -29,13 +29,33 @@ concrete constant value (a marker reached a comparison, emptied the
 plan, or vanished from the tableau) are *constant-sensitive*: they cache
 exact-constant variants instead, so warm answers are always identical to
 a fresh compilation.
+
+Serving (concurrency + batching)
+--------------------------------
+
+The session is thread-safe.  Mutations — ``assert_fact``,
+``retract_fact``, ``consult``, ``load_org``, and any ask that must
+compile, merge segments, refresh a materialized view, run the engine, or
+iterate a recursive closure — serialize on the knowledge base's write
+lock.  Warm *pure-external* asks (a cached fully-compiled plan, no
+pending internal segments) run concurrently under the read lock, each
+thread executing on its own pooled read connection of the backend.
+
+``ask_many`` is the set-oriented batch entry point: goals are grouped by
+shape, and each warm fully-parameterized shape executes **once** per
+batch — the rotating constants fold into an ``IN (VALUES …)`` variant of
+the prepared statement, and result rows carry the constants they matched
+so they demultiplex back into per-goal answers.  Cold and
+constant-sensitive shapes fall back to the serial path (paper §7's
+multiple-query optimization, applied to the prepared-plan hot path).
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from ..dbcl.grammar import format_dbcl
 from ..dbcl.predicate import DbclPredicate
@@ -94,6 +114,10 @@ from .recursion_exec import RecursionRun, TransitiveClosure
 
 Value = Union[int, float, str, None]
 
+#: Sentinel: the lock-free/read-locked fast path could not answer the
+#: goal; the caller must re-run the full pipeline under the write lock.
+_NEEDS_WRITE = object()
+
 
 @dataclass
 class TranslationTrace:
@@ -150,6 +174,7 @@ class PrologDbSession:
         self.plans = PlanCache()
         self._plan_caching = plan_cache
         self._closures: dict[tuple[str, int], TransitiveClosure] = {}
+        self._closures_lock = threading.Lock()
         self._register_metaevaluate_builtin()
         # Any base-relation mutation (including engine-level assertz or
         # retract from inside a Prolog program) invalidates exactly the
@@ -184,27 +209,33 @@ class PrologDbSession:
 
     def consult(self, source: str) -> None:
         """Load Prolog clauses (views, rules, facts) into the session."""
-        clauses = self.kb.consult(source)
-        self._closures.clear()
-        # Compiled plans key on KnowledgeBase.generation, which consult
-        # advanced; the next sync drops them.  Clear eagerly anyway so the
-        # cache never outlives a program change even in direct use.
-        self.plans.invalidate()
-        # Cached results track dependencies transitively (view names as
-        # well as base relations), so invalidating each consulted head
-        # also drops results for views defined *over* the changed ones.
-        for name in {clause.indicator[0] for clause in clauses}:
-            self.cache.invalidate_relation(name)
-        self.materialize.on_consult([clause.indicator for clause in clauses])
+        # The write lock makes load + cache invalidation atomic: no
+        # concurrent reader observes new clauses with stale cached plans
+        # or result rows.
+        with self.kb.lock.write():
+            clauses = self.kb.consult(source)
+            with self._closures_lock:
+                self._closures.clear()
+            # Compiled plans key on KnowledgeBase.generation, which consult
+            # advanced; the next sync drops them.  Clear eagerly anyway so the
+            # cache never outlives a program change even in direct use.
+            self.plans.invalidate()
+            # Cached results track dependencies transitively (view names as
+            # well as base relations), so invalidating each consulted head
+            # also drops results for views defined *over* the changed ones.
+            for name in {clause.indicator[0] for clause in clauses}:
+                self.cache.invalidate_relation(name)
+            self.materialize.on_consult([clause.indicator for clause in clauses])
 
     def load_org(self, org: OrgHierarchy) -> None:
         """Load a generated organisation into the external database."""
         # One generation bump for the whole load, however the loader (or
         # a change listener) touches the knowledge base.
-        with self.kb.bulk_update():
-            relations = load_org(self.database, org)
-        self.cache.invalidate(relations)
-        self.materialize.on_load(relations)
+        with self.kb.lock.write():
+            with self.kb.bulk_update():
+                relations = load_org(self.database, org)
+            self.cache.invalidate(relations)
+            self.materialize.on_load(relations)
 
     @staticmethod
     def _fact_terms(values) -> tuple[Term, ...]:
@@ -243,21 +274,24 @@ class PrologDbSession:
         """
         args = self._fact_terms(values)
         clause = Clause(Struct(functor, args))
-        found = self.kb.retract(clause)
-        if not (
-            self.schema.has_relation(functor)
-            and self.schema.relation(functor).arity == len(args)
-        ):
+        # One write bracket for the internal retract *and* the external
+        # delete: concurrent readers see the tuple everywhere or nowhere.
+        with self.kb.lock.write():
+            found = self.kb.retract(clause)
+            if not (
+                self.schema.has_relation(functor)
+                and self.schema.relation(functor).arity == len(args)
+            ):
+                return found
+            row = tuple(term_to_value(argument) for argument in args)
+            if self.materialize.is_maintained(functor):
+                if not found:
+                    found = bool(self.materialize.external_delete(functor, row))
+            else:
+                removed = self.database.delete_row(functor, row)
+                found = found or removed > 0
+            self.cache.invalidate_relation(functor)
             return found
-        row = tuple(term_to_value(argument) for argument in args)
-        if self.materialize.is_maintained(functor):
-            if not found:
-                found = bool(self.materialize.external_delete(functor, row))
-        else:
-            removed = self.database.delete_row(functor, row)
-            found = found or removed > 0
-        self.cache.invalidate_relation(functor)
-        return found
 
     def _merge_internal_segments(self, predicate: DbclPredicate) -> None:
         """Push internal facts for the predicate's relations to the DBMS.
@@ -385,9 +419,78 @@ class PrologDbSession:
     def ask(
         self, goal: Union[str, Term], max_solutions: Optional[int] = None
     ) -> list[dict[str, Value]]:
-        """Answer a goal, routing each part to the right evaluator."""
+        """Answer a goal, routing each part to the right evaluator.
+
+        Thread-safe: warm pure-external asks (and fresh maintained-view
+        hits) run concurrently under the knowledge base's read lock;
+        everything that might mutate — compilation, segment merges, view
+        refreshes, engine resolution, recursive closures — serializes on
+        the write lock.
+        """
         if isinstance(goal, str):
             goal = parse_goal(goal)
+        fast = self._ask_read_path(goal, max_solutions)
+        if fast is not _NEEDS_WRITE:
+            return fast
+        with self.kb.lock.write():
+            return self._ask_write_path(goal, max_solutions)
+
+    def _ask_read_path(self, goal: Term, max_solutions: Optional[int]):
+        """Answer under the read lock, or :data:`_NEEDS_WRITE`.
+
+        Only evaluations that provably mutate nothing run here: a fresh
+        maintained view, or a cached pure-external plan whose relations
+        have no pending internal segments.  Plan-cache *stats* for misses
+        are left to the write path (which repeats the lookup), so counts
+        match the single-threaded accounting exactly.
+        """
+        with self.kb.lock.read():
+            status, maintained = self.materialize.try_answer(goal, max_solutions)
+            if status == "hit":
+                return maintained
+            if status == "stale":
+                return _NEEDS_WRITE
+            if not self._plan_caching:
+                return _NEEDS_WRITE
+            self.plans.sync(self.kb)
+            shape = goal_shape(goal)
+            if shape is None:
+                return _NEEDS_WRITE
+            entry = self.plans.entry_for(shape)
+            if entry is None or entry.uncacheable:
+                return _NEEDS_WRITE
+            plan = entry.variants.get(entry.variant_key(shape.constants))
+            if (
+                plan is None
+                or plan.kind != "external"
+                or plan.internal_indices
+            ):
+                return _NEEDS_WRITE
+            self.plans.stats.incr("hits")
+            if plan.is_empty:
+                return []
+            bound = plan.bind(shape.constants, self.constraints)
+            if bound is None:
+                self.plans.stats.incr("bind_empties")
+                return []
+            if self._pending_merge(bound):
+                return _NEEDS_WRITE  # merging segments mutates both stores
+            # Same executor as the write path's warm branch; its internal
+            # segment merge provably no-ops here (_pending_merge is false),
+            # so nothing mutates under the read lock.
+            rows = self._rows_for_plan(plan, shape, bound, goal)
+            goal_vars = [v for v in variables_of(goal) if not v.is_anonymous]
+            answers = self._rows_to_answers(
+                bound, plan.fetch_targets, rows, goal_vars
+            )
+            if max_solutions is not None:
+                return answers[:max_solutions]
+            return answers
+
+    def _ask_write_path(
+        self, goal: Term, max_solutions: Optional[int]
+    ) -> list[dict[str, Value]]:
+        """The full pipeline (mutations allowed; caller holds write lock)."""
         maintained = self.materialize.answer(goal, max_solutions)
         if maintained is not None:
             return maintained
@@ -410,6 +513,252 @@ class PrologDbSession:
         if shape is not None:
             self._try_compile(shape, goal, artifacts)
         return answers
+
+    def _pending_merge(self, predicate: DbclPredicate) -> bool:
+        """Would executing this predicate first need a segment merge?"""
+        for tag in {row.tag for row in predicate.rows}:
+            if not self.schema.has_relation(tag):
+                continue
+            relation = self.schema.relation(tag)
+            if self.kb.fact_count((tag, relation.arity)):
+                return True
+        return False
+
+    # -- set-oriented batch serving ---------------------------------------------------
+
+    def ask_many(
+        self,
+        goals: Iterable[Union[str, Term]],
+        max_solutions: Optional[int] = None,
+    ) -> list[list[dict[str, Value]]]:
+        """Answer a batch of goals, one execution per warm goal shape.
+
+        Goals are grouped by :func:`goal_shape`; each group whose shape
+        has a warm fully-parameterized pure-external plan executes
+        **once**: the members' constant tuples fold into an
+        ``IN (VALUES …)`` parameter-batch variant of the prepared
+        statement, and the fetched rows — widened with the constants they
+        matched — demultiplex back into per-goal answer lists (paper §7:
+        "process multiple database queries simultaneously").
+
+        Cold shapes warm up through at most two serial asks (the lazy
+        compiler parameterizes a shape on its second miss) and the
+        remainder batches; constant-sensitive, mixed, recursive,
+        engine-resolved, and unshapeable goals fall back to the serial
+        path.  Per-goal answer lists come back in input order, each
+        containing exactly the answers ``self.ask(goal)`` would return —
+        the *set* is guaranteed identical (gated by the E14
+        differentials); the order *within* one goal's answers follows
+        the batched statement's row emission, which SQLite does not
+        promise matches the serial statement's.
+        """
+        parsed = [
+            parse_goal(goal) if isinstance(goal, str) else goal for goal in goals
+        ]
+        answers: list[Optional[list[dict[str, Value]]]] = [None] * len(parsed)
+        groups: dict[tuple, list[int]] = {}
+        serial: list[int] = []
+        shapes: list[Optional[GoalShape]] = []
+        for position, goal in enumerate(parsed):
+            shape = goal_shape(goal) if self._plan_caching else None
+            shapes.append(shape)
+            if shape is None or not shape.constants:
+                serial.append(position)
+            else:
+                groups.setdefault(shape.key, []).append(position)
+        for members in groups.values():
+            self._ask_group(parsed, shapes, members, answers, max_solutions)
+        for position in serial:
+            answers[position] = self.ask(parsed[position], max_solutions)
+        return [a if a is not None else [] for a in answers]
+
+    def batch_executor(self, share: bool = True):
+        """A multiple-query optimizer sharing this session's plan cache.
+
+        The returned :class:`~repro.coupling.multi_query.BatchExecutor`
+        prepares each common-core widened scan once (stored in the plan
+        cache under a pseudo shape, invalidated with the knowledge base
+        generation like every compiled plan) and re-executes prepared
+        statements on later batches.
+        """
+        from .multi_query import BatchExecutor
+
+        return BatchExecutor(
+            self.database,
+            self.constraints,
+            optimize=self.optimize,
+            share=share,
+            plans=self.plans if self._plan_caching else None,
+            kb=self.kb,
+        )
+
+    def _batchable_plan(self, shape: GoalShape):
+        """The shared fully-parameterized plan for a shape, if it has one.
+
+        ``None`` means "not yet": the caller keeps warming the shape
+        serially while ``attempted`` is false, and falls back to the
+        serial path once the shape is known constant-sensitive,
+        uncacheable, or anything but pure-external.
+        """
+        self.plans.sync(self.kb)
+        entry = self.plans.entry_for(shape)
+        if entry is None or entry.uncacheable or not entry.attempted:
+            return None
+        if entry.material:
+            return None  # constant-sensitive: exact variants only
+        plan = entry.variants.get(())
+        if (
+            plan is None
+            or plan.kind != "external"
+            or plan.internal_indices
+            or plan.is_empty
+            or not plan.open_params
+        ):
+            return None
+        return plan
+
+    def _ask_group(
+        self,
+        parsed: list[Term],
+        shapes: list[Optional[GoalShape]],
+        members: list[int],
+        answers: list,
+        max_solutions: Optional[int],
+    ) -> None:
+        """Answer one same-shape group, batching once the shape is warm."""
+        pending = list(members)
+        while pending:
+            plan = self._batchable_plan(shapes[pending[0]])
+            if plan is not None and len(pending) > 1:
+                break
+            position = pending.pop(0)
+            answers[position] = self.ask(parsed[position], max_solutions)
+        if not pending:
+            return
+        plan = self._batchable_plan(shapes[pending[0]])
+        batched = (
+            None
+            if plan is None
+            else self._execute_batch(
+                plan,
+                [shapes[position] for position in pending],
+                [parsed[position] for position in pending],
+                max_solutions,
+            )
+        )
+        if batched is None:
+            for position in pending:
+                answers[position] = self.ask(parsed[position], max_solutions)
+            return
+        for position, result in zip(pending, batched):
+            answers[position] = result
+
+    def _execute_batch(
+        self,
+        plan: CompiledPlan,
+        shapes: Sequence[GoalShape],
+        goals: Sequence[Term],
+        max_solutions: Optional[int],
+    ) -> Optional[list[list[dict[str, Value]]]]:
+        """One prepared execution for a whole same-shape group, demuxed.
+
+        Returns ``None`` to make the caller fall back to serial asks —
+        when the plan has no batchable SQL form, a pending segment merge
+        needs the write lock, the plan went stale under a concurrent
+        write between warm-up and execution, a ``max_solutions`` cap is
+        in force (the serial path defines which prefix of the answers is
+        returned), or a fetched row's anchor values fail to demultiplex
+        (SQLite affinity matched a constant Python equality cannot).
+        """
+        if max_solutions is not None:
+            return None
+        # Per-goal valuebound replay: members whose constants violate a
+        # declared domain are provably empty and never reach the batch.
+        keys: list[Optional[tuple]] = []
+        distinct: dict[tuple, None] = {}
+        for shape in shapes:
+            if plan.bind_is_empty(shape.constants, self.constraints):
+                self.plans.stats.incr("bind_empties")
+                keys.append(None)
+                continue
+            key = tuple(shape.constants[i] for i in plan.open_params)
+            keys.append(key)
+            distinct[key] = None
+        live = [key for key in keys if key is not None]
+        if not live:
+            return [[] for _ in goals]
+        if len(live) < 2:
+            return None  # a lone live member gains nothing from batching
+        # Two *distinct* Python keys that SQLite affinity would coerce to
+        # one value (30000 vs '30000') would share every fetched row's
+        # anchor tuple, silently starving one member; textual collision is
+        # a safe over-approximation of the coercion rules, so such
+        # batches answer serially.
+        if len({tuple(str(v) for v in key) for key in distinct}) != len(distinct):
+            return None
+        text = plan.batch_statement(self.database, len(distinct))
+        if text is None:
+            return None
+        constants_by_key: dict[tuple, tuple] = {}
+        for shape, key in zip(shapes, keys):
+            if key is not None and key not in constants_by_key:
+                constants_by_key[key] = shape.constants
+        with self.kb.lock.read():
+            if self._pending_merge(plan.template):
+                return None
+            self.plans.sync(self.kb)
+            first = self.plans.entry_for(shapes[0])
+            if first is None or first.variants.get(()) is not plan:
+                return None  # a concurrent write invalidated the plan
+            rows = self.database.execute_prepared(
+                text,
+                plan.batch_bind_values(
+                    [constants_by_key[key] for key in distinct]
+                ),
+            )
+        demux: dict[tuple, list[tuple]] = {key: [] for key in distinct}
+        width = len(plan.open_params)
+        for row in rows:
+            bucket = demux.get(row[-width:])
+            if bucket is None:
+                # SQL equality matched where Python equality does not
+                # (column affinity coerced the constant, e.g. TEXT '30000'
+                # against an INTEGER column): demultiplexing would drop
+                # the row, so answer this batch serially instead.
+                return None
+            bucket.append(row)
+        self.plans.stats.incr("batched_asks", len(goals))
+        self.plans.stats.incr("batch_executions")
+        # Every member shares the shape, so target columns and answer
+        # variable names are identical across the group: resolve them once
+        # (mirroring _rows_to_answers) instead of per goal.
+        names = [t.name for t in plan.template.target_symbols()]
+        wanted = {
+            v.name
+            for v in variables_of(goals[0])
+            if not v.is_anonymous
+        }
+        columns = [
+            (column, name)
+            for column, name in enumerate(names)
+            if name in wanted
+        ]
+        results: list[list[dict[str, Value]]] = []
+        for key in keys:
+            if key is None:
+                results.append([])
+                continue
+            answers: list[dict[str, Value]] = []
+            seen: set[tuple] = set()
+            for row in demux[key]:
+                answer_key = tuple(row[column] for column, _ in columns)
+                if answer_key not in seen:
+                    seen.add(answer_key)
+                    answers.append(
+                        {name: row[column] for column, name in columns}
+                    )
+            results.append(answers)
+        return results
 
     def _ask_cold(
         self,
@@ -923,6 +1272,7 @@ class PrologDbSession:
                 kind=kind,
                 template=final_m,
                 sql_text=self.database.prepare(sql),
+                sql=sql,
                 bind_order=sql.parameter_order(),
                 open_params=tuple(sorted(open_params)),
                 param_columns={
@@ -988,7 +1338,7 @@ class PrologDbSession:
             return []
         bound = plan.bind(shape.constants, self.constraints)
         if bound is None:
-            self.plans.stats.bind_empties += 1
+            self.plans.stats.incr("bind_empties")
             return []
         rows = self._rows_for_plan(plan, shape, bound, goal)
         # A segment merge inside _rows_for_plan retracts relation facts and
@@ -1025,11 +1375,11 @@ class PrologDbSession:
         if plan.is_empty:
             # The cold compile proved this exact-constant shape empty; it
             # stored the pre-simplification predicate for the trace.
-            self.plans.stats.bind_empties += 1
+            self.plans.stats.incr("bind_empties")
             return plan.template, []
         bound = plan.bind(shape.constants, self.constraints)
         if bound is None:
-            self.plans.stats.bind_empties += 1
+            self.plans.stats.incr("bind_empties")
             # Match the cold path's contract: a provably-empty fetch still
             # reports the (unsimplified) predicate it proved empty.  Re-run
             # the cold front half for the trace (no rows will be fetched).
@@ -1138,18 +1488,19 @@ class PrologDbSession:
     def closure_for(self, view_name: str) -> TransitiveClosure:
         """The (cached) transitive-closure executor for a recursive view."""
         indicator = (view_name, 2)
-        executor = self._closures.get(indicator)
-        if executor is None:
-            executor = TransitiveClosure(
-                self.kb,
-                self.schema,
-                self.constraints,
-                self.database,
-                indicator,
-                optimize=self.optimize,
-            )
-            self._closures[indicator] = executor
-        return executor
+        with self._closures_lock:
+            executor = self._closures.get(indicator)
+            if executor is None:
+                executor = TransitiveClosure(
+                    self.kb,
+                    self.schema,
+                    self.constraints,
+                    self.database,
+                    indicator,
+                    optimize=self.optimize,
+                )
+                self._closures[indicator] = executor
+            return executor
 
     def _ask_recursive(self, goal: Term) -> list[dict[str, Value]]:
         goals = conjuncts(goal)
@@ -1193,9 +1544,12 @@ class PrologDbSession:
         max_levels: int = 64,
     ) -> RecursionRun:
         """Direct access to the recursion strategies (benchmarks use this)."""
-        return self.closure_for(view_name).solve(
-            low=low, high=high, strategy=strategy, max_levels=max_levels
-        )
+        # The setrel loop swaps a shared intermediate relation per level;
+        # serialize against mutations and other closure runs.
+        with self.kb.lock.write():
+            return self.closure_for(view_name).solve(
+                low=low, high=high, strategy=strategy, max_levels=max_levels
+            )
 
     # -- extensions (paper section 7) ------------------------------------------------------
 
@@ -1207,11 +1561,12 @@ class PrologDbSession:
             goal = parse_goal(goal)
         targets = [v for v in variables_of(goal) if not v.is_anonymous]
         options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
-        translation = translate_disjunctive(
-            self.metaevaluator, goal, self.constraints, targets=targets,
-            options=options,
-        )
-        rows = self.database.execute(translation.union)
+        with self.kb.lock.read():
+            translation = translate_disjunctive(
+                self.metaevaluator, goal, self.constraints, targets=targets,
+                options=options,
+            )
+            rows = self.database.execute(translation.union)
         live = [p for p in translation.simplified if p is not None]
         if not live:
             return []
@@ -1232,11 +1587,12 @@ class PrologDbSession:
             goal = parse_goal(goal)
         targets = [v for v in variables_of(goal) if not v.is_anonymous]
         options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
-        translation = translate_with_negation(
-            self.metaevaluator, goal, self.constraints, targets=targets,
-            options=options,
-        )
-        rows = self.database.execute(translation.query)
+        with self.kb.lock.read():
+            translation = translate_with_negation(
+                self.metaevaluator, goal, self.constraints, targets=targets,
+                options=options,
+            )
+            rows = self.database.execute(translation.query)
         names = [item.label or item.column.attribute for item in translation.query.select]
         # Targets were projected in goal-variable order by the translator.
         target_names = [
@@ -1264,7 +1620,10 @@ class PrologDbSession:
             self.constraints,
             options=options,
         )
-        return evaluator.evaluate(goal)
+        # Tuple-substitution resolves through the engine (which programs
+        # may mutate mid-proof): write side.
+        with self.kb.lock.write():
+            return evaluator.evaluate(goal)
 
     # -- inspection ------------------------------------------------------------------------
 
@@ -1273,40 +1632,21 @@ class PrologDbSession:
 
         Benchmarks, CI gates, and docs read this instead of poking at the
         knowledge base, plan cache, result cache, backend, and
-        maintenance manager separately.
+        maintenance manager separately.  Each component contributes an
+        *atomic* snapshot taken under its own lock, so no counter group
+        is ever torn mid-update by a concurrent serving thread.
         """
-        plan_stats = self.plans.stats
-        cache_stats = self.cache.stats
-        db_stats = self.database.stats
+        plan_stats = self.plans.stats.snapshot()
+        cache_stats = self.cache.stats.snapshot()
+        db_stats = self.database.stats.snapshot()
         return {
             "kb": {
                 "generation": self.kb.generation,
                 "clauses": len(self.kb),
             },
-            "plan_cache": {
-                "entries": len(self.plans),
-                "hits": plan_stats.hits,
-                "misses": plan_stats.misses,
-                "compiled": plan_stats.compiled,
-                "specialised": plan_stats.specialised,
-                "uncacheable": plan_stats.uncacheable,
-                "invalidations": plan_stats.invalidations,
-                "bind_empties": plan_stats.bind_empties,
-            },
-            "result_cache": {
-                "entries": len(self.cache),
-                "hits": cache_stats.hits,
-                "misses": cache_stats.misses,
-                "stored": cache_stats.stored,
-                "rejected": cache_stats.rejected,
-            },
-            "database": {
-                "queries_executed": db_stats.queries_executed,
-                "rows_fetched": db_stats.rows_fetched,
-                "sql_prints": db_stats.sql_prints,
-                "prepared_executions": db_stats.prepared_executions,
-                "commits": db_stats.commits,
-            },
+            "plan_cache": {"entries": len(self.plans), **plan_stats},
+            "result_cache": {"entries": len(self.cache), **cache_stats},
+            "database": db_stats,
             "materialize": self.materialize.stats_dict(),
         }
 

@@ -32,11 +32,16 @@ reference" storage decision.
 
 from __future__ import annotations
 
+import itertools
 import sqlite3
+import threading
+import time
+import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
+from ..concurrency import LockedCounters
 from ..errors import ExecutionError, SchemaError
 from ..schema.catalog import DatabaseSchema, Relation
 from ..sql.ast import SqlQuery, UnionQuery
@@ -46,10 +51,19 @@ from ..sql.printer import print_sql, print_union
 Row = tuple
 Value = Union[int, float, str, None]
 
+#: Distinguishes the shared-cache URIs of concurrently-open in-memory
+#: databases (two anonymous ``:memory:`` pools must never alias).
+_memory_names = itertools.count(1)
+
 
 @dataclass
-class ExecutionStats:
-    """Cumulative counters a session exposes for benchmarks."""
+class ExecutionStats(LockedCounters):
+    """Cumulative counters a session exposes for benchmarks.
+
+    Counters are updated under an internal lock (several serving threads
+    share one backend); :meth:`snapshot` returns one consistent copy —
+    callers must not sum fields read at different times.
+    """
 
     queries_executed: int = 0
     rows_fetched: int = 0
@@ -61,20 +75,39 @@ class ExecutionStats:
     commits: int = 0
     statements: list[str] = field(default_factory=list)
     keep_statements: bool = False
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def record(self, statement: str, rows: int) -> None:
-        self.queries_executed += 1
-        self.rows_fetched += rows
-        if self.keep_statements:
-            self.statements.append(statement)
+    _snapshot_fields = (
+        "queries_executed",
+        "rows_fetched",
+        "sql_prints",
+        "prepared_executions",
+        "commits",
+    )
+
+    def record(self, statement: str, rows: int, prepared: bool = False) -> None:
+        # One lock acquisition covers every counter an execution touches,
+        # so a concurrent snapshot can never observe prepared_executions
+        # ahead of queries_executed (and the warm hot path pays a single
+        # mutex round trip).
+        with self._lock:
+            self.queries_executed += 1
+            self.rows_fetched += rows
+            if prepared:
+                self.prepared_executions += 1
+            if self.keep_statements:
+                self.statements.append(statement)
 
     def reset(self) -> None:
-        self.queries_executed = 0
-        self.rows_fetched = 0
-        self.sql_prints = 0
-        self.prepared_executions = 0
-        self.commits = 0
-        self.statements.clear()
+        with self._lock:
+            self.queries_executed = 0
+            self.rows_fetched = 0
+            self.sql_prints = 0
+            self.prepared_executions = 0
+            self.commits = 0
+            self.statements.clear()
 
 
 class ExternalDatabase:
@@ -93,33 +126,179 @@ class ExternalDatabase:
         path: str = ":memory:",
         constraints=None,
         auto_index: bool = True,
+        pooled_reads: bool = True,
     ):
         self.schema = schema
+        # Anonymous in-memory databases are private to one connection; the
+        # read pool needs every connection to see the same store, so
+        # ':memory:' becomes a uniquely-named shared-cache URI database
+        # (alive while the owning write connection stays open).
+        if path == ":memory:":
+            self._target = f"file:repro_mem_{next(_memory_names)}?mode=memory&cache=shared"
+            self._uri = True
+            self._file_backed = False
+        else:
+            self._target = path
+            self._uri = path.startswith("file:")
+            self._file_backed = True
         # cached_statements makes repeated execute() of identical text hit
         # sqlite3's internal prepared-statement cache — the "existing
         # database system" side of the compile-once contract.
-        self._connection = sqlite3.connect(path, cached_statements=256)
+        # check_same_thread=False: any thread may write through the owning
+        # connection, serialized by ``_write_lock`` (the session's
+        # KnowledgeBase write lock already excludes concurrent mutators;
+        # this mutex keeps the backend safe under direct use too).
+        self._connection = sqlite3.connect(
+            self._target,
+            uri=self._uri,
+            cached_statements=256,
+            check_same_thread=False,
+        )
+        self._write_lock = threading.RLock()
+        self._pooled_reads = pooled_reads
+        self._readers = threading.local()
+        self._reader_connections: list[sqlite3.Connection] = []
+        self._reader_finalizers: list = []
+        self._pool_lock = threading.Lock()
+        self._pool_peak = 0
+        self._closed = False
+        if self._file_backed:
+            # WAL lets pooled readers proceed while the owning connection
+            # writes; harmless no-op for in-memory targets (skipped).
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA synchronous=NORMAL")
         self._dialect = SqliteDialect()
         self.stats = ExecutionStats()
         self._intermediates: dict[str, tuple[str, ...]] = {}
         self._materialized: dict[str, tuple[str, ...]] = {}
         self._txn_depth = 0
+        self._txn_thread: Optional[int] = None
         self.index_statements: list[str] = []
         self._create_tables()
         if auto_index:
             self._create_indexes(constraints)
 
+    # -- connection routing ------------------------------------------------------
+
+    @property
+    def pool_size(self) -> int:
+        """How many pooled read connections are currently open."""
+        with self._pool_lock:
+            return len(self._reader_connections)
+
+    @property
+    def pool_peak(self) -> int:
+        """The most read connections ever open at once (dead threads'
+        connections are retired, so ``pool_size`` alone understates how
+        far the pool fanned out)."""
+        with self._pool_lock:
+            return self._pool_peak
+
+    def _read_connection(self) -> sqlite3.Connection:
+        """The calling thread's pooled read connection (created lazily).
+
+        Readers are per thread, so concurrent SELECTs never serialize on
+        one cursor; with WAL (file-backed) they also never block behind
+        the writer.  Reads inside an open :meth:`transaction` must come
+        from the *owning* connection instead — only it sees the
+        uncommitted rows — which :meth:`_query_connection` handles.  A
+        finalizer on the owning thread retires the connection when the
+        thread is collected, so thread-per-request deployments do not
+        accumulate open connections without bound.
+        """
+        connection = getattr(self._readers, "connection", None)
+        if connection is None:
+            connection = sqlite3.connect(
+                self._target,
+                uri=self._uri,
+                cached_statements=256,
+                check_same_thread=False,
+            )
+            connection.execute("PRAGMA busy_timeout=2000")
+            with self._pool_lock:
+                # registration and the closed check share the pool lock,
+                # so close() cannot clear the pool between them
+                if self._closed:
+                    connection.close()
+                    raise ExecutionError("database is closed")
+                self._reader_connections.append(connection)
+                self._pool_peak = max(
+                    self._pool_peak, len(self._reader_connections)
+                )
+            self._readers.connection = connection
+            finalizer = weakref.finalize(
+                threading.current_thread(), self._retire_reader, connection
+            )
+            # finalize handles reference this backend through the bound
+            # method; close() detaches them so a closed backend (and its
+            # connections) never stays pinned for the thread's lifetime.
+            with self._pool_lock:
+                self._reader_finalizers.append(finalizer)
+        return connection
+
+    def _retire_reader(self, connection: sqlite3.Connection) -> None:
+        """Close a pooled reader whose owning thread has been collected."""
+        with self._pool_lock:
+            # drop spent finalize handles too, or thread-per-request use
+            # would grow the list (pinning closed connections) unboundedly
+            self._reader_finalizers = [
+                finalizer
+                for finalizer in self._reader_finalizers
+                if finalizer.alive
+            ]
+            try:
+                self._reader_connections.remove(connection)
+            except ValueError:
+                return  # close() already took it
+        try:
+            connection.close()
+        except sqlite3.Error:
+            pass
+
+    def _query_connection(self) -> sqlite3.Connection:
+        if not self._pooled_reads:
+            return self._connection
+        if self._txn_depth and self._txn_thread == threading.get_ident():
+            return self._connection  # must observe the open transaction
+        return self._read_connection()
+
+    @staticmethod
+    def _is_read_statement(text: str) -> bool:
+        return text.lstrip()[:6].upper() == "SELECT"
+
+    def _run_read(
+        self, text: str, parameters: Sequence[Value] = ()
+    ) -> list[Row]:
+        """Execute a SELECT on the routed connection, retrying lock errors.
+
+        Shared-cache readers can observe a transient table lock while the
+        owning connection holds an open write transaction (file-backed WAL
+        readers never do); a short bounded retry rides it out.
+        """
+        connection = self._query_connection()
+        deadline = time.monotonic() + 2.0
+        while True:
+            try:
+                return connection.execute(text, tuple(parameters)).fetchall()
+            except sqlite3.OperationalError as error:
+                if "locked" not in str(error) or time.monotonic() > deadline:
+                    raise
+                time.sleep(0.002)
+
     # -- DDL -----------------------------------------------------------------
 
     def _create_tables(self) -> None:
-        cursor = self._connection.cursor()
-        for relation in self.schema.relations.values():
-            columns = ", ".join(
-                f"{attribute} {self.schema.attribute(attribute).sql_type}"
-                for attribute in relation.attributes
-            )
-            cursor.execute(f"CREATE TABLE IF NOT EXISTS {relation.name} ({columns})")
-        self._commit()
+        with self._write_lock:
+            cursor = self._connection.cursor()
+            for relation in self.schema.relations.values():
+                columns = ", ".join(
+                    f"{attribute} {self.schema.attribute(attribute).sql_type}"
+                    for attribute in relation.attributes
+                )
+                cursor.execute(
+                    f"CREATE TABLE IF NOT EXISTS {relation.name} ({columns})"
+                )
+            self._commit()
 
     def indexed_attributes(self, constraints=None) -> dict[str, set[str]]:
         """Catalog-driven index candidates per relation.
@@ -154,18 +333,21 @@ class ExternalDatabase:
         }
 
     def _create_indexes(self, constraints=None) -> None:
-        cursor = self._connection.cursor()
-        for relation_name, attributes in self.indexed_attributes(constraints).items():
-            if not self.schema.has_relation(relation_name):
-                continue
-            for attribute in sorted(attributes):
-                ddl = (
-                    f"CREATE INDEX IF NOT EXISTS idx_{relation_name}_{attribute} "
-                    f"ON {relation_name} ({attribute})"
-                )
-                cursor.execute(ddl)
-                self.index_statements.append(ddl)
-        self._commit()
+        with self._write_lock:
+            cursor = self._connection.cursor()
+            for relation_name, attributes in self.indexed_attributes(
+                constraints
+            ).items():
+                if not self.schema.has_relation(relation_name):
+                    continue
+                for attribute in sorted(attributes):
+                    ddl = (
+                        f"CREATE INDEX IF NOT EXISTS idx_{relation_name}_{attribute} "
+                        f"ON {relation_name} ({attribute})"
+                    )
+                    cursor.execute(ddl)
+                    self.index_statements.append(ddl)
+            self._commit()
 
     def create_intermediate(
         self, name: str, attributes: Sequence[str]
@@ -179,25 +361,27 @@ class ExternalDatabase:
             else f"{attribute} TEXT"
             for attribute in attributes
         )
-        cursor = self._connection.cursor()
-        cursor.execute(f"DROP TABLE IF EXISTS {name}")
-        cursor.execute(f"CREATE TABLE {name} ({column_defs})")
-        # The intermediate's column is joined against a base relation on
-        # every level of the setrel loop; index it like any join column.
-        for attribute in attributes:
-            cursor.execute(
-                f"CREATE INDEX IF NOT EXISTS idx_{name}_{attribute} "
-                f"ON {name} ({attribute})"
-            )
-        self._commit()
-        self._intermediates[name] = tuple(attributes)
+        with self._write_lock:
+            cursor = self._connection.cursor()
+            cursor.execute(f"DROP TABLE IF EXISTS {name}")
+            cursor.execute(f"CREATE TABLE {name} ({column_defs})")
+            # The intermediate's column is joined against a base relation on
+            # every level of the setrel loop; index it like any join column.
+            for attribute in attributes:
+                cursor.execute(
+                    f"CREATE INDEX IF NOT EXISTS idx_{name}_{attribute} "
+                    f"ON {name} ({attribute})"
+                )
+            self._commit()
+            self._intermediates[name] = tuple(attributes)
 
     def drop_intermediate(self, name: str) -> None:
         if name not in self._intermediates:
             return
-        self._connection.execute(f"DROP TABLE IF EXISTS {name}")
-        self._commit()
-        del self._intermediates[name]
+        with self._write_lock:
+            self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+            self._commit()
+            self._intermediates.pop(name, None)
 
     def set_intermediate_rows(self, name: str, rows: Iterable[Row]) -> int:
         """Replace the contents of an intermediate relation; returns count.
@@ -209,12 +393,13 @@ class ExternalDatabase:
         if name not in self._intermediates:
             raise ExecutionError(f"unknown intermediate relation {name!r}")
         attributes = self._intermediates[name]
-        cursor = self._connection.cursor()
-        cursor.execute(f"DELETE FROM {name}")
-        placeholders = ", ".join("?" * len(attributes))
-        data = [tuple(row) for row in rows]
-        cursor.executemany(f"INSERT INTO {name} VALUES ({placeholders})", data)
-        self._commit()
+        with self._write_lock:
+            cursor = self._connection.cursor()
+            cursor.execute(f"DELETE FROM {name}")
+            placeholders = ", ".join("?" * len(attributes))
+            data = [tuple(row) for row in rows]
+            cursor.executemany(f"INSERT INTO {name} VALUES ({placeholders})", data)
+            self._commit()
         return len(data)
 
     # -- materialized view tables ------------------------------------------------
@@ -245,35 +430,39 @@ class ExternalDatabase:
             else f"{label} TEXT"
             for label, attribute in zip(labels, attributes)
         )
-        cursor = self._connection.cursor()
-        cursor.execute(f"DROP TABLE IF EXISTS {name}")
-        cursor.execute(
-            f"CREATE TABLE {name} ({column_defs}, support INTEGER NOT NULL)"
-        )
-        cursor.execute(
-            f"CREATE UNIQUE INDEX idx_{name}_row ON {name} ({', '.join(labels)})"
-        )
-        self._commit()
-        self._materialized[name] = tuple(labels)
+        with self._write_lock:
+            cursor = self._connection.cursor()
+            cursor.execute(f"DROP TABLE IF EXISTS {name}")
+            cursor.execute(
+                f"CREATE TABLE {name} ({column_defs}, support INTEGER NOT NULL)"
+            )
+            cursor.execute(
+                f"CREATE UNIQUE INDEX idx_{name}_row ON {name} "
+                f"({', '.join(labels)})"
+            )
+            self._commit()
+            self._materialized[name] = tuple(labels)
 
     def drop_materialized(self, name: str) -> None:
         if name not in self._materialized:
             return
-        self._connection.execute(f"DROP TABLE IF EXISTS {name}")
-        self._commit()
-        del self._materialized[name]
+        with self._write_lock:
+            self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+            self._commit()
+            self._materialized.pop(name, None)
 
     def set_materialized_rows(
         self, name: str, counted_rows: Iterable[tuple[Row, int]]
     ) -> int:
         """Replace a materialized table's contents with (row, support) pairs."""
         labels = self._materialized_labels(name)
-        cursor = self._connection.cursor()
-        cursor.execute(f"DELETE FROM {name}")
-        placeholders = ", ".join("?" * (len(labels) + 1))
-        data = [tuple(row) + (support,) for row, support in counted_rows]
-        cursor.executemany(f"INSERT INTO {name} VALUES ({placeholders})", data)
-        self._commit()
+        with self._write_lock:
+            cursor = self._connection.cursor()
+            cursor.execute(f"DELETE FROM {name}")
+            placeholders = ", ".join("?" * (len(labels) + 1))
+            data = [tuple(row) + (support,) for row, support in counted_rows]
+            cursor.executemany(f"INSERT INTO {name} VALUES ({placeholders})", data)
+            self._commit()
         return len(data)
 
     def apply_materialized_delta(
@@ -351,10 +540,11 @@ class ExternalDatabase:
         match = " AND ".join(
             f"{attribute} = ?" for attribute in relation.attributes
         )
-        cursor = self._connection.execute(
-            f"DELETE FROM {relation_name} WHERE {match}", tuple(row)
-        )
-        self._commit()
+        with self._write_lock:
+            cursor = self._connection.execute(
+                f"DELETE FROM {relation_name} WHERE {match}", tuple(row)
+            )
+            self._commit()
         return cursor.rowcount
 
     # -- transactions -----------------------------------------------------------
@@ -364,24 +554,31 @@ class ExternalDatabase:
         """Group several statements into one commit (nestable).
 
         Inner commits are suppressed; the outermost exit commits once, or
-        rolls back if the block raised.
+        rolls back if the block raised.  The whole bracket holds the
+        backend write mutex, so two threads' transactions serialize
+        instead of interleaving statements on the owning connection.
         """
-        self._txn_depth += 1
-        try:
-            yield
-        except BaseException:
-            self._txn_depth -= 1
-            if self._txn_depth == 0:
-                self._connection.rollback()
-            raise
-        else:
-            self._txn_depth -= 1
-            self._commit()
+        with self._write_lock:
+            self._txn_depth += 1
+            self._txn_thread = threading.get_ident()
+            try:
+                yield
+            except BaseException:
+                self._txn_depth -= 1
+                if self._txn_depth == 0:
+                    self._txn_thread = None
+                    self._connection.rollback()
+                raise
+            else:
+                self._txn_depth -= 1
+                if self._txn_depth == 0:
+                    self._txn_thread = None
+                self._commit()
 
     def _commit(self) -> None:
         if self._txn_depth == 0:
             self._connection.commit()
-            self.stats.commits += 1
+            self.stats.incr("commits")
 
     # -- loading ---------------------------------------------------------------
 
@@ -395,27 +592,29 @@ class ExternalDatabase:
                 raise ExecutionError(
                     f"{relation_name}: expected {relation.arity} values, got {len(row)}"
                 )
-        cursor = self._connection.cursor()
-        cursor.executemany(
-            f"INSERT INTO {relation_name} VALUES ({placeholders})", data
-        )
-        self._commit()
+        with self._write_lock:
+            cursor = self._connection.cursor()
+            cursor.executemany(
+                f"INSERT INTO {relation_name} VALUES ({placeholders})", data
+            )
+            self._commit()
         return len(data)
 
     def clear_relation(self, relation_name: str) -> None:
         self.schema.relation(relation_name)  # validates
-        self._connection.execute(f"DELETE FROM {relation_name}")
-        self._commit()
+        with self._write_lock:
+            self._connection.execute(f"DELETE FROM {relation_name}")
+            self._commit()
 
     def row_count(self, relation_name: str) -> int:
-        cursor = self._connection.execute(f"SELECT COUNT(*) FROM {relation_name}")
-        return cursor.fetchone()[0]
+        rows = self._run_read(f"SELECT COUNT(*) FROM {relation_name}")
+        return rows[0][0]
 
     # -- query execution -----------------------------------------------------------
 
     def render(self, query: Union[SqlQuery, UnionQuery]) -> str:
         """Render a query tree to executable text (counted in stats)."""
-        self.stats.sql_prints += 1
+        self.stats.incr("sql_prints")
         if isinstance(query, SqlQuery):
             return print_sql(query, oneline=True, dialect=self._dialect)
         return print_union(query, oneline=True)
@@ -436,16 +635,24 @@ class ExternalDatabase:
     def execute_prepared(
         self, text: str, parameters: Sequence[Value] = ()
     ) -> list[Row]:
-        """Execute prepared SQL text with positional bind parameters."""
+        """Execute prepared SQL text with positional bind parameters.
+
+        SELECTs run on the calling thread's pooled read connection (the
+        owning connection inside an open transaction); anything else goes
+        through the owning write connection under the write mutex.
+        """
         try:
-            cursor = self._connection.execute(text, tuple(parameters))
-            rows = cursor.fetchall()
+            if self._is_read_statement(text):
+                rows = self._run_read(text, parameters)
+            else:
+                with self._write_lock:
+                    cursor = self._connection.execute(text, tuple(parameters))
+                    rows = cursor.fetchall()
         except sqlite3.Error as error:
             raise ExecutionError(
                 f"SQLite rejected prepared {text!r}: {error}"
             ) from error
-        self.stats.prepared_executions += 1
-        self.stats.record(text, len(rows))
+        self.stats.record(text, len(rows), prepared=True)
         return rows
 
     def execute(self, query: Union[SqlQuery, UnionQuery, str]) -> list[Row]:
@@ -461,8 +668,12 @@ class ExternalDatabase:
         else:
             text = query
         try:
-            cursor = self._connection.execute(text)
-            rows = cursor.fetchall()
+            if self._is_read_statement(text):
+                rows = self._run_read(text)
+            else:
+                with self._write_lock:
+                    cursor = self._connection.execute(text)
+                    rows = cursor.fetchall()
         except sqlite3.Error as error:
             raise ExecutionError(f"SQLite rejected {text!r}: {error}") from error
         self.stats.record(text, len(rows))
@@ -479,6 +690,17 @@ class ExternalDatabase:
         return self.execute(f"SELECT {columns} FROM {relation_name}")
 
     def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+            for finalizer in self._reader_finalizers:
+                finalizer.detach()
+            self._reader_finalizers.clear()
+            for connection in self._reader_connections:
+                try:
+                    connection.close()
+                except sqlite3.Error:
+                    pass  # a reader mid-close loses the race harmlessly
+            self._reader_connections.clear()
         self._connection.close()
 
     def __enter__(self) -> "ExternalDatabase":

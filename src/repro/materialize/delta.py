@@ -8,9 +8,11 @@ views consume them.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..concurrency import LockedCounters
 from ..dbms.internal_db import term_to_value
 from ..errors import CouplingError
 from ..prolog.terms import Clause, Struct
@@ -67,8 +69,14 @@ class ViewStats:
 
 
 @dataclass
-class MaintenanceStats:
-    """Aggregate counters the manager exposes (``session.materialize.stats``)."""
+class MaintenanceStats(LockedCounters):
+    """Aggregate counters the manager exposes (``session.materialize.stats``).
+
+    Aggregate fields update through :meth:`incr` (locked: concurrent
+    serving threads ask maintained views in parallel); per-view counters
+    update under the knowledge base's write lock, except the best-effort
+    ``maintained_asks`` tallies on the concurrent read path.
+    """
 
     views: int = 0
     deltas_applied: int = 0
@@ -77,17 +85,25 @@ class MaintenanceStats:
     fallbacks: int = 0  # maintenance errors answered by marking stale
     promotions: int = 0  # memory views promoted to backend tables
     per_view: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    _snapshot_fields = (
+        "views",
+        "deltas_applied",
+        "maintained_asks",
+        "refreshes",
+        "fallbacks",
+        "promotions",
+    )
 
     def as_dict(self) -> dict:
-        return {
-            "views": self.views,
-            "deltas_applied": self.deltas_applied,
-            "maintained_asks": self.maintained_asks,
-            "refreshes": self.refreshes,
-            "fallbacks": self.fallbacks,
-            "promotions": self.promotions,
-            "per_view": {
-                name: stats.as_dict() if isinstance(stats, ViewStats) else stats
-                for name, stats in self.per_view.items()
-            },
+        # aggregate fields come from the locked snapshot so a concurrent
+        # incr never tears the group (per-view detail stays best-effort)
+        data = self.snapshot()
+        data["per_view"] = {
+            name: stats.as_dict() if isinstance(stats, ViewStats) else stats
+            for name, stats in self.per_view.items()
         }
+        return data

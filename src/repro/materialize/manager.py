@@ -310,10 +310,10 @@ class MaterializeManager:
                 continue
             try:
                 view.apply_delta(delta)
-                self.stats.deltas_applied += 1
+                self.stats.incr("deltas_applied")
             except Exception:
                 view.stale = True
-                self.stats.fallbacks += 1
+                self.stats.incr("fallbacks")
 
     # -- serving ------------------------------------------------------------
 
@@ -321,26 +321,66 @@ class MaterializeManager:
         self, goal: Term, max_solutions: Optional[int] = None
     ) -> Optional[list[dict]]:
         """Maintained answers for ``goal``, or None to fall to the cold path."""
+        status, answers = self.try_answer(goal, max_solutions)
+        if status == "hit":
+            return answers
+        if status != "stale":
+            return None
+        # A stale view (or a due promotion) needs mutating work; callers
+        # on the concurrent read path never reach here — the session
+        # restarts them on the write side first.
         parts = conjuncts(goal)
-        if len(parts) != 1 or not isinstance(parts[0], Struct):
-            return None
-        call = parts[0]
-        view = self._views.get(call.indicator)
-        if view is None:
-            return None
+        view = self._views.get(parts[0].indicator)
         if view.stale:
             view.refresh()
-            self.stats.refreshes += 1
-        answers = view.answers(call)
+            self.stats.incr("refreshes")
+        answers = view.answers(parts[0])
         if answers is None:
             return None
-        self.stats.maintained_asks += 1
+        self.stats.incr("maintained_asks")
         if not view.recursive:
             self._maybe_promote(view)
             if max_solutions is not None:
                 return answers[:max_solutions]
-        # The batch recursive path ignores max_solutions; mirror it.
         return answers
+
+    def try_answer(
+        self, goal: Term, max_solutions: Optional[int] = None
+    ) -> tuple[str, Optional[list[dict]]]:
+        """The read-only half of :meth:`answer`, safe under a read lock.
+
+        Returns ``("hit", answers)`` when a fresh maintained view served
+        the goal, ``("stale", None)`` when answering needs mutating work
+        (a stale view must refresh, or a backend promotion is due) so the
+        caller must retry holding the write lock, and ``("miss", None)``
+        when no maintained view covers the goal.
+        """
+        parts = conjuncts(goal)
+        if len(parts) != 1 or not isinstance(parts[0], Struct):
+            return "miss", None
+        call = parts[0]
+        view = self._views.get(call.indicator)
+        if view is None:
+            return "miss", None
+        if view.stale:
+            return "stale", None
+        if (
+            not view.recursive
+            and view.backend_table is None
+            and self._storage_request.get(view.goal.indicator) in ("auto", None)
+            and self.policy.promotion_due(
+                view.storage, view.row_count, view.stats.maintained_asks
+            )
+        ):
+            return "stale", None  # promotion mutates: defer to the write side
+        answers = view.answers(call)
+        if answers is None:
+            return "miss", None
+        self.stats.incr("maintained_asks")
+        if not view.recursive and max_solutions is not None:
+            return "hit", answers[:max_solutions]
+        # The batch recursive path ignores max_solutions; mirror it.
+        return "hit", answers
 
     def _maybe_promote(self, view: MaterializedView) -> None:
         if view.backend_table is not None:
@@ -351,7 +391,7 @@ class MaterializeManager:
             view.storage, view.row_count, view.stats.maintained_asks
         ):
             view.promote_to_backend(self._table_name(view.name))
-            self.stats.promotions += 1
+            self.stats.incr("promotions")
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -66,6 +66,7 @@ from contextlib import contextmanager
 from itertools import count
 from typing import Iterable, Iterator, Optional, Sequence
 
+from ..concurrency import ReentrantRWLock
 from ..errors import PrologError
 from .reader import parse_program
 from .terms import Atom, Clause, Number, PString, Struct, Term, goal_indicator
@@ -325,6 +326,16 @@ class KnowledgeBase:
         self._bulk_depth = 0
         self._bulk_dirty = False
         self._suspend_depth = 0
+        #: Reader–writer lock for the serving layer.  Every mutation
+        #: (assert/retract/retract_all/consult, and the whole of a
+        #: ``bulk_update`` bracket) holds the write side, so listeners —
+        #: materialize delta application, cache invalidation — run
+        #: atomically with the mutation from any reader's point of view.
+        #: Read-only consumers (the session's warm ask path) hold the
+        #: read side across their whole evaluation; the engine's clause
+        #: lookups themselves stay lock-free, relying on the caller's
+        #: read/write bracket.
+        self.lock = ReentrantRWLock()
 
     # -- change capture -----------------------------------------------------
 
@@ -379,13 +390,15 @@ class KnowledgeBase:
         Only for *derived* data whose presence cannot change how a goal
         compiles: interface-predicate answer facts the session asserts and
         retracts around engine calls.  Program clauses (views, rules, user
-        facts) must never be asserted under this.
+        facts) must never be asserted under this.  Holds the write lock so
+        the mutate-then-restore is atomic for concurrent readers.
         """
-        saved = self.generation
-        try:
-            yield
-        finally:
-            self.generation = saved
+        with self.lock.write():
+            saved = self.generation
+            try:
+                yield
+            finally:
+                self.generation = saved
 
     @contextmanager
     def bulk_update(self) -> Iterator[None]:
@@ -394,16 +407,19 @@ class KnowledgeBase:
         A 1000-fact load advances ``generation`` exactly once (at exit,
         and only if something actually changed), so generation-keyed
         caches invalidate once per batch instead of per fact.  Nestable;
-        listeners still observe every individual mutation.
+        listeners still observe every individual mutation.  The whole
+        bracket holds the write lock, so a batch load is atomic with
+        respect to concurrent readers and other writers.
         """
-        self._bulk_depth += 1
-        try:
-            yield
-        finally:
-            self._bulk_depth -= 1
-            if self._bulk_depth == 0 and self._bulk_dirty:
-                self._bulk_dirty = False
-                self.generation = next(_generation_source)
+        with self.lock.write():
+            self._bulk_depth += 1
+            try:
+                yield
+            finally:
+                self._bulk_depth -= 1
+                if self._bulk_depth == 0 and self._bulk_dirty:
+                    self._bulk_dirty = False
+                    self.generation = next(_generation_source)
 
     # -- loading ------------------------------------------------------------
 
@@ -422,15 +438,17 @@ class KnowledgeBase:
 
     def assertz(self, clause: Clause) -> None:
         """Add a clause at the end of its procedure."""
-        self._procedure(clause.indicator).add(clause)
-        self._bump()
-        self._notify("insert", clause.indicator, (clause,))
+        with self.lock.write():
+            self._procedure(clause.indicator).add(clause)
+            self._bump()
+            self._notify("insert", clause.indicator, (clause,))
 
     def asserta(self, clause: Clause) -> None:
         """Add a clause at the front of its procedure."""
-        self._procedure(clause.indicator).add(clause, front=True)
-        self._bump()
-        self._notify("insert", clause.indicator, (clause,))
+        with self.lock.write():
+            self._procedure(clause.indicator).add(clause, front=True)
+            self._bump()
+            self._notify("insert", clause.indicator, (clause,))
 
     def assert_fact(self, functor: str, *values: object) -> None:
         """Convenience: assert a ground fact from Python values."""
@@ -455,40 +473,42 @@ class KnowledgeBase:
         ground pattern that might unify with a stored *non-ground* fact
         like ``p(X).`` — falls back to the first-unifying-clause scan.
         """
-        procedure = self._procedures.get(pattern.indicator)
-        if procedure is None:
-            return False
-        if pattern.is_ground_fact and procedure.all_ground_facts:
-            if not procedure.has_ground_fact(pattern.head):
+        with self.lock.write():
+            procedure = self._procedures.get(pattern.indicator)
+            if procedure is None:
                 return False
-            owner = self._procedure(pattern.indicator)
-            removed_clause = owner._ground_heads[pattern.head][0]
-            removed = owner.remove_ground_fact(pattern.head)
-            if removed:
+            if pattern.is_ground_fact and procedure.all_ground_facts:
+                if not procedure.has_ground_fact(pattern.head):
+                    return False
+                owner = self._procedure(pattern.indicator)
+                removed_clause = owner._ground_heads[pattern.head][0]
+                removed = owner.remove_ground_fact(pattern.head)
+                if removed:
+                    self._bump()
+                    self._notify("delete", pattern.indicator, (removed_clause,))
+                return removed
+            for clause in list(procedure.iter_clauses()):
+                subst = unify(clause.head, pattern.head)
+                if subst is None:
+                    continue
+                if unify(clause.body, pattern.body, subst) is None:
+                    continue
+                self._procedure(pattern.indicator).remove(clause)
                 self._bump()
-                self._notify("delete", pattern.indicator, (removed_clause,))
-            return removed
-        for clause in list(procedure.iter_clauses()):
-            subst = unify(clause.head, pattern.head)
-            if subst is None:
-                continue
-            if unify(clause.body, pattern.body, subst) is None:
-                continue
-            self._procedure(pattern.indicator).remove(clause)
-            self._bump()
-            self._notify("delete", pattern.indicator, (clause,))
-            return True
-        return False
+                self._notify("delete", pattern.indicator, (clause,))
+                return True
+            return False
 
     def retract_all(self, indicator: tuple[str, int]) -> int:
         """Drop every clause of a procedure; returns how many were removed."""
-        procedure = self._procedures.pop(indicator, None)
-        if procedure is None:
-            return 0
-        self._bump()
-        if self._listeners and not self._suspend_depth:
-            self._notify("clear", indicator, tuple(procedure.iter_clauses()))
-        return len(procedure)
+        with self.lock.write():
+            procedure = self._procedures.pop(indicator, None)
+            if procedure is None:
+                return 0
+            self._bump()
+            if self._listeners and not self._suspend_depth:
+                self._notify("clear", indicator, tuple(procedure.iter_clauses()))
+            return len(procedure)
 
     # -- querying -----------------------------------------------------------
 
@@ -546,14 +566,16 @@ class KnowledgeBase:
 
         Every procedure is shared with the copy and marked ``shared``;
         the first mutation on either side clones just the touched
-        procedure.  O(#procedures), not O(#clauses).
+        procedure.  O(#procedures), not O(#clauses).  The copy gets its
+        own fresh lock (a snapshot is an independent store).
         """
-        copy = KnowledgeBase()
-        for procedure in self._procedures.values():
-            procedure.shared = True
-        copy._procedures = dict(self._procedures)
-        copy.generation = self.generation
-        return copy
+        with self.lock.write():
+            copy = KnowledgeBase()
+            for procedure in self._procedures.values():
+                procedure.shared = True
+            copy._procedures = dict(self._procedures)
+            copy.generation = self.generation
+            return copy
 
     def __len__(self) -> int:
         return sum(len(p) for p in self._procedures.values())

@@ -145,6 +145,35 @@ class NotInCondition:
             )
 
 
+@dataclass(frozen=True, slots=True)
+class InValuesCondition:
+    """``(cols) IN (VALUES (?, …), …)`` — the parameter-batch membership.
+
+    The set-oriented serving path folds a batch of same-shape goals into
+    one execution of their shared prepared plan: the per-goal equality
+    restrictions ``col = ?`` are replaced by one membership test whose
+    right-hand side is a table of bind-parameter rows, one row per
+    distinct constant tuple in the batch.  ``parameter_rows`` records, per
+    VALUES row, the goal-parameter index each ``?`` stands for (the same
+    indices :class:`Parameter` uses), in printed left-to-right order.
+    """
+
+    columns: tuple[ColumnRef, ...]
+    parameter_rows: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self):
+        if not self.columns or not self.parameter_rows:
+            raise TranslationError("IN VALUES needs columns and at least one row")
+        if any(len(row) != len(self.columns) for row in self.parameter_rows):
+            raise TranslationError(
+                "IN VALUES: every row must match the column tuple's width"
+            )
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.parameter_rows)
+
+
 @dataclass(frozen=True)
 class SqlQuery:
     """One SELECT...FROM...WHERE block (conjunctive; no nesting needed).
@@ -160,6 +189,9 @@ class SqlQuery:
     distinct: bool = False
     is_empty: bool = False  # provably-empty result (contradiction found)
     extra_conditions: tuple[NotInCondition, ...] = ()
+    #: parameter-batch memberships (set-oriented serving path); printed
+    #: between ``where`` and ``extra_conditions``.
+    batch_conditions: tuple[InValuesCondition, ...] = ()
 
     def __post_init__(self):
         if not self.is_empty:
@@ -191,15 +223,22 @@ class SqlQuery:
         """Parameter indices in ``?``-occurrence order of the printed text.
 
         Must mirror the printer's traversal: WHERE conjuncts in order (left
-        operand before right), then extra NOT-IN conditions (whose
+        operand before right), then parameter-batch memberships (VALUES
+        rows left to right), then extra NOT-IN conditions (whose
         subqueries are walked recursively).  Binding a value list in this
-        order to the qmark placeholders reproduces the query.
+        order to the qmark placeholders reproduces the query.  For batch
+        memberships each VALUES row stands for a *different* goal's
+        constants — callers bind row ``r``'s placeholders from batch
+        member ``r``, not from one shared constant vector.
         """
         order: list[int] = []
         for condition in self.where:
             for side in (condition.left, condition.right):
                 if isinstance(side, Parameter):
                     order.append(side.index)
+        for batch in self.batch_conditions:
+            for row in batch.parameter_rows:
+                order.extend(row)
         for extra in self.extra_conditions:
             order.extend(extra.subquery.parameter_order())
         return tuple(order)

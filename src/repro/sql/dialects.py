@@ -72,6 +72,10 @@ class QuelDialect:
             return "RETRIEVE () WHERE 1 = 0"
         if query.extra_conditions:
             raise TranslationError("QUEL rendering does not support NOT IN")
+        if query.batch_conditions:
+            raise TranslationError(
+                "QUEL rendering does not support parameter-batch IN VALUES"
+            )
         ranges = [
             f"RANGE OF {table.alias} IS {table.relation}"
             for table in query.from_tables

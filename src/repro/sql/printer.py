@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import TranslationError
-from .ast import Condition, NotInCondition, SqlQuery, UnionQuery
+from .ast import Condition, InValuesCondition, NotInCondition, SqlQuery, UnionQuery
 
 
 def _render_not_in(condition: NotInCondition, dialect: Optional[object]) -> str:
@@ -20,6 +20,20 @@ def _render_not_in(condition: NotInCondition, dialect: Optional[object]) -> str:
         columns = f"({columns})"
     subquery = print_sql(condition.subquery, oneline=True, dialect=dialect)
     return f"{columns} NOT IN ({subquery})"
+
+
+def _render_in_values(condition: InValuesCondition) -> str:
+    """``(c1, c2) IN (VALUES (?, ?), …)`` — the parameter-batch membership.
+
+    Every placeholder prints as ``?``; the bind order is the row-major
+    walk of ``parameter_rows`` (see ``SqlQuery.parameter_order``).
+    """
+    columns = ", ".join(str(c) for c in condition.columns)
+    if len(condition.columns) > 1:
+        columns = f"({columns})"
+    row = "(" + ", ".join("?" for _ in condition.columns) + ")"
+    rows = ", ".join(row for _ in condition.parameter_rows)
+    return f"{columns} IN (VALUES {rows})"
 
 
 def print_sql(
@@ -45,6 +59,7 @@ def print_sql(
     select_clause = ", ".join(str(item) for item in query.select) or "*"
     from_clause = ", ".join(str(table) for table in query.from_tables)
     conjuncts = [render_condition(c) for c in query.where]
+    conjuncts += [_render_in_values(c) for c in query.batch_conditions]
     conjuncts += [_render_not_in(c, dialect) for c in query.extra_conditions]
 
     if oneline:

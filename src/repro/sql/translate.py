@@ -32,6 +32,7 @@ from ..errors import TranslationError
 from .ast import (
     ColumnRef,
     Condition,
+    InValuesCondition,
     Literal,
     Operand,
     Parameter,
@@ -199,4 +200,100 @@ def translate(
     """Module-level convenience wrapper."""
     return SqlTranslator(distinct=distinct, parameters=parameters).translate(
         predicate
+    )
+
+
+# -- set-oriented batch variant (serving layer) --------------------------------------
+
+
+def batch_variant(
+    query: SqlQuery, open_params: Sequence[int], batch_size: int
+) -> Optional[SqlQuery]:
+    """The ``IN (VALUES …)`` parameter-batch form of a prepared query.
+
+    A fully parameterized plan restricts each open parameter through one
+    or more equality conditions ``col = ?``.  The batch variant executes
+    the plan once for a whole batch of constant tuples by
+
+    1. picking one *anchor* column per parameter (its first equality
+       restriction ``col = ?``) and projecting it into SELECT — execution
+       returns each answer row tagged with the constants it matched, so
+       the caller can demultiplex rows back to individual goals;
+    2. rewriting every other condition that mentions the parameter with
+       the anchor column substituted for the placeholder — within one
+       batch member the anchor *is* the constant, so ``v2.nam = ? AND
+       v1.nam <> ?`` becomes ``v1.nam <> v2.nam`` plus the membership;
+    3. replacing the per-parameter equality restrictions with a single
+       membership ``(col_p1, …) IN (VALUES (?, …) × batch_size)``.
+
+    Returns ``None`` when the query is not batchable: a parameter with
+    no equality anchor at all (``sal < ?`` alone) has no column to
+    demultiplex on, and parameters inside NOT-IN subqueries would change
+    the complement per batch member.
+    """
+    if query.is_empty or query.batch_conditions:
+        return None
+    for extra in query.extra_conditions:
+        if extra.subquery.parameter_order():
+            return None
+
+    # Pass 1: anchors — the first equality column per parameter index.
+    representative: dict[int, ColumnRef] = {}
+    for condition in query.where:
+        if condition.op != "eq":
+            continue
+        sides = (condition.left, condition.right)
+        params = [s for s in sides if isinstance(s, Parameter)]
+        if len(params) != 1:
+            continue
+        column = sides[0] if isinstance(sides[1], Parameter) else sides[1]
+        if isinstance(column, ColumnRef) and params[0].index not in representative:
+            representative[params[0].index] = column
+
+    if set(representative) != set(open_params):
+        return None  # a parameter never reached an equality restriction
+
+    # Pass 2: drop each parameter's anchor restriction (the membership
+    # replaces it) and substitute anchors into every other occurrence.
+    def substituted(side):
+        if isinstance(side, Parameter):
+            return representative[side.index]
+        return side
+
+    rewritten: list[Condition] = []
+    anchored: set[int] = set()
+    for condition in query.where:
+        sides = (condition.left, condition.right)
+        params = [s for s in sides if isinstance(s, Parameter)]
+        if not params:
+            rewritten.append(condition)
+            continue
+        if (
+            condition.op == "eq"
+            and len(params) == 1
+            and substituted(params[0]) in sides
+            and params[0].index not in anchored
+        ):
+            anchored.add(params[0].index)
+            continue  # the anchor restriction itself: folded into VALUES
+        left, right = substituted(sides[0]), substituted(sides[1])
+        if left == right and condition.op == "eq":
+            continue  # col = anchor where col *is* the anchor: tautology
+        rewritten.append(Condition(condition.op, left, right))
+
+    columns = tuple(representative[index] for index in open_params)
+    membership = InValuesCondition(
+        columns=columns,
+        parameter_rows=tuple(tuple(open_params) for _ in range(batch_size)),
+    )
+    select = tuple(query.select) + tuple(
+        SelectItem(column) for column in columns
+    )
+    return SqlQuery(
+        select=select,
+        from_tables=query.from_tables,
+        where=tuple(rewritten),
+        distinct=query.distinct,
+        extra_conditions=query.extra_conditions,
+        batch_conditions=(membership,),
     )

@@ -114,3 +114,96 @@ class TestBatchShapes:
         plain_answers, _ = plain.execute([predicate])
         optimized_answers, _ = optimized.execute([predicate])
         assert set(plain_answers[0]) == set(optimized_answers[0])
+
+
+class TestNullComparisonSemantics:
+    """Regression: client-side filtering must match SQL three-valued logic.
+
+    The widened-scan filter applies each member's comparisons in Python;
+    a NULL operand makes the comparison *unknown*, which rejects the row
+    for every operator — crucially including ``neq``, where treating
+    NULL as an ordinary value would wrongly keep the row.  It must also
+    never reach :func:`compare_values`, which orders only non-NULL
+    constants.
+    """
+
+    def test_null_rejects_every_operator(self):
+        from repro.coupling.multi_query import _evaluate_comparison
+
+        for op in ("eq", "neq", "less", "greater", "leq", "geq"):
+            assert _evaluate_comparison(op, None, 5) is False
+            assert _evaluate_comparison(op, "x", None) is False
+            assert _evaluate_comparison(op, None, None) is False
+
+    def test_null_never_reaches_compare_values(self, monkeypatch):
+        import repro.coupling.multi_query as mq
+
+        def explode(left, right):
+            raise AssertionError("compare_values saw a NULL operand")
+
+        monkeypatch.setattr(mq, "compare_values", explode)
+        assert mq._evaluate_comparison("neq", None, "a") is False
+        assert mq._evaluate_comparison("eq", None, None) is False
+
+    def test_non_null_matches_backend(self, env):
+        from repro.coupling.multi_query import _evaluate_comparison
+
+        evaluator, constraints, database, org = env
+        # The backend's answer for a neq restriction must equal the
+        # client-side filter's verdict row by row.
+        rows = database.execute("SELECT sal FROM empl")
+        threshold = org.employees[0].sal
+        backend = {
+            r[0] for r in database.execute(
+                f"SELECT sal FROM empl WHERE sal <> {threshold}"
+            )
+        }
+        client = {
+            sal for (sal,) in rows if _evaluate_comparison("neq", sal, threshold)
+        }
+        assert client == backend
+
+
+class TestPreparedScanReuse:
+    """The executor is rebuilt on the plan cache: widened scans prepare once."""
+
+    def test_second_batch_reuses_statements(self, env):
+        evaluator, constraints, database, org = env
+        make = lambda t: evaluator.metaevaluate(
+            f"empl(E, X, S, D), less(S, {t})", targets=[var("X")]
+        )
+        predicates = [make(t) for t in (30000, 50000, 70000)]
+        executor = BatchExecutor(database, constraints)
+        first_answers, first = executor.execute(predicates)
+        second_answers, second = executor.execute(predicates)
+        assert first.statements_reused == 0
+        assert second.statements_reused >= 1
+        assert first_answers == second_answers
+
+    def test_plan_cache_backed_reuse_and_invalidation(self):
+        from repro import PrologDbSession, generate_org
+        from repro.prolog import var as mkvar
+        from repro.schema import ALL_VIEWS_SOURCE
+
+        org = generate_org(depth=3, branching=2, staff_per_dept=3, seed=7)
+        session = PrologDbSession()
+        session.load_org(org)
+        session.consult(ALL_VIEWS_SOURCE)
+        executor = session.batch_executor()
+        predicates = [
+            session.metaevaluator.metaevaluate(
+                f"empl(E, X, S, D), less(S, {t})", targets=[mkvar("X")]
+            )
+            for t in (30000, 60000)
+        ]
+        executor.execute(predicates)
+        prints_before = session.database.stats.snapshot()["sql_prints"]
+        answers, report = executor.execute(predicates)
+        assert report.statements_reused >= 1
+        assert session.database.stats.snapshot()["sql_prints"] == prints_before
+        # a knowledge-base change drops the prepared scans with the plans
+        session.assert_fact("specialist", "someone", "thinking")
+        answers_after, report_after = executor.execute(predicates)
+        assert report_after.statements_reused == 0
+        assert answers == answers_after
+        session.close()
