@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Benchmark driver: runs the engine hot-path benchmarks (E11), the
 compile-once coupling benchmarks (E12), the incremental view-maintenance
-benchmarks (E13), and the concurrent batched serving benchmarks (E14);
-records ``BENCH_engine.json``, ``BENCH_coupling.json``,
-``BENCH_materialize.json``, and ``BENCH_serving.json`` (per-workload
+benchmarks (E13), the concurrent batched serving benchmarks (E14), and
+the backend-pushdown benchmarks (E15); records ``BENCH_engine.json``,
+``BENCH_coupling.json``, ``BENCH_materialize.json``,
+``BENCH_serving.json``, and ``BENCH_pushdown.json`` (per-workload
 wall-clock + the speedup over the pinned baselines), gating regressions.
 
 Usage::
@@ -11,6 +12,7 @@ Usage::
     python benchmarks/run_all.py            # full sizes, strict gates
     python benchmarks/run_all.py --quick    # CI: smoke tests + small sizes
     python benchmarks/run_all.py --seed 42  # reproduce a differential run
+    python benchmarks/run_all.py --only E15 # one benchmark family only
 
 Full mode gates the committed claims (>= 5x on the 10k-fact join proof,
 >= 3x on the E7-shaped recursion proof, >= 5x warm-vs-cold ask throughput,
@@ -56,7 +58,11 @@ from engine_workloads import (  # noqa: E402  (path setup must precede)
 import bench_e12_coupling as e12  # noqa: E402
 import bench_e13_materialize as e13  # noqa: E402
 import bench_e14_serving as e14  # noqa: E402
+import bench_e15_pushdown as e15  # noqa: E402
 from repro.dbms import generate_org  # noqa: E402
+
+#: Benchmark selector names accepted by ``--only`` (case-insensitive).
+BENCH_NAMES = ("E11", "E12", "E13", "E14", "E15")
 
 #: (join facts, join iterations, recursion chain, join gate, recursion gate)
 FULL = (10_000, 5, 300, 5.0, 3.0)
@@ -357,6 +363,90 @@ def run_serving_benchmarks(
     return gates_passed
 
 
+def run_pushdown_benchmarks(
+    quick: bool, output: str, smoke_ok: bool, seed: int
+) -> bool:
+    chain_depth, staff, iterations, max_levels, gate = (
+        e15.QUICK_SIZES if quick else e15.FULL_SIZES
+    )
+    diff_depth, diff_branching, diff_staff, probes, rounds = (
+        e15.QUICK_DIFF if quick else e15.FULL_DIFF
+    )
+    b_depth, b_branching, b_staff, total = (
+        e15.QUICK_BATCH if quick else e15.FULL_BATCH
+    )
+
+    print(f"== E15 pushdown benchmarks ({'quick' if quick else 'full'}) ==")
+    chain_org = e15.make_chain_org(chain_depth, staff)
+    chain = e15.bench_chain_closure(chain_org, iterations, max_levels)
+    print(
+        f"{chain['chain_depth']}-chain closure: cte={chain['cte_seconds']}s "
+        f"frontier={chain['frontier_seconds']}s ({chain['frontier_levels']} "
+        f"levels) speedup={chain['speedup']}x commits={chain['cte_commits']} "
+        f"(planner: {chain['planner_strategy']})"
+    )
+    differential = e15.differential_check(
+        diff_depth, diff_branching, diff_staff, probes, rounds, seed=seed
+    )
+    print(
+        f"strategy differential: {differential['probes']} probes over "
+        f"{differential['churn_rounds']} churn rounds, "
+        f"identical={differential['identical']}"
+    )
+    batching = e15.bench_recursive_ask_many(b_depth, b_branching, b_staff, total)
+    print(
+        f"recursive ask_many: {batching['goals']} goals in "
+        f"{batching['recursive_batches']} batch statement(s), "
+        f"identical={batching['identical']}"
+    )
+
+    gates = {
+        "cte_min_speedup": gate,
+        "cte_max_commits": 0,
+        "cte_max_reprints": 0,
+        "planner_picks_cte": True,
+        "differential_identical": True,
+        "ask_many_recursive_batched": True,
+    }
+    gates_passed = (
+        chain["speedup"] >= gate
+        and chain["cte_commits"] == 0
+        and chain["cte_sql_prints"] == 0
+        and chain["planner_strategy"] == "cte"
+        and chain["identical"]
+        and differential["identical"]
+        and batching["recursive_batches"] >= 1
+        and batching["identical"]
+    )
+    record = {
+        "benchmark": "E15 backend pushdown "
+        "(WITH RECURSIVE CTE + statistics-driven cost-based planning)",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "baseline": "prepared setrel frontier loop: one round-trip and one "
+        "commit per recursion level",
+        "workloads": {
+            "chain_closure": chain,
+            "strategy_differential": differential,
+            "recursive_ask_many": batching,
+        },
+        "gates": gates,
+        "passed": bool(gates_passed and smoke_ok),
+    }
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    if not gates_passed:
+        print(
+            f"FAIL: pushdown gates not met (cte {chain['speedup']}x < {gate}x, "
+            f"commits {chain['cte_commits']}, planner "
+            f"{chain['planner_strategy']}, differential "
+            f"identical={differential['identical']}, recursive batches "
+            f"{batching['recursive_batches']})",
+            file=sys.stderr,
+        )
+    return gates_passed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -395,6 +485,18 @@ def main() -> int:
         "repo-root BENCH_serving.json / BENCH_serving.quick.json)",
     )
     parser.add_argument(
+        "--pushdown-output",
+        default=None,
+        help="where to write the pushdown benchmark record (default: "
+        "repo-root BENCH_pushdown.json / BENCH_pushdown.quick.json)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated benchmark selector (e.g. 'E15' or 'E11,E12'); "
+        f"default runs all of {','.join(BENCH_NAMES)}",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=5,
@@ -427,29 +529,59 @@ def main() -> int:
             else "BENCH_serving.json"
         )
         arguments.serving_output = str(REPO_ROOT / name)
+    if arguments.pushdown_output is None:
+        name = (
+            "BENCH_pushdown.quick.json"
+            if arguments.quick
+            else "BENCH_pushdown.json"
+        )
+        arguments.pushdown_output = str(REPO_ROOT / name)
+
+    if arguments.only is None:
+        selected = set(BENCH_NAMES)
+    else:
+        selected = {part.strip().upper() for part in arguments.only.split(",")}
+        unknown = selected - set(BENCH_NAMES)
+        if unknown:
+            print(
+                f"unknown --only selector(s) {sorted(unknown)}; "
+                f"expected a subset of {','.join(BENCH_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
 
     smoke_ok = True
     if arguments.quick and not arguments.skip_tests:
         smoke_ok = run_smoke_tests()
 
     seed = arguments.seed
-    engine_ok = run_engine_benchmarks(
-        arguments.quick, arguments.output, smoke_ok, seed
-    )
-    coupling_ok = run_coupling_benchmarks(
-        arguments.quick, arguments.coupling_output, smoke_ok, seed
-    )
-    materialize_ok = run_materialize_benchmarks(
-        arguments.quick, arguments.materialize_output, smoke_ok, seed
-    )
-    serving_ok = run_serving_benchmarks(
-        arguments.quick, arguments.serving_output, smoke_ok, seed
-    )
+    runners = {
+        "E11": lambda: run_engine_benchmarks(
+            arguments.quick, arguments.output, smoke_ok, seed
+        ),
+        "E12": lambda: run_coupling_benchmarks(
+            arguments.quick, arguments.coupling_output, smoke_ok, seed
+        ),
+        "E13": lambda: run_materialize_benchmarks(
+            arguments.quick, arguments.materialize_output, smoke_ok, seed
+        ),
+        "E14": lambda: run_serving_benchmarks(
+            arguments.quick, arguments.serving_output, smoke_ok, seed
+        ),
+        "E15": lambda: run_pushdown_benchmarks(
+            arguments.quick, arguments.pushdown_output, smoke_ok, seed
+        ),
+    }
+    results = {
+        name: runner()
+        for name, runner in runners.items()
+        if name in selected
+    }
 
     if not smoke_ok:
         print("FAIL: smoke tests failed", file=sys.stderr)
         return 1
-    if not (engine_ok and coupling_ok and materialize_ok and serving_ok):
+    if not all(results.values()):
         return 1
     print("all gates passed")
     return 0

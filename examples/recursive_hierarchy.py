@@ -58,6 +58,13 @@ def main() -> None:
     print(f"\nauto strategy picks: query 1 -> {auto1.stats.strategy}, "
           f"query 2 -> {auto2.stats.strategy}")
 
+    # Beyond the paper: push the whole fixpoint into the DBMS as one
+    # prepared WITH RECURSIVE statement, chosen by the cost-based planner.
+    cte = session.solve_recursive("works_for", high=boss, strategy="cte")
+    show("cte", cte)
+    plan = session.closure_for("works_for").plan(low=None, high=boss)
+    print(f"\nplanner: {plan.strategy} -- {plan.reason}")
+
     session.close()
 
 

@@ -539,6 +539,7 @@ class PlanCacheStats(LockedCounters):
     bind_empties: int = 0
     batched_asks: int = 0  # goals answered through a set-oriented batch
     batch_executions: int = 0  # IN (VALUES …) statements executed
+    recursive_batches: int = 0  # batch-seeded WITH RECURSIVE executions
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -553,6 +554,7 @@ class PlanCacheStats(LockedCounters):
         "bind_empties",
         "batched_asks",
         "batch_executions",
+        "recursive_batches",
     )
 
 

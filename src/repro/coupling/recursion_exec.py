@@ -18,6 +18,14 @@ where the *bottom-up* rewriting wins.  :class:`TransitiveClosure` exposes
 all three strategies plus an ``auto`` mode that picks the frontier from
 the bound argument — the optimization the paper leaves as an open
 question, solved here with the bound-argument heuristic.
+
+Beyond the paper's repertoire, the executor can push the *entire*
+fixpoint into the backend as one prepared ``WITH RECURSIVE`` statement
+(``strategy="cte"``): no intermediate relation, no per-level Python
+round-trip, no commits.  ``strategy="plan"`` chooses between the CTE
+pushdown and the prepared frontier loop from the backend's relation
+statistics (:meth:`TransitiveClosure.plan`); maintained views keep their
+:class:`IncrementalClosure` path in the materialize subsystem.
 """
 
 from __future__ import annotations
@@ -47,11 +55,17 @@ from ..prolog.terms import (
 )
 from ..schema.catalog import DatabaseSchema, Relation
 from ..schema.constraints import ConstraintSet
-from ..sql.translate import translate
+from ..sql.translate import closure_cte, translate
 from .global_opt import CachePolicy
 from ..dbms.sqlite_backend import ExternalDatabase
 
 INTERMEDIATE = "intermediate"
+
+#: Below this estimated edge cardinality the Python frontier loop's
+#: per-level overhead is negligible and its per-level statistics are
+#: worth keeping; at or above it the planner pushes the fixpoint down as
+#: one ``WITH RECURSIVE`` statement.
+CTE_MIN_EDGE_ROWS = 16
 
 
 def find_base_clause(
@@ -140,6 +154,44 @@ class RecursionRun:
     stats: RecursionStats
 
 
+@dataclass(frozen=True)
+class RecursionPlan:
+    """One planning decision: which strategy answers a closure probe.
+
+    ``strategy`` is a :meth:`TransitiveClosure.solve` strategy name;
+    ``estimated_edge_rows`` is the statistics service's estimate for the
+    edge view's cardinality (None when no statistics were available) and
+    ``reason`` says why the planner chose as it did — surfaced so tests
+    and operators can audit cost-based decisions.
+    """
+
+    strategy: str
+    reason: str
+    estimated_edge_rows: Optional[int] = None
+
+
+@dataclass
+class _CteQueries:
+    """Prepared ``WITH RECURSIVE`` statements for both directions.
+
+    The query trees are kept for inspection (:meth:`TransitiveClosure.
+    cte_queries`); solving binds the seed constant into the pre-rendered
+    *texts*, so the SQL is printed exactly once per direction however
+    many asks run.  ``batch_texts`` caches the ``IN (VALUES …)``-seeded
+    variants the set-oriented serving path executes, keyed by
+    ``(direction, batch_size)``.
+    """
+
+    descend_sql: object  # seed on the high side, collect the cone below
+    ascend_sql: object  # seed on the low side, collect the cone above
+    descend_text: str
+    ascend_text: str
+    edge_sql: object  # the flat edge block both directions share
+    #: base-relation names the edge view reads (the planner's stats keys)
+    edge_relations: tuple[str, ...]
+    batch_texts: dict = field(default_factory=dict)
+
+
 @dataclass
 class _EdgeQueries:
     """Prepared fixed-shape step queries for one direction.
@@ -185,6 +237,15 @@ class TransitiveClosure:
         self.optimize = optimize
         self._base_head, self._base_body = find_base_clause(kb, view)
         self._edges: Optional[_EdgeQueries] = None
+        self._cte: Optional[_CteQueries] = None
+        #: Negative cache: the error a failed CTE preparation raised.  A
+        #: closure that cannot push down would otherwise re-metaevaluate
+        #: (and re-fail) on every planned ask; the session rebuilds
+        #: closures whenever the program changes, so caching the failure
+        #: for this executor's lifetime is sound.
+        self._cte_error: Optional[Exception] = None
+        #: The most recent :meth:`plan` decision (inspection/benchmarks).
+        self.last_plan: Optional[RecursionPlan] = None
         # The setrel loop mutates one shared intermediate table per view;
         # two concurrent solves of the same closure would interleave
         # frontier swaps.  The session routes recursive asks through the
@@ -271,6 +332,201 @@ class TransitiveClosure:
         edges = self._prepare_edges()
         return edges.descend_sql, edges.ascend_sql
 
+    # -- recursive-CTE pushdown ---------------------------------------------------------
+
+    def _edge_query(self) -> tuple[object, tuple[str, ...]]:
+        """The flat edge view compiled to SQL: SELECT (low, high) pairs."""
+        low_var, high_var = self._base_head.args  # type: ignore[misc]
+        evaluator = Metaevaluator(self.schema, self.kb)
+        predicate = evaluator.metaevaluate(
+            conjoin(self._base_body),
+            name="edge",
+            targets=[low_var, high_var],
+        )
+        options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
+        result = simplify(predicate, self.constraints, options)
+        if result.is_empty:
+            raise CouplingError(
+                f"{self.view[0]}/2: the edge view is provably empty"
+            )
+        relations = tuple(sorted({row.tag for row in result.predicate.rows}))
+        return translate(result.predicate, distinct=True), relations
+
+    def _cte_name(self) -> str:
+        """A CTE name that cannot shadow any base relation in the FROM list."""
+        name = "reach"
+        while self.schema.has_relation(name):
+            name = "cte_" + name
+        return name
+
+    def _prepare_cte(self) -> _CteQueries:
+        """Compile both directions' ``WITH RECURSIVE`` statements once.
+
+        Failures are cached too: preparation re-raises the first error
+        without re-running metaevaluation, so a non-pushdownable view
+        costs one failed compile, not one per ask.
+        """
+        with self._solve_lock:
+            if self._cte is not None:
+                return self._cte
+            if self._cte_error is not None:
+                raise self._cte_error
+            try:
+                return self._prepare_cte_uncached()
+            except Exception as error:
+                self._cte_error = error
+                raise
+
+    def _prepare_cte_uncached(self) -> _CteQueries:
+        edge_sql, edge_relations = self._edge_query()
+        name = self._cte_name()
+        # Descending collects the cone *below* a bound high endpoint:
+        # the frontier matches the high column (index 1 of the edge
+        # SELECT list), derived rows contribute their low column.
+        descend = closure_cte(edge_sql, frontier=1, result=0, name=name)
+        ascend = closure_cte(edge_sql, frontier=0, result=1, name=name)
+        self._cte = _CteQueries(
+            descend_sql=descend,
+            ascend_sql=ascend,
+            descend_text=self.database.prepare(descend),
+            ascend_text=self.database.prepare(ascend),
+            edge_sql=edge_sql,
+            edge_relations=edge_relations,
+        )
+        return self._cte
+
+    def cte_queries(self) -> tuple[object, object]:
+        """The two prepared ``WITH RECURSIVE`` trees (descend, ascend)."""
+        cte = self._prepare_cte()
+        return cte.descend_sql, cte.ascend_sql
+
+    def batch_cte_text(self, bound: str, batch_size: int) -> str:
+        """Prepared batch-seeded CTE text for ``batch_size`` distinct seeds.
+
+        ``bound`` names the bound argument side: ``"high"`` descends (the
+        ``works_for(X, boss)`` shape), ``"low"`` ascends.  The statement
+        seeds the closure through one ``IN (VALUES …)`` membership and
+        threads each row's originating seed through a ``root`` column, so
+        one execution answers a whole same-shape ``ask_many`` group; rows
+        come back as ``(root, node)``.  Texts are cached per (direction,
+        batch size) — the set-oriented serving path re-executes them with
+        rotating seed batches at zero re-prints.
+        """
+        if bound not in ("low", "high"):
+            raise CouplingError(f"bound side must be 'low' or 'high', got {bound!r}")
+        cte = self._prepare_cte()
+        with self._solve_lock:
+            key = (bound, batch_size)
+            text = cte.batch_texts.get(key)
+            if text is None:
+                frontier, result = (1, 0) if bound == "high" else (0, 1)
+                variant = closure_cte(
+                    cte.edge_sql,
+                    frontier=frontier,
+                    result=result,
+                    name=self._cte_name(),
+                    batch_size=batch_size,
+                )
+                text = self.database.prepare(variant)
+                cte.batch_texts[key] = text
+            return text
+
+    def _solve_cte(
+        self, low: Optional[str], high: Optional[str]
+    ) -> RecursionRun:
+        """One prepared ``WITH RECURSIVE`` execution answers the probe.
+
+        A single SELECT-shaped statement: no intermediate relation, no
+        per-level swap, no commits at all — the DBMS iterates the
+        fixpoint internally and ``UNION`` deduplication terminates it on
+        cyclic data, mirroring the frontier loop's seen-set.
+        """
+        cte = self._prepare_cte()
+        stats = RecursionStats(strategy="cte")
+        if high is not None:
+            text, seed = cte.descend_text, high
+        else:
+            assert low is not None
+            text, seed = cte.ascend_text, low
+        rows = self.database.execute_prepared(text, (seed,))
+        stats.queries_issued = 1
+        nodes = {row[0] for row in rows}
+        stats.new_answers_per_level.append(len(nodes))
+        if high is not None:
+            pairs = {(node, high) for node in nodes}
+        else:
+            pairs = {(low, node) for node in nodes}
+        return RecursionRun(pairs=pairs, stats=stats)
+
+    # -- cost-based strategy choice -----------------------------------------------------
+
+    def plan(self, low: Optional[str], high: Optional[str]) -> RecursionPlan:
+        """Choose a strategy for ``view(low, high)`` from relation statistics.
+
+        The decision tree (documented in the README's Pushdown section):
+
+        * no recursive-CTE support (preparation failed — e.g. a dialect
+          without ``WITH RECURSIVE``) → the prepared frontier loop on the
+          bound side;
+        * edge view estimated below :data:`CTE_MIN_EDGE_ROWS` rows → the
+          frontier loop (per-level Python overhead is noise at that size,
+          and its per-level statistics stay observable);
+        * otherwise → CTE pushdown: one statement, zero per-level
+          round-trips and commits.
+
+        Maintained views never reach this planner: the materialize
+        subsystem answers them from its :class:`IncrementalClosure`
+        before the session routes a goal here (PR 3 semantics untouched).
+        """
+        frontier = "bottomup" if low is not None else "topdown"
+        try:
+            cte = self._prepare_cte()
+        except Exception as error:  # noqa: BLE001 - any failure means no pushdown
+            decision = RecursionPlan(
+                strategy=frontier,
+                reason=f"no CTE support ({error}); prepared frontier loop",
+            )
+            self.last_plan = decision
+            return decision
+        estimate: Optional[int] = None
+        stats_of = getattr(self.database, "relation_statistics", None)
+        if stats_of is not None:
+            try:
+                # A key/foreign-key edge join cannot exceed the smallest
+                # participating relation by much; min() is the standard
+                # conservative estimate without join histograms.
+                estimate = min(
+                    stats_of(relation).row_count
+                    for relation in cte.edge_relations
+                )
+            except Exception:  # noqa: BLE001 - statistics are advisory
+                estimate = None
+        if estimate is not None and estimate < CTE_MIN_EDGE_ROWS:
+            decision = RecursionPlan(
+                strategy=frontier,
+                reason=(
+                    f"edge view ~{estimate} rows < {CTE_MIN_EDGE_ROWS}: "
+                    "frontier loop overhead is negligible"
+                ),
+                estimated_edge_rows=estimate,
+            )
+        else:
+            decision = RecursionPlan(
+                strategy="cte",
+                reason=(
+                    "pushdown: single WITH RECURSIVE statement, zero "
+                    "per-level round-trips"
+                    + (
+                        f" (edge view ~{estimate} rows)"
+                        if estimate is not None
+                        else " (no statistics; pushdown is the default)"
+                    )
+                ),
+                estimated_edge_rows=estimate,
+            )
+        self.last_plan = decision
+        return decision
+
     # -- strategies --------------------------------------------------------------------
 
     def solve(
@@ -284,6 +540,10 @@ class TransitiveClosure:
 
         ``strategy``:
 
+        * ``plan`` — cost-based: consult :meth:`plan` (relation
+          statistics) and run whichever of ``cte`` / frontier it picks;
+        * ``cte`` — push the whole fixpoint down as one prepared
+          ``WITH RECURSIVE`` statement (zero per-level round-trips);
         * ``auto`` — frontier starts at the bound argument (efficient);
         * ``topdown`` — frontier on the *high* side regardless (the paper's
           ``setrel(intermediate(Boss))`` program);
@@ -294,6 +554,10 @@ class TransitiveClosure:
         if (low is None) == (high is None):
             raise CouplingError("exactly one of low/high must be bound")
         with self._solve_lock:
+            if strategy == "plan":
+                strategy = self.plan(low, high).strategy
+            if strategy == "cte":
+                return self._solve_cte(low, high)
             if strategy == "naive":
                 return self._solve_naive(low, high, max_levels)
             if strategy == "auto":

@@ -54,8 +54,11 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from ..concurrency import LockedCounters
 
 from ..dbcl.grammar import format_dbcl
 from ..dbcl.predicate import DbclPredicate
@@ -120,6 +123,39 @@ _NEEDS_WRITE = object()
 
 
 @dataclass
+class CompilePhaseStats(LockedCounters):
+    """Wall-clock breakdown of cold compilations, per pipeline phase.
+
+    A cold ask pays classification (goal split over the view call graph),
+    metaevaluation (Prolog → DBCL), optimization (Algorithm 2 plus the
+    cost-based row order), translation (DBCL → SQL tree), and printing
+    (tree → prepared text).  ``session.stats()["compile_phases"]``
+    exposes the accumulated seconds per phase so a cost-model regression
+    (say, the greedy join order suddenly dominating compile time) is
+    observable instead of vanishing into one opaque cold-ask number.
+    """
+
+    cold_compilations: int = 0
+    classify_seconds: float = 0.0
+    metaevaluate_seconds: float = 0.0
+    optimize_seconds: float = 0.0
+    translate_seconds: float = 0.0
+    print_seconds: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    _snapshot_fields = (
+        "cold_compilations",
+        "classify_seconds",
+        "metaevaluate_seconds",
+        "optimize_seconds",
+        "translate_seconds",
+        "print_seconds",
+    )
+
+
+@dataclass
 class TranslationTrace:
     """Everything the pipeline produced for one goal (``explain``)."""
 
@@ -172,6 +208,7 @@ class PrologDbSession:
         self.merger = SegmentMerger(self.kb, self.database)
         self.cache = ResultCache(cache_policy)
         self.plans = PlanCache()
+        self.compile_phases = CompilePhaseStats()
         self._plan_caching = plan_cache
         self._closures: dict[tuple[str, int], TransitiveClosure] = {}
         self._closures_lock = threading.Lock()
@@ -337,6 +374,36 @@ class PrologDbSession:
 
         self.engine.register_builtin("metaevaluate", 4, builtin_metaevaluate)
 
+    def _phase(self, phase: str, started: float) -> float:
+        """Accumulate one compile phase's wall clock; returns a new mark."""
+        now = time.perf_counter()
+        self.compile_phases.incr(f"{phase}_seconds", now - started)
+        return now
+
+    def _cost_ordered(self, predicate: DbclPredicate) -> DbclPredicate:
+        """Rows reordered by the statistics-driven greedy join order.
+
+        Applied between Algorithm 2 and SQL translation: the simplified
+        tableau's rows are permuted so the most selective relation leads
+        and each join extends the cheapest prefix (System R estimates
+        over the backend's relation statistics).  Answer-preserving by
+        construction — see :mod:`repro.optimize.costs` — and skipped
+        when optimization is off or the backend has no statistics
+        service, so ``explain`` traces and ``no_optim`` runs keep the
+        paper's literal row order.
+        """
+        if not self.optimize or len(predicate.rows) <= 1:
+            return predicate
+        stats_of = getattr(self.database, "relation_statistics", None)
+        if stats_of is None:
+            return predicate
+        from ..optimize.costs import order_rows
+
+        try:
+            return order_rows(predicate, stats_of)
+        except Exception:  # noqa: BLE001 - cost ordering is advisory
+            return predicate
+
     def _fetch_view(
         self, goal: Term, optimize: bool = True
     ) -> tuple[Optional[DbclPredicate], list[tuple]]:
@@ -368,6 +435,8 @@ class PrologDbSession:
                 elif plan is not None:
                     return self._execute_fetch_plan(plan, shape, goal, targets)
 
+        mark = time.perf_counter()
+        self.compile_phases.incr("cold_compilations")
         name = self.metaevaluator._default_name(goal)
         branches = [
             branch
@@ -382,24 +451,32 @@ class PrologDbSession:
                 "ask_disjunctive instead"
             )
         predicate = self.metaevaluator.branch_to_dbcl(branches[0], name, targets)
+        mark = self._phase("metaevaluate", mark)
         options = SimplifyOptions() if use_optim else SimplifyOptions.none()
         result = simplify(predicate, self.constraints, options)
         if result.is_empty:
+            self._phase("optimize", mark)
             if shape is not None:
                 self._compile_fetch_plan(
                     shape, goal, targets, name, options, None, result.original
                 )
             return result.original, []
         final = result.predicate
+        if use_optim:
+            final = self._cost_ordered(final)
+        mark = self._phase("optimize", mark)
         rows = self.cache.lookup(final)
         sql_text: Optional[str] = None
         if rows is None:
             self._merge_internal_segments(final)
+            mark = time.perf_counter()
             sql = translate(final, distinct=True)
+            mark = self._phase("translate", mark)
             if sql.is_empty:
                 rows = []
             else:
                 sql_text = self.database.prepare(sql)
+                self._phase("print", mark)
                 rows = self.database.execute_prepared(sql_text)
             self.cache.store(final, rows, self._result_dependencies(final, goal))
         assert_answers(self.kb, goal, final, targets, rows)
@@ -625,33 +702,137 @@ class PrologDbSession:
         answers: list,
         max_solutions: Optional[int],
     ) -> None:
-        """Answer one same-shape group, batching once the shape is warm."""
+        """Answer one same-shape group, batching once the shape is warm.
+
+        Two batch forms exist: flat warm shapes fold their constants into
+        an ``IN (VALUES …)`` variant of the prepared statement, and warm
+        *recursive* single-bound shapes fold their seeds into a
+        batch-seeded ``WITH RECURSIVE`` statement (one fixpoint run for
+        the whole group).  Everything else answers serially.
+        """
         pending = list(members)
+        plan = recursive = None
         while pending:
-            plan = self._batchable_plan(shapes[pending[0]])
-            if plan is not None and len(pending) > 1:
-                break
+            if len(pending) > 1:
+                plan = self._batchable_plan(shapes[pending[0]])
+                if plan is not None:
+                    break
+                recursive = self._recursive_batch_closure(
+                    shapes[pending[0]], parsed[pending[0]]
+                )
+                if recursive is not None:
+                    break
             position = pending.pop(0)
             answers[position] = self.ask(parsed[position], max_solutions)
         if not pending:
             return
-        plan = self._batchable_plan(shapes[pending[0]])
-        batched = (
-            None
-            if plan is None
-            else self._execute_batch(
-                plan,
-                [shapes[position] for position in pending],
-                [parsed[position] for position in pending],
-                max_solutions,
+        group_shapes = [shapes[position] for position in pending]
+        group_goals = [parsed[position] for position in pending]
+        if plan is not None:
+            batched = self._execute_batch(
+                plan, group_shapes, group_goals, max_solutions
             )
-        )
+        else:
+            batched = self._execute_recursive_batch(
+                recursive, group_shapes, group_goals
+            )
         if batched is None:
             for position in pending:
                 answers[position] = self.ask(parsed[position], max_solutions)
             return
         for position, result in zip(pending, batched):
             answers[position] = result
+
+    def _recursive_batch_closure(self, shape: GoalShape, goal: Term):
+        """``(closure, bound_side, variable_name)`` for a batchable
+        recursive shape, else ``None``.
+
+        Batchable means: a single binary view call with exactly one
+        constant argument, whose shape already holds a warm plan of kind
+        ``recursive``, whose view is linearly recursive, and which is
+        *not* maintained (maintained views answer from their
+        :class:`IncrementalClosure` on the serial path — PR 3 semantics).
+        """
+        if shape is None or len(shape.constants) != 1:
+            return None
+        goal_list = conjuncts(goal)
+        if len(goal_list) != 1 or not isinstance(goal_list[0], Struct):
+            return None
+        call = goal_list[0]
+        if len(call.args) != 2:
+            return None
+        low_arg, high_arg = call.args
+        if isinstance(low_arg, Atom) and isinstance(high_arg, Variable):
+            bound, variable = "low", high_arg
+        elif isinstance(high_arg, Atom) and isinstance(low_arg, Variable):
+            bound, variable = "high", low_arg
+        else:
+            return None
+        self.plans.sync(self.kb)
+        entry = self.plans.entry_for(shape)
+        if entry is None or entry.uncacheable:
+            return None
+        plan = entry.variants.get(entry.variant_key(shape.constants))
+        if plan is None or plan.kind != "recursive":
+            return None
+        indicator = call.indicator
+        if self.materialize.has_view(indicator):
+            return None
+        if indicator not in self.plans.recursive_indicators(self.kb, self.schema):
+            return None
+        try:
+            closure = self.closure_for(indicator[0])
+            # Only batch what the CTE can answer; a view whose pushdown
+            # preparation fails keeps the serial frontier path.  The
+            # first preparation metaevaluates the edge view, which reads
+            # the knowledge base: read-locked.
+            with self.kb.lock.read():
+                closure.cte_queries()
+        except Exception:  # noqa: BLE001 - fall back to serial asks
+            return None
+        return closure, bound, variable.name
+
+    def _execute_recursive_batch(
+        self,
+        recursive,
+        shapes: Sequence[GoalShape],
+        goals: Sequence[Term],
+    ) -> Optional[list[list[dict[str, Value]]]]:
+        """One batch-seeded ``WITH RECURSIVE`` run for a same-shape group.
+
+        The group's seed constants fold into the statement's
+        ``IN (VALUES …)`` membership; fetched ``(root, node)`` rows
+        demultiplex by root back to per-goal answer lists identical to
+        serial :meth:`ask` (which sorts closure pairs, so ordering
+        matches too).  Returns ``None`` to fall back to serial asks.
+        """
+        closure, bound, variable_name = recursive
+        seeds = [shape.constants[0] for shape in shapes]
+        distinct: dict = dict.fromkeys(seeds)
+        if len({str(seed) for seed in distinct}) != len(distinct):
+            return None  # affinity-coercible seed collision: serial
+        try:
+            text = closure.batch_cte_text(bound, len(distinct))
+        except Exception:  # noqa: BLE001 - no batch CTE form
+            return None
+        with self.kb.lock.read():
+            self.plans.sync(self.kb)
+            entry = self.plans.entry_for(shapes[0])
+            if entry is None or entry.uncacheable:
+                return None  # a concurrent write invalidated the plan
+            rows = self.database.execute_prepared(text, list(distinct))
+        demux: dict = {seed: set() for seed in distinct}
+        for root, node in rows:
+            bucket = demux.get(root)
+            if bucket is None:
+                return None  # affinity coerced a seed: answer serially
+            bucket.add(node)
+        self.plans.stats.incr("batched_asks", len(goals))
+        self.plans.stats.incr("recursive_batches")
+        return [
+            [{variable_name: node} for node in sorted(demux[seed])]
+            for seed in seeds
+        ]
 
     def _execute_batch(
         self,
@@ -770,6 +951,8 @@ class PrologDbSession:
         if self._is_recursive(goal):
             return self._ask_recursive(goal), {"kind": "recursive"}
 
+        mark = time.perf_counter()
+        self.compile_phases.incr("cold_compilations")
         graph = (
             self.plans.graph(self.kb, self.schema) if self._plan_caching else None
         )
@@ -790,6 +973,7 @@ class PrologDbSession:
                 {"kind": "engine"},
             )
 
+        mark = self._phase("classify", mark)
         external_goal = conjoin(plan.external)
         fetch_targets = [
             v
@@ -806,22 +990,28 @@ class PrologDbSession:
         predicate = self.metaevaluator.metaevaluate(
             external_goal, targets=fetch_targets
         )
+        mark = self._phase("metaevaluate", mark)
         options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
         result = simplify(predicate, self.constraints, options)
         if result.is_empty:
+            self._phase("optimize", mark)
             return [], artifacts
-        final = result.predicate
+        final = self._cost_ordered(result.predicate)
+        mark = self._phase("optimize", mark)
         artifacts["final"] = final
         rows = self.cache.lookup(final)
         if rows is None:
             self._merge_internal_segments(final)
+            mark = time.perf_counter()
             sql = translate(final, distinct=True)
+            mark = self._phase("translate", mark)
             if sql.is_empty:
                 # A false ground comparison survived (simplification off):
                 # provably empty, never sent to the DBMS.
                 rows = []
             else:
                 sql_text = self.database.prepare(sql)
+                self._phase("print", mark)
                 rows = self.database.execute_prepared(sql_text)
                 artifacts["sql_text"] = sql_text
             self.cache.store(
@@ -1252,6 +1442,11 @@ class PrologDbSession:
             if vanished:
                 material |= vanished
                 continue
+            if options != SimplifyOptions.none():
+                # The same statistics-driven row order a cold compile
+                # applies (cardinality estimates never consult a marker's
+                # concrete value, so parameterization is unaffected).
+                final_m = self._cost_ordered(final_m)
             parameter_map = {
                 str(marker_for(index)): index for index in open_params
             }
@@ -1524,7 +1719,13 @@ class PrologDbSession:
         low_arg, high_arg = call.args
         low = low_arg.name if isinstance(low_arg, Atom) else None
         high = high_arg.name if isinstance(high_arg, Atom) else None
-        run = self.closure_for(indicator[0]).solve(low=low, high=high)
+        # Cost-based strategy choice: CTE pushdown for non-trivial edge
+        # views, the prepared frontier loop below the statistics
+        # threshold.  (Maintained views answered earlier, from their
+        # IncrementalClosure, never reach this point.)
+        run = self.closure_for(indicator[0]).solve(
+            low=low, high=high, strategy="plan"
+        )
         answers = []
         for pair_low, pair_high in sorted(run.pairs):
             answer: dict[str, Value] = {}
@@ -1639,6 +1840,7 @@ class PrologDbSession:
         plan_stats = self.plans.stats.snapshot()
         cache_stats = self.cache.stats.snapshot()
         db_stats = self.database.stats.snapshot()
+        phase_stats = self.compile_phases.snapshot()
         return {
             "kb": {
                 "generation": self.kb.generation,
@@ -1647,6 +1849,7 @@ class PrologDbSession:
             "plan_cache": {"entries": len(self.plans), **plan_stats},
             "result_cache": {"entries": len(self.cache), **cache_stats},
             "database": db_stats,
+            "compile_phases": phase_stats,
             "materialize": self.materialize.stats_dict(),
         }
 

@@ -44,9 +44,9 @@ from typing import Iterable, Iterator, Optional, Sequence, Union
 from ..concurrency import LockedCounters
 from ..errors import ExecutionError, SchemaError
 from ..schema.catalog import DatabaseSchema, Relation
-from ..sql.ast import SqlQuery, UnionQuery
+from ..sql.ast import RecursiveQuery, SqlQuery, UnionQuery
 from ..sql.dialects import SqliteDialect
-from ..sql.printer import print_sql, print_union
+from ..sql.printer import print_recursive, print_sql, print_union
 
 Row = tuple
 Value = Union[int, float, str, None]
@@ -73,6 +73,11 @@ class ExecutionStats(LockedCounters):
     sql_prints: int = 0
     prepared_executions: int = 0
     commits: int = 0
+    #: relation-statistics service: recomputations vs generation-fresh hits.
+    stats_refreshes: int = 0
+    stats_hits: int = 0
+    #: ``PRAGMA optimize`` runs on retiring/closing connections.
+    pragma_optimizes: int = 0
     statements: list[str] = field(default_factory=list)
     keep_statements: bool = False
     _lock: threading.Lock = field(
@@ -85,6 +90,9 @@ class ExecutionStats(LockedCounters):
         "sql_prints",
         "prepared_executions",
         "commits",
+        "stats_refreshes",
+        "stats_hits",
+        "pragma_optimizes",
     )
 
     def record(self, statement: str, rows: int, prepared: bool = False) -> None:
@@ -107,7 +115,35 @@ class ExecutionStats(LockedCounters):
             self.sql_prints = 0
             self.prepared_executions = 0
             self.commits = 0
+            self.stats_refreshes = 0
+            self.stats_hits = 0
+            self.pragma_optimizes = 0
             self.statements.clear()
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Cardinality profile of one base relation (the planner's food).
+
+    ``distinct`` maps each attribute of the relation to its distinct-value
+    count; ``1 / distinct[attr]`` is the classic equality-restriction
+    selectivity estimate, and joint independence across attributes is
+    assumed (the System R simplification).  ``generation`` records the
+    backend data generation the counts were taken at — a stale profile
+    is recomputed lazily on the next request.
+    """
+
+    relation: str
+    row_count: int
+    distinct: dict
+    generation: int
+
+    def selectivity(self, attribute: str) -> float:
+        """Estimated fraction of rows matching ``attribute = const``."""
+        count = self.distinct.get(attribute, 0)
+        if count <= 0:
+            return 1.0
+        return 1.0 / count
 
 
 class ExternalDatabase:
@@ -169,6 +205,13 @@ class ExternalDatabase:
             self._connection.execute("PRAGMA synchronous=NORMAL")
         self._dialect = SqliteDialect()
         self.stats = ExecutionStats()
+        self._constraints = constraints
+        #: Per-relation monotone counters advanced by that relation's
+        #: mutations; the statistics cache keys freshness on them, so a
+        #: churning relation never invalidates a stable one's profile.
+        self._data_generations: dict[str, int] = {}
+        self._stats_cache: dict[str, RelationStatistics] = {}
+        self._stats_lock = threading.Lock()
         self._intermediates: dict[str, tuple[str, ...]] = {}
         self._materialized: dict[str, tuple[str, ...]] = {}
         self._txn_depth = 0
@@ -250,10 +293,24 @@ class ExternalDatabase:
                 self._reader_connections.remove(connection)
             except ValueError:
                 return  # close() already took it
+        self._optimize_connection(connection)
         try:
             connection.close()
         except sqlite3.Error:
             pass
+
+    def _optimize_connection(self, connection: sqlite3.Connection) -> None:
+        """``PRAGMA optimize`` before a connection goes away.
+
+        SQLite's own guidance: run it when closing long-lived connections
+        so index-usage observations flow into ``sqlite_stat1`` instead of
+        dying with the connection.  Counted in ``stats.pragma_optimizes``.
+        """
+        try:
+            connection.execute("PRAGMA optimize")
+        except sqlite3.Error:
+            return  # a connection mid-close loses nothing but the hint
+        self.stats.incr("pragma_optimizes")
 
     def _query_connection(self) -> sqlite3.Connection:
         if not self._pooled_reads:
@@ -264,7 +321,11 @@ class ExternalDatabase:
 
     @staticmethod
     def _is_read_statement(text: str) -> bool:
-        return text.lstrip()[:6].upper() == "SELECT"
+        # WITH covers the recursive-CTE pushdown statements: a WITH whose
+        # body mutates is not produced by any layer above (the CTE builder
+        # only emits SELECT components), so routing by prefix stays sound.
+        head = text.lstrip()[:6].upper()
+        return head == "SELECT" or head.startswith("WITH")
 
     def _run_read(
         self, text: str, parameters: Sequence[Value] = ()
@@ -545,6 +606,7 @@ class ExternalDatabase:
                 f"DELETE FROM {relation_name} WHERE {match}", tuple(row)
             )
             self._commit()
+        self._note_mutation(relation_name)
         return cursor.rowcount
 
     # -- transactions -----------------------------------------------------------
@@ -598,6 +660,7 @@ class ExternalDatabase:
                 f"INSERT INTO {relation_name} VALUES ({placeholders})", data
             )
             self._commit()
+        self._note_mutation(relation_name)
         return len(data)
 
     def clear_relation(self, relation_name: str) -> None:
@@ -605,21 +668,82 @@ class ExternalDatabase:
         with self._write_lock:
             self._connection.execute(f"DELETE FROM {relation_name}")
             self._commit()
+        self._note_mutation(relation_name)
 
     def row_count(self, relation_name: str) -> int:
         rows = self._run_read(f"SELECT COUNT(*) FROM {relation_name}")
         return rows[0][0]
 
+    # -- relation statistics (the planner's cardinality service) -------------------
+
+    def _note_mutation(self, relation_name: str) -> None:
+        """Advance one relation's data generation (its statistics go stale)."""
+        with self._stats_lock:
+            self._data_generations[relation_name] = (
+                self._data_generations.get(relation_name, 0) + 1
+            )
+
+    def data_generation(self, relation_name: str) -> int:
+        """The relation's mutation counter (statistics-freshness key)."""
+        with self._stats_lock:
+            return self._data_generations.get(relation_name, 0)
+
+    def relation_statistics(self, relation_name: str) -> RelationStatistics:
+        """Row and distinct-value counts for one base relation, cached.
+
+        The profile is recomputed only when *this relation's* data
+        generation moved since it was taken — a steady ask stream pays
+        one dictionary lookup, not a COUNT scan, per planning decision,
+        and churn on one relation never invalidates another's profile.
+        Each refresh also runs ``ANALYZE <relation>`` so the substrate's
+        own planner (``sqlite_stat1``) sees the same freshness the
+        coupling planner does.  Refreshes and generation-fresh hits are
+        counted in ``stats.stats_refreshes`` / ``stats.stats_hits``.
+        """
+        relation = self.schema.relation(relation_name)  # validates
+        with self._stats_lock:
+            generation = self._data_generations.get(relation_name, 0)
+            cached = self._stats_cache.get(relation_name)
+        if cached is not None and cached.generation == generation:
+            self.stats.incr("stats_hits")
+            return cached
+        selects = ", ".join(
+            ["COUNT(*)"]
+            + [f"COUNT(DISTINCT {a})" for a in relation.attributes]
+        )
+        row = self._run_read(f"SELECT {selects} FROM {relation_name}")[0]
+        profile = RelationStatistics(
+            relation=relation_name,
+            row_count=row[0],
+            distinct={
+                attribute: row[i + 1]
+                for i, attribute in enumerate(relation.attributes)
+            },
+            generation=generation,
+        )
+        with self._write_lock:
+            try:
+                self._connection.execute(f"ANALYZE {relation_name}")
+            except sqlite3.Error:
+                pass  # statistics stay usable even if ANALYZE is refused
+            self._commit()
+        with self._stats_lock:
+            self._stats_cache[relation_name] = profile
+        self.stats.incr("stats_refreshes")
+        return profile
+
     # -- query execution -----------------------------------------------------------
 
-    def render(self, query: Union[SqlQuery, UnionQuery]) -> str:
+    def render(self, query: Union[SqlQuery, UnionQuery, RecursiveQuery]) -> str:
         """Render a query tree to executable text (counted in stats)."""
         self.stats.incr("sql_prints")
         if isinstance(query, SqlQuery):
             return print_sql(query, oneline=True, dialect=self._dialect)
+        if isinstance(query, RecursiveQuery):
+            return print_recursive(query, oneline=True, dialect=self._dialect)
         return print_union(query, oneline=True)
 
-    def prepare(self, query: Union[SqlQuery, UnionQuery, str]) -> str:
+    def prepare(self, query: Union[SqlQuery, UnionQuery, RecursiveQuery, str]) -> str:
         """Render once for repeated :meth:`execute_prepared` calls.
 
         The returned text is the prepared-statement handle: sqlite3 keeps
@@ -665,6 +789,8 @@ class ExternalDatabase:
             if not query.live_branches:
                 return []
             text = self.render(query)
+        elif isinstance(query, RecursiveQuery):
+            text = self.render(query)
         else:
             text = query
         try:
@@ -689,6 +815,39 @@ class ExternalDatabase:
         columns = ", ".join(relation.attributes)
         return self.execute(f"SELECT {columns} FROM {relation_name}")
 
+    def query_plan(
+        self, text: str, parameters: Sequence[Value] = ()
+    ) -> list[str]:
+        """The substrate's ``EXPLAIN QUERY PLAN`` detail lines for ``text``.
+
+        Bind parameters may be omitted — placeholders are bound to NULL
+        (the plan shape does not depend on the value), which is exactly
+        what the prepared-statement regression tests need: asserting
+        catalog-driven indexes are *used* by warm plans, not merely
+        created.
+        """
+        connection = self._query_connection()
+        statement = "EXPLAIN QUERY PLAN " + text
+        try:
+            try:
+                rows = connection.execute(
+                    statement, tuple(parameters)
+                ).fetchall()
+            except sqlite3.ProgrammingError as error:
+                # "... uses N, and there are 0 supplied": bind NULLs.
+                message = str(error)
+                if "bindings supplied" not in message:
+                    raise
+                expected = int(message.split("uses ")[1].split(",")[0])
+                rows = connection.execute(
+                    statement, (None,) * expected
+                ).fetchall()
+        except sqlite3.Error as error:
+            raise ExecutionError(
+                f"SQLite rejected EXPLAIN QUERY PLAN for {text!r}: {error}"
+            ) from error
+        return [str(row[-1]) for row in rows]
+
     def close(self) -> None:
         with self._pool_lock:
             self._closed = True
@@ -696,11 +855,13 @@ class ExternalDatabase:
                 finalizer.detach()
             self._reader_finalizers.clear()
             for connection in self._reader_connections:
+                self._optimize_connection(connection)
                 try:
                     connection.close()
                 except sqlite3.Error:
                     pass  # a reader mid-close loses the race harmlessly
             self._reader_connections.clear()
+        self._optimize_connection(self._connection)
         self._connection.close()
 
     def __enter__(self) -> "ExternalDatabase":

@@ -107,6 +107,17 @@ class TranslationError(ReproError):
     """Raised when a DBCL predicate cannot be rendered in the target language."""
 
 
+class UnsupportedDialectError(TranslationError):
+    """Raised when a target dialect cannot express a query construct.
+
+    The paper's portability claim (section 1) concentrates everything
+    language-specific in the final rendering step; constructs a dialect
+    lacks (QUEL has no ``NOT IN`` complement, no parameter-batch
+    membership, no recursive query form) surface here explicitly instead
+    of falling through to silently wrong text.
+    """
+
+
 class ExecutionError(ReproError):
     """Raised when the external DBMS rejects or fails a generated query."""
 

@@ -452,5 +452,14 @@ class MaterializeManager:
     def is_maintained(self, relation: str) -> bool:
         return relation in self._by_relation
 
+    def has_view(self, indicator: tuple) -> bool:
+        """Is a maintained view registered under this indicator?
+
+        The serving layer consults this before diverting a recursive
+        goal group into the batch-seeded CTE: maintained views must keep
+        answering from their :class:`IncrementalClosure`.
+        """
+        return indicator in self._views
+
     def stats_dict(self) -> dict:
         return self.stats.as_dict()

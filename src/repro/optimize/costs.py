@@ -1,0 +1,167 @@
+"""Statistics-driven cost estimation for flat conjunctive plans.
+
+Algorithm 2 (:mod:`repro.optimize.pipeline`) is purely *logical*: it
+removes rows and comparisons the constraints prove redundant, but orders
+the surviving tableau rows exactly as metaevaluation produced them — the
+generated SQL's FROM clause carries no cardinality information at all.
+This module adds the classic System R estimates on top:
+
+* the cardinality of one row is its relation's row count scaled by
+  ``1/distinct(attribute)`` per equality restriction (constants *and*
+  plan parameters — a bound parameter is a constant at execution time);
+* joining a placed prefix with a new row scales by the most selective
+  equijoin attribute connecting them, assuming independence;
+* a row sharing no symbol with the prefix is a cross product — its full
+  estimated cardinality multiplies in, which is exactly why the greedy
+  order defers such rows to the end.
+
+:func:`order_rows` reorders a predicate's rows greedily by these
+estimates.  The reorder is *answer-preserving by construction*: targets,
+constants, and comparisons locate symbols by first occurrence, and every
+occurrence of a symbol is equijoined, so permuting rows permutes FROM
+entries and rewires equality chains without changing the result set (the
+E15 differential gates this).  Statistics come from
+:meth:`repro.dbms.sqlite_backend.ExternalDatabase.relation_statistics`;
+any relation the provider cannot profile falls back to a neutral
+estimate, so the order degrades gracefully rather than failing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..dbcl.predicate import DbclPredicate, RelRow
+from ..dbcl.symbols import ConstSymbol, is_star, is_variable_symbol
+
+#: Fallback row count when a relation has no statistics.
+DEFAULT_ROW_COUNT = 1000
+#: Fallback selectivity for an equality against an unprofiled attribute.
+DEFAULT_EQ_SELECTIVITY = 0.1
+
+#: ``stats_of(relation_name)`` → object with ``row_count`` and
+#: ``distinct`` (attribute → count), or raising/None when unavailable.
+StatsProvider = Callable[[str], object]
+
+
+def _profile(stats_of: Optional[StatsProvider], relation: str):
+    if stats_of is None:
+        return None
+    try:
+        return stats_of(relation)
+    except Exception:
+        return None
+
+
+def estimate_row_cardinality(
+    predicate: DbclPredicate,
+    row: RelRow,
+    stats_of: Optional[StatsProvider],
+) -> float:
+    """Estimated tuples of ``row`` after its own equality restrictions."""
+    profile = _profile(stats_of, row.tag)
+    if profile is None:
+        cardinality = float(DEFAULT_ROW_COUNT)
+        distinct = {}
+    else:
+        cardinality = float(max(profile.row_count, 1))
+        distinct = profile.distinct
+    for column, entry in enumerate(row.entries):
+        if isinstance(entry, ConstSymbol):
+            attribute = predicate.attribute_of_column(column)
+            count = distinct.get(attribute, 0)
+            if count > 0:
+                cardinality /= count
+            else:
+                cardinality *= DEFAULT_EQ_SELECTIVITY
+    return max(cardinality, 1.0)
+
+
+def _join_selectivity(
+    predicate: DbclPredicate,
+    placed_symbols: set,
+    row: RelRow,
+    stats_of: Optional[StatsProvider],
+) -> Optional[float]:
+    """Selectivity of joining ``row`` against the placed prefix.
+
+    ``None`` means no shared variable symbol: a cross product.  Otherwise
+    the most selective connecting attribute wins (``1/distinct``), the
+    standard primary-key/foreign-key approximation.
+    """
+    best: Optional[float] = None
+    profile = _profile(stats_of, row.tag)
+    distinct = profile.distinct if profile is not None else {}
+    for column, entry in enumerate(row.entries):
+        if is_star(entry) or not is_variable_symbol(entry):
+            continue
+        if entry not in placed_symbols:
+            continue
+        attribute = predicate.attribute_of_column(column)
+        count = distinct.get(attribute, 0)
+        selectivity = 1.0 / count if count > 0 else DEFAULT_EQ_SELECTIVITY
+        if best is None or selectivity < best:
+            best = selectivity
+    return best
+
+
+def greedy_row_order(
+    predicate: DbclPredicate,
+    stats_of: Optional[StatsProvider],
+) -> list[int]:
+    """Greedy minimum-intermediate-cardinality order of the row indices.
+
+    Starts from the row with the smallest restricted cardinality, then
+    repeatedly appends the row minimizing the estimated size of the
+    joined prefix.  Ties break on the original index, so the order is
+    deterministic and a no-information run reproduces the input order.
+    """
+    rows = predicate.rows
+    if len(rows) <= 1:
+        return list(range(len(rows)))
+    base = [
+        estimate_row_cardinality(predicate, row, stats_of) for row in rows
+    ]
+    remaining = list(range(len(rows)))
+    first = min(remaining, key=lambda i: (base[i], i))
+    order = [first]
+    remaining.remove(first)
+    placed_symbols = {
+        entry
+        for entry in rows[first].entries
+        if not is_star(entry) and is_variable_symbol(entry)
+    }
+    prefix_cardinality = base[first]
+    while remaining:
+        def joined_size(i: int) -> float:
+            selectivity = _join_selectivity(
+                predicate, placed_symbols, rows[i], stats_of
+            )
+            if selectivity is None:
+                return prefix_cardinality * base[i]  # cross product
+            return max(prefix_cardinality * base[i] * selectivity, 1.0)
+
+        chosen = min(remaining, key=lambda i: (joined_size(i), i))
+        prefix_cardinality = joined_size(chosen)
+        order.append(chosen)
+        remaining.remove(chosen)
+        placed_symbols |= {
+            entry
+            for entry in rows[chosen].entries
+            if not is_star(entry) and is_variable_symbol(entry)
+        }
+    return order
+
+
+def order_rows(
+    predicate: DbclPredicate,
+    stats_of: Optional[StatsProvider],
+) -> DbclPredicate:
+    """The predicate with rows permuted into the greedy cost order.
+
+    Returns the input unchanged when it is already ordered (or has at
+    most one row), so hot compile paths pay nothing on trivial shapes.
+    """
+    order = greedy_row_order(predicate, stats_of)
+    if order == list(range(len(predicate.rows))):
+        return predicate
+    return predicate.replace(rows=[predicate.rows[i] for i in order])

@@ -3,9 +3,11 @@
 from .ast import (
     ColumnRef,
     Condition,
+    InValuesCondition,
     Literal,
     NotInCondition,
     Parameter,
+    RecursiveQuery,
     SelectItem,
     SqlQuery,
     TableRef,
@@ -13,16 +15,18 @@ from .ast import (
     empty_query,
 )
 from .dialects import DIALECTS, QuelDialect, SqlDialect, SqliteDialect, get_dialect
-from .printer import print_sql, print_union
-from .translate import SqlTranslator, translate
+from .printer import print_recursive, print_sql, print_union
+from .translate import SqlTranslator, closure_cte, translate
 
 __all__ = [
     "ColumnRef",
     "Condition",
     "Literal",
+    "InValuesCondition",
     "NotInCondition",
     "Parameter",
     "SelectItem",
+    "RecursiveQuery",
     "SqlQuery",
     "TableRef",
     "UnionQuery",
@@ -32,8 +36,10 @@ __all__ = [
     "SqlDialect",
     "SqliteDialect",
     "get_dialect",
+    "print_recursive",
     "print_sql",
     "print_union",
     "SqlTranslator",
+    "closure_cte",
     "translate",
 ]

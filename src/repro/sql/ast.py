@@ -289,6 +289,80 @@ def empty_query(select_width: int = 0) -> SqlQuery:
 
 
 @dataclass(frozen=True)
+class RecursiveQuery:
+    """A ``WITH RECURSIVE`` statement — the backend-pushdown fixpoint.
+
+    The setrel scheme (paper §7) iterates a fixed-shape step query from
+    Python, shipping one frontier per level.  A recursive CTE pushes the
+    whole fixpoint into the DBMS::
+
+        WITH RECURSIVE name(columns) AS (
+            base          -- the seed level
+            UNION
+            step          -- joins the CTE by name (exactly once)
+        )
+        final             -- projection over the CTE
+
+    ``UNION`` (not ``UNION ALL``) is load-bearing: the DBMS deduplicates
+    each derived row against the whole result, so the iteration
+    terminates on cyclic data exactly as the frontier loop's seen-set
+    does.  The component blocks are ordinary :class:`SqlQuery` trees, so
+    parameters, batch memberships, and NOT-IN conditions all compose.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    base: SqlQuery
+    step: SqlQuery
+    final: SqlQuery
+    union_all: bool = False
+
+    def __post_init__(self):
+        if not self.columns:
+            raise TranslationError("recursive CTE needs at least one column")
+        for part, label in ((self.base, "base"), (self.step, "step")):
+            if part.is_empty:
+                raise TranslationError(f"recursive CTE {label} is empty")
+            if len(part.select) != len(self.columns):
+                raise TranslationError(
+                    f"recursive CTE {label} selects {len(part.select)} "
+                    f"columns, header declares {len(self.columns)}"
+                )
+        references = [
+            t for t in self.step.from_tables if t.relation == self.name
+        ]
+        if len(references) != 1:
+            raise TranslationError(
+                f"recursive step must reference {self.name!r} exactly once, "
+                f"found {len(references)}"
+            )
+
+    # -- prepared-statement support ---------------------------------------------
+
+    def parameter_order(self) -> tuple[int, ...]:
+        """Parameter indices in printed order: base, then step, then final."""
+        return (
+            self.base.parameter_order()
+            + self.step.parameter_order()
+            + self.final.parameter_order()
+        )
+
+    @property
+    def parameter_count(self) -> int:
+        return len(self.parameter_order())
+
+    # -- statistics (benchmarks read these) ------------------------------------
+
+    @property
+    def join_term_count(self) -> int:
+        return self.base.join_term_count + self.step.join_term_count
+
+    @property
+    def table_count(self) -> int:
+        return self.base.table_count + self.step.table_count
+
+
+@dataclass(frozen=True)
 class UnionQuery:
     """A UNION of conjunctive blocks — the disjunction extension's output."""
 

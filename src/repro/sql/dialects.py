@@ -10,13 +10,31 @@ the final rendering step.  Three dialects are provided:
 * :class:`QuelDialect` — INGRES QUEL ``RANGE OF``/``RETRIEVE`` form,
   demonstrating that the DBCL level carries all the information needed for
   a structurally different target language.
+
+Every dialect's :meth:`render` accepts any query tree the translation
+layer produces (:class:`SqlQuery`, :class:`UnionQuery`,
+:class:`RecursiveQuery`); a dialect that cannot express a construct
+raises :class:`~repro.errors.UnsupportedDialectError` with the reason,
+never silently mis-rendering or falling through.
 """
 
 from __future__ import annotations
 
-from ..errors import TranslationError
-from .ast import ColumnRef, Condition, Literal, Parameter, SqlQuery
-from .printer import print_sql
+from typing import Union
+
+from ..errors import UnsupportedDialectError
+from .ast import (
+    ColumnRef,
+    Condition,
+    Literal,
+    Parameter,
+    RecursiveQuery,
+    SqlQuery,
+    UnionQuery,
+)
+from .printer import print_recursive, print_sql, print_union
+
+Renderable = Union[SqlQuery, UnionQuery, RecursiveQuery]
 
 
 class SqlDialect:
@@ -27,8 +45,16 @@ class SqlDialect:
     def render_condition(self, condition: Condition) -> str:
         return str(condition)
 
-    def render(self, query: SqlQuery, oneline: bool = False) -> str:
-        return print_sql(query, oneline=oneline, dialect=self)
+    def render(self, query: Renderable, oneline: bool = False) -> str:
+        if isinstance(query, SqlQuery):
+            return print_sql(query, oneline=oneline, dialect=self)
+        if isinstance(query, UnionQuery):
+            return print_union(query, oneline=oneline)
+        if isinstance(query, RecursiveQuery):
+            return print_recursive(query, oneline=oneline, dialect=self)
+        raise UnsupportedDialectError(
+            f"dialect {self.name!r} cannot render {type(query).__name__}"
+        )
 
 
 class SqliteDialect(SqlDialect):
@@ -38,7 +64,15 @@ class SqliteDialect(SqlDialect):
 
 
 class QuelDialect:
-    """QUEL (Stonebraker 1976): RANGE declarations plus RETRIEVE."""
+    """QUEL (Stonebraker 1976): RANGE declarations plus RETRIEVE.
+
+    QUEL expresses the conjunctive core (RANGE + RETRIEVE + WHERE) but
+    has no ``NOT IN`` complement, no ``IN (VALUES …)`` parameter-batch
+    membership, no UNION of retrievals, and no recursive query form —
+    each of those renders raises :class:`UnsupportedDialectError`
+    naming the construct, so callers can fall back (e.g. to the
+    frontier loop, whose per-level step queries QUEL *can* express).
+    """
 
     name = "quel"
 
@@ -67,13 +101,29 @@ class QuelDialect:
             f"{self._operand(condition.right)}"
         )
 
-    def render(self, query: SqlQuery, oneline: bool = False) -> str:
+    def render(self, query: Renderable, oneline: bool = False) -> str:
+        if isinstance(query, UnionQuery):
+            raise UnsupportedDialectError(
+                "QUEL has no UNION of retrievals; render each branch "
+                "separately and merge client-side"
+            )
+        if isinstance(query, RecursiveQuery):
+            raise UnsupportedDialectError(
+                "QUEL has no recursive query form; use the setrel frontier "
+                "loop (its per-level step queries are plain retrievals)"
+            )
+        if not isinstance(query, SqlQuery):
+            raise UnsupportedDialectError(
+                f"dialect {self.name!r} cannot render {type(query).__name__}"
+            )
         if query.is_empty:
             return "RETRIEVE () WHERE 1 = 0"
         if query.extra_conditions:
-            raise TranslationError("QUEL rendering does not support NOT IN")
+            raise UnsupportedDialectError(
+                "QUEL rendering does not support NOT IN"
+            )
         if query.batch_conditions:
-            raise TranslationError(
+            raise UnsupportedDialectError(
                 "QUEL rendering does not support parameter-batch IN VALUES"
             )
         ranges = [
@@ -107,6 +157,8 @@ def get_dialect(name: str):
     """Look up a dialect by name."""
     dialect = DIALECTS.get(name)
     if dialect is None:
+        from ..errors import TranslationError
+
         raise TranslationError(
             f"unknown dialect {name!r}; expected one of {sorted(DIALECTS)}"
         )

@@ -11,7 +11,14 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import TranslationError
-from .ast import Condition, InValuesCondition, NotInCondition, SqlQuery, UnionQuery
+from .ast import (
+    Condition,
+    InValuesCondition,
+    NotInCondition,
+    RecursiveQuery,
+    SqlQuery,
+    UnionQuery,
+)
 
 
 def _render_not_in(condition: NotInCondition, dialect: Optional[object]) -> str:
@@ -76,6 +83,30 @@ def print_sql(
 
 def _default_condition(condition: Condition) -> str:
     return str(condition)
+
+
+def print_recursive(
+    query: RecursiveQuery,
+    oneline: bool = False,
+    dialect: Optional[object] = None,
+) -> str:
+    """Render a ``WITH RECURSIVE`` statement.
+
+    The component blocks print through :func:`print_sql`, so dialect
+    condition overrides apply inside the CTE as well.  Bind-parameter
+    order is base, then step, then final — exactly
+    :meth:`RecursiveQuery.parameter_order`.
+    """
+    header = f"WITH RECURSIVE {query.name}({', '.join(query.columns)}) AS ("
+    base = print_sql(query.base, oneline=True, dialect=dialect)
+    step = print_sql(query.step, oneline=True, dialect=dialect)
+    final = print_sql(query.final, oneline=True, dialect=dialect)
+    union = "UNION ALL" if query.union_all else "UNION"
+    if oneline:
+        return f"{header}{base} {union} {step}) {final}"
+    return "\n".join(
+        [header, f"    {base}", f"    {union}", f"    {step}", f") {final}"]
+    )
 
 
 def print_union(union: UnionQuery, oneline: bool = False) -> str:

@@ -36,6 +36,7 @@ from .ast import (
     Literal,
     Operand,
     Parameter,
+    RecursiveQuery,
     SelectItem,
     SqlQuery,
     TableRef,
@@ -296,4 +297,122 @@ def batch_variant(
         distinct=query.distinct,
         extra_conditions=query.extra_conditions,
         batch_conditions=(membership,),
+    )
+
+
+# -- recursive-CTE pushdown (the setrel fixpoint, in the backend) --------------------
+
+
+def closure_cte(
+    edge: SqlQuery,
+    frontier: int,
+    result: int,
+    name: str = "reach",
+    alias: str = "w0",
+    batch_size: Optional[int] = None,
+) -> RecursiveQuery:
+    """The ``WITH RECURSIVE`` form of a transitive-closure step query.
+
+    ``edge`` is the compiled edge view — a flat conjunctive block whose
+    SELECT list contains the two endpoint columns.  ``frontier`` and
+    ``result`` index that SELECT list: the frontier column is matched
+    against the current closure level, the result column extends it.
+    The single-seed form (``batch_size=None``) binds the seed through one
+    ``?`` parameter (index 0)::
+
+        WITH RECURSIVE reach(node) AS (
+            SELECT <result> FROM <edge> WHERE <edge conds> AND <frontier> = ?
+            UNION
+            SELECT <result> FROM <edge>, reach w0
+            WHERE <edge conds> AND <frontier> = w0.node
+        )
+        SELECT w0.node FROM reach w0
+
+    The batch form seeds the CTE with ``batch_size`` constants through an
+    ``IN (VALUES …)`` membership and threads a ``root`` column (the seed
+    each row descends from) through every level, so one execution answers
+    a whole same-shape ``ask_many`` group and rows demultiplex by root.
+    ``UNION`` deduplication keys on (root, node): two roots reaching the
+    same node both keep their rows.
+    """
+    if edge.is_empty:
+        raise TranslationError("cannot build a closure over an empty edge query")
+    if edge.parameter_order():
+        raise TranslationError(
+            "closure edge must not carry its own bind parameters"
+        )
+    if edge.batch_conditions:
+        raise TranslationError("closure edge cannot carry batch memberships")
+    if not (0 <= frontier < len(edge.select)) or not (
+        0 <= result < len(edge.select)
+    ):
+        raise TranslationError("frontier/result must index the edge SELECT list")
+    frontier_column = edge.select[frontier].column
+    result_column = edge.select[result].column
+    if frontier_column == result_column:
+        raise TranslationError("closure endpoints must be distinct columns")
+    used_aliases = {t.alias for t in edge.from_tables}
+    while alias in used_aliases:
+        alias = alias + "x"
+
+    step_tables = edge.from_tables + (TableRef(name, alias),)
+    step_join = Condition("eq", frontier_column, ColumnRef(alias, "node"))
+    if batch_size is None:
+        columns = ("node",)
+        base = SqlQuery(
+            select=(SelectItem(result_column, label="node"),),
+            from_tables=edge.from_tables,
+            where=edge.where + (Condition("eq", frontier_column, Parameter(0)),),
+            extra_conditions=edge.extra_conditions,
+        )
+        step = SqlQuery(
+            select=(SelectItem(result_column, label="node"),),
+            from_tables=step_tables,
+            where=edge.where + (step_join,),
+            extra_conditions=edge.extra_conditions,
+        )
+        final = SqlQuery(
+            select=(SelectItem(ColumnRef(alias, "node")),),
+            from_tables=(TableRef(name, alias),),
+        )
+    else:
+        if batch_size < 1:
+            raise TranslationError("batch closure needs at least one seed")
+        columns = ("root", "node")
+        # Same convention as batch_variant: every VALUES row repeats the
+        # goal-parameter indices (here just index 0, the seed), and row
+        # ``r`` binds from batch member ``r`` — see the parameter_order
+        # docstring's batch-membership caveat.
+        membership = InValuesCondition(
+            columns=(frontier_column,),
+            parameter_rows=tuple((0,) for _ in range(batch_size)),
+        )
+        base = SqlQuery(
+            select=(
+                SelectItem(frontier_column, label="root"),
+                SelectItem(result_column, label="node"),
+            ),
+            from_tables=edge.from_tables,
+            where=edge.where,
+            extra_conditions=edge.extra_conditions,
+            batch_conditions=(membership,),
+        )
+        step = SqlQuery(
+            select=(
+                SelectItem(ColumnRef(alias, "root")),
+                SelectItem(result_column, label="node"),
+            ),
+            from_tables=step_tables,
+            where=edge.where + (step_join,),
+            extra_conditions=edge.extra_conditions,
+        )
+        final = SqlQuery(
+            select=(
+                SelectItem(ColumnRef(alias, "root")),
+                SelectItem(ColumnRef(alias, "node")),
+            ),
+            from_tables=(TableRef(name, alias),),
+        )
+    return RecursiveQuery(
+        name=name, columns=columns, base=base, step=step, final=final
     )

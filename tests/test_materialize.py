@@ -450,8 +450,11 @@ class TestSessionStats:
             "plan_cache",
             "result_cache",
             "database",
+            "compile_phases",
             "materialize",
         }
+        # Maintained views answered every ask here: no cold compiles.
+        assert stats["compile_phases"]["cold_compilations"] == 0
         assert stats["kb"]["generation"] == session.kb.generation
         assert stats["materialize"]["views"] == 1
         assert stats["materialize"]["deltas_applied"] >= 1

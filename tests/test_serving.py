@@ -442,6 +442,9 @@ class TestPooledBackend:
             "sql_prints",
             "prepared_executions",
             "commits",
+            "stats_refreshes",
+            "stats_hits",
+            "pragma_optimizes",
         }
         database.execute("SELECT count(*) FROM empl")
         assert database.stats.snapshot()["queries_executed"] == (
