@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """Benchmark driver: runs the engine hot-path benchmarks (E11), the
 compile-once coupling benchmarks (E12), the incremental view-maintenance
-benchmarks (E13), the concurrent batched serving benchmarks (E14), and
-the backend-pushdown benchmarks (E15); records ``BENCH_engine.json``,
+benchmarks (E13), the concurrent batched serving benchmarks (E14),
+the backend-pushdown benchmarks (E15), and the fault-tolerance
+benchmarks (E16); records ``BENCH_engine.json``,
 ``BENCH_coupling.json``, ``BENCH_materialize.json``,
-``BENCH_serving.json``, and ``BENCH_pushdown.json`` (per-workload
+``BENCH_serving.json``, ``BENCH_pushdown.json``, and
+``BENCH_resilience.json`` (per-workload
 wall-clock + the speedup over the pinned baselines), gating regressions.
 
 Usage::
@@ -59,10 +61,11 @@ import bench_e12_coupling as e12  # noqa: E402
 import bench_e13_materialize as e13  # noqa: E402
 import bench_e14_serving as e14  # noqa: E402
 import bench_e15_pushdown as e15  # noqa: E402
+import bench_e16_resilience as e16  # noqa: E402
 from repro.dbms import generate_org  # noqa: E402
 
 #: Benchmark selector names accepted by ``--only`` (case-insensitive).
-BENCH_NAMES = ("E11", "E12", "E13", "E14", "E15")
+BENCH_NAMES = ("E11", "E12", "E13", "E14", "E15", "E16")
 
 #: (join facts, join iterations, recursion chain, join gate, recursion gate)
 FULL = (10_000, 5, 300, 5.0, 3.0)
@@ -447,6 +450,92 @@ def run_pushdown_benchmarks(
     return gates_passed
 
 
+def run_resilience_benchmarks(
+    quick: bool, output: str, smoke_ok: bool, seed: int
+) -> bool:
+    depth, branching, staff, asks, batch_size, max_overhead = (
+        e16.QUICK_SIZES if quick else e16.FULL_SIZES
+    )
+    events, horizon, drain_limit = e16.QUICK_DIFF if quick else e16.FULL_DIFF
+    org = generate_org(
+        depth=depth, branching=branching, staff_per_dept=staff, seed=5
+    )
+
+    print(f"== E16 resilience benchmarks ({'quick' if quick else 'full'}) ==")
+    overhead = e16.bench_overhead(org, asks, batch_size)
+    print(
+        f"fault-free overhead: warm enabled="
+        f"{overhead['enabled_warm_asks_per_second']}/s disabled="
+        f"{overhead['disabled_warm_asks_per_second']}/s "
+        f"({overhead['warm_overhead_pct']:+.2f}%), batched enabled="
+        f"{overhead['enabled_batched_asks_per_second']}/s disabled="
+        f"{overhead['disabled_batched_asks_per_second']}/s "
+        f"({overhead['batched_overhead_pct']:+.2f}%)"
+    )
+    differential = e16.fault_differential(
+        org, seed=seed, events=events, horizon=horizon, drain_limit=drain_limit
+    )
+    print(
+        f"fault differential (seed {seed}): "
+        f"{differential['faults_injected']} faults injected "
+        f"{differential['injected_by_kind']}, "
+        f"identical={differential['identical']}, "
+        f"exhausted={differential['schedule_exhausted']}, "
+        f"quarantined after heal={differential['quarantined_after_heal']}, "
+        f"error={differential['unhandled_error']}"
+    )
+
+    gates = {
+        "warm_max_overhead_pct": max_overhead,
+        "batched_max_overhead_pct": max_overhead,
+        "differential_identical": True,
+        "zero_unhandled_errors": True,
+        "schedule_exhausted": True,
+        "all_views_healed": True,
+        "min_faults_injected": 1,
+    }
+    gates_passed = (
+        overhead["warm_overhead_pct"] <= max_overhead
+        and overhead["batched_overhead_pct"] <= max_overhead
+        and differential["identical"]
+        and differential["unhandled_error"] is None
+        and differential["schedule_exhausted"]
+        and differential["quarantined_after_heal"] == 0
+        and differential["faults_injected"] >= 1
+    )
+    record = {
+        "benchmark": "E16 fault-tolerant execution "
+        "(fault injection + retry/backoff + degradation ladder + "
+        "self-healing views)",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "baseline": "FaultPolicy.disabled(): the pre-resilience execution "
+        "path (bounded lock patience, no probes, no retries)",
+        "org": {"depth": depth, "branching": branching, "staff_per_dept": staff},
+        "workloads": {
+            "fault_free_overhead": overhead,
+            "seeded_fault_differential": differential,
+        },
+        "gates": gates,
+        "passed": bool(gates_passed and smoke_ok),
+    }
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    if not gates_passed:
+        print(
+            f"FAIL: resilience gates not met (warm overhead "
+            f"{overhead['warm_overhead_pct']}% / batched "
+            f"{overhead['batched_overhead_pct']}% vs {max_overhead}%, "
+            f"identical={differential['identical']}, "
+            f"error={differential['unhandled_error']}, "
+            f"exhausted={differential['schedule_exhausted']}, "
+            f"quarantined={differential['quarantined_after_heal']}, "
+            f"injected={differential['faults_injected']})",
+            file=sys.stderr,
+        )
+    return gates_passed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -489,6 +578,12 @@ def main() -> int:
         default=None,
         help="where to write the pushdown benchmark record (default: "
         "repo-root BENCH_pushdown.json / BENCH_pushdown.quick.json)",
+    )
+    parser.add_argument(
+        "--resilience-output",
+        default=None,
+        help="where to write the resilience benchmark record (default: "
+        "repo-root BENCH_resilience.json / BENCH_resilience.quick.json)",
     )
     parser.add_argument(
         "--only",
@@ -537,6 +632,14 @@ def main() -> int:
         )
         arguments.pushdown_output = str(REPO_ROOT / name)
 
+    if arguments.resilience_output is None:
+        name = (
+            "BENCH_resilience.quick.json"
+            if arguments.quick
+            else "BENCH_resilience.json"
+        )
+        arguments.resilience_output = str(REPO_ROOT / name)
+
     if arguments.only is None:
         selected = set(BENCH_NAMES)
     else:
@@ -570,6 +673,9 @@ def main() -> int:
         ),
         "E15": lambda: run_pushdown_benchmarks(
             arguments.quick, arguments.pushdown_output, smoke_ok, seed
+        ),
+        "E16": lambda: run_resilience_benchmarks(
+            arguments.quick, arguments.resilience_output, smoke_ok, seed
         ),
     }
     results = {

@@ -25,6 +25,7 @@ carry the whole design:
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -84,6 +85,35 @@ class LockedCounters:
             return {
                 name: getattr(self, name) for name in self._snapshot_fields
             }
+
+
+class Deadline:
+    """A monotonic-clock budget shared down a call chain.
+
+    Created once at the top of an ask and consulted by every layer below
+    it (retry sleeps clamp to :meth:`remaining`, the backend's progress
+    handler interrupts the running statement once :attr:`expired`).
+    Immutable after construction so it can be read without locking from
+    the progress-handler callback, which runs on the querying thread but
+    inside the SQLite VM.
+    """
+
+    __slots__ = ("until",)
+
+    def __init__(self, seconds: float):
+        self.until = time.monotonic() + max(0.0, seconds)
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.until - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.until
+
+    def clamp(self, seconds: float) -> float:
+        """Shrink a proposed sleep/wait to what the budget still allows."""
+        return max(0.0, min(seconds, self.until - time.monotonic()))
 
 
 class ReentrantRWLock:

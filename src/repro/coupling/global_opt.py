@@ -707,6 +707,19 @@ class PlanCache:
                 self._entries[shape.key] = ShapeEntry(uncacheable=True)
         self.stats.incr("uncacheable")
 
+    def evict(self, shape: GoalShape) -> bool:
+        """Drop one shape's entry (all variants); True if anything was cached.
+
+        The resilient serving path calls this when a warm plan fails
+        *permanently* at execution time — a prepared statement referencing
+        a dropped backend table, say — so the next ask for the shape
+        recompiles cold instead of re-failing warm forever.  Stripe→
+        structure is the cache's one nesting order (see ``__init__``).
+        """
+        with self._stripes.for_key(shape.key):
+            with self._structure:
+                return self._entries.pop(shape.key, None) is not None
+
     def retain(self, shape: GoalShape, kb: KnowledgeBase) -> None:
         """Keep one shape's entry alive across a self-inflicted bump.
 

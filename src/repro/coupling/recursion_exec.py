@@ -549,7 +549,10 @@ class TransitiveClosure:
           ``setrel(intermediate(Boss))`` program);
         * ``bottomup`` — frontier on the *low* side regardless (the
           rewritten view at the end of Example 7-1);
-        * ``naive`` — the sequence of growing conjunctive queries.
+        * ``naive`` — the sequence of growing conjunctive queries;
+        * ``memory`` — fetch the flat edge view once and close over it
+          client-side (the degradation ladder's last rung: no prepared
+          texts, no setrel DDL, no ``WITH RECURSIVE`` required).
         """
         if (low is None) == (high is None):
             raise CouplingError("exactly one of low/high must be bound")
@@ -558,6 +561,8 @@ class TransitiveClosure:
                 strategy = self.plan(low, high).strategy
             if strategy == "cte":
                 return self._solve_cte(low, high)
+            if strategy == "memory":
+                return self._solve_memory(low, high)
             if strategy == "naive":
                 return self._solve_naive(low, high, max_levels)
             if strategy == "auto":
@@ -650,6 +655,32 @@ class TransitiveClosure:
             )
 
         pairs = self._closure_pairs(collected_edges, low, high, aligned)
+        return RecursionRun(pairs=pairs, stats=stats)
+
+    def _solve_memory(
+        self, low: Optional[str], high: Optional[str]
+    ) -> RecursionRun:
+        """One flat SELECT of the edge view; the fixpoint runs in Python.
+
+        The last rung of the serving layer's degradation ladder.  It
+        depends on nothing but a single unprepared read — no intermediate
+        relation (DDL + per-level writes), no ``WITH RECURSIVE`` support,
+        no cached statement texts — so it stays answerable when every
+        richer strategy's machinery is failing.  The full edge set crosses
+        the wire, which is exactly the inefficiency the healthier rungs
+        exist to avoid.
+        """
+        stats = RecursionStats(strategy="memory")
+        if self._cte is not None:
+            edge_sql = self._cte.edge_sql
+        else:
+            edge_sql, _relations = self._edge_query()
+        rows = self.database.execute(edge_sql)
+        stats.queries_issued = 1
+        stats.levels = 1
+        edge_set = {(row[0], row[1]) for row in rows}
+        stats.new_answers_per_level.append(len(edge_set))
+        pairs = self._closure_pairs(edge_set, low, high, aligned=True)
         return RecursionRun(pairs=pairs, stats=stats)
 
     def _closure_pairs(

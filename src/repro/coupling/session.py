@@ -66,7 +66,13 @@ from ..dbms.internal_db import assert_answers, term_to_value
 from ..dbms.merge import SegmentMerger
 from ..dbms.sqlite_backend import ExternalDatabase
 from ..dbms.workload import OrgHierarchy, load_org
-from ..errors import CouplingError, MetaevaluationError
+from ..errors import (
+    CouplingError,
+    DeadlineExceeded,
+    ExecutionError,
+    MetaevaluationError,
+    TransientBackendError,
+)
 from ..metaevaluate.recursion import (
     is_recursive_goal,
     recursive_indicators,
@@ -494,7 +500,10 @@ class PrologDbSession:
     # -- query answering --------------------------------------------------------------
 
     def ask(
-        self, goal: Union[str, Term], max_solutions: Optional[int] = None
+        self,
+        goal: Union[str, Term],
+        max_solutions: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> list[dict[str, Value]]:
         """Answer a goal, routing each part to the right evaluator.
 
@@ -503,9 +512,46 @@ class PrologDbSession:
         everything that might mutate — compilation, segment merges, view
         refreshes, engine resolution, recursive closures — serializes on
         the write lock.
+
+        ``deadline`` caps the ask's wall-clock budget in seconds: the
+        backend's progress handler interrupts any statement still running
+        at expiry and :class:`~repro.errors.DeadlineExceeded` surfaces
+        with partial-work counters attached.  Transient backend failures
+        that outlast the backend's own retry ladder — a long lock burst,
+        a poisoned pooled connection — are retried here, bounded by the
+        fault policy's ``max_ask_retries``; only a budget this generous
+        failing turns into an error the caller sees.
         """
         if isinstance(goal, str):
             goal = parse_goal(goal)
+        with self.database.deadline(deadline):
+            return self._ask_resilient(goal, max_solutions)
+
+    def _ask_resilient(
+        self, goal: Term, max_solutions: Optional[int]
+    ) -> list[dict[str, Value]]:
+        """Retry transient failures around the whole ask pipeline."""
+        policy = self.database.policy
+        attempts = 0
+        while True:
+            try:
+                return self._ask_once(goal, max_solutions)
+            except TransientBackendError:
+                attempts += 1
+                if not policy.enabled or attempts > policy.max_ask_retries:
+                    raise
+                self.database.resilience.incr("ask_retries")
+                pause = policy.ask_retry_pause * min(attempts, 8)
+                scope = self.database.current_deadline()
+                if scope is not None:
+                    if scope.expired:
+                        raise  # the next attempt could only time out
+                    pause = scope.clamp(pause)
+                time.sleep(pause)
+
+    def _ask_once(
+        self, goal: Term, max_solutions: Optional[int]
+    ) -> list[dict[str, Value]]:
         fast = self._ask_read_path(goal, max_solutions)
         if fast is not _NEEDS_WRITE:
             return fast
@@ -555,7 +601,15 @@ class PrologDbSession:
             # Same executor as the write path's warm branch; its internal
             # segment merge provably no-ops here (_pending_merge is false),
             # so nothing mutates under the read lock.
-            rows = self._rows_for_plan(plan, shape, bound, goal)
+            try:
+                rows = self._rows_for_plan(plan, shape, bound, goal)
+            except TransientBackendError:
+                raise  # the resilient ask driver retries whole attempts
+            except ExecutionError:
+                # Permanent warm-plan failure.  Recovery (evict the plan,
+                # recompile cold) mutates the plan cache and runs the
+                # cold pipeline: restart on the write side.
+                return _NEEDS_WRITE
             goal_vars = [v for v in variables_of(goal) if not v.is_anonymous]
             answers = self._rows_to_answers(
                 bound, plan.fetch_targets, rows, goal_vars
@@ -582,14 +636,38 @@ class PrologDbSession:
                 if plan is UNCACHEABLE:
                     shape = None  # cold path, no recompilation attempt
                 elif plan is not None:
-                    return self._execute_plan(
-                        plan, shape, goal, goal_vars, max_solutions
-                    )
+                    try:
+                        return self._execute_plan(
+                            plan, shape, goal, goal_vars, max_solutions
+                        )
+                    except TransientBackendError:
+                        raise  # retried whole by the resilient driver
+                    except ExecutionError:
+                        # The warm plan failed *permanently* mid-execution
+                        # (a prepared statement the backend no longer
+                        # accepts).  Drop the shape's plans and fall
+                        # through to exactly one cold recompilation.
+                        self._invalidate_failed_plan(shape)
 
         answers, artifacts = self._ask_cold(goal, goal_vars, max_solutions)
         if shape is not None:
             self._try_compile(shape, goal, artifacts)
         return answers
+
+    def _invalidate_failed_plan(self, shape: GoalShape) -> None:
+        """Drop a warm plan that failed permanently at execution time.
+
+        The prepared statement no longer matches backend reality (a
+        dropped table, a schema drift the generation counter cannot see).
+        Evicting the shape sends this ask down the cold pipeline, which
+        recompiles against the current catalog and re-stores — one cold
+        compile heals the shape for every later ask.  Result rows cached
+        through the dead plan go too: they were fetched from the state
+        the backend just disowned.
+        """
+        self.plans.evict(shape)
+        self.cache.invalidate()
+        self.database.resilience.incr("plan_invalidations")
 
     def _pending_merge(self, predicate: DbclPredicate) -> bool:
         """Would executing this predicate first need a segment merge?"""
@@ -607,6 +685,7 @@ class PrologDbSession:
         self,
         goals: Iterable[Union[str, Term]],
         max_solutions: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> list[list[dict[str, Value]]]:
         """Answer a batch of goals, one execution per warm goal shape.
 
@@ -628,6 +707,12 @@ class PrologDbSession:
         differentials); the order *within* one goal's answers follows
         the batched statement's row emission, which SQLite does not
         promise matches the serial statement's.
+
+        ``deadline`` budgets the whole batch (one shared scope; see
+        :meth:`ask`).  A group whose batched statement fails for any
+        backend reason — transient or permanent — degrades to the serial
+        path, where each member goal gets the full per-ask retry and
+        plan-recovery treatment.
         """
         parsed = [
             parse_goal(goal) if isinstance(goal, str) else goal for goal in goals
@@ -643,10 +728,24 @@ class PrologDbSession:
                 serial.append(position)
             else:
                 groups.setdefault(shape.key, []).append(position)
-        for members in groups.values():
-            self._ask_group(parsed, shapes, members, answers, max_solutions)
-        for position in serial:
-            answers[position] = self.ask(parsed[position], max_solutions)
+        with self.database.deadline(deadline):
+            for members in groups.values():
+                try:
+                    self._ask_group(
+                        parsed, shapes, members, answers, max_solutions
+                    )
+                except (CouplingError, DeadlineExceeded):
+                    raise
+                except ExecutionError:
+                    # Batch rung failed: hand every member to the serial
+                    # path (answers set mid-group are recomputed — ask is
+                    # idempotent and the serial result is authoritative).
+                    self.database.resilience.incr("degraded_answers")
+                    for position in members:
+                        answers[position] = None
+                    serial.extend(members)
+            for position in serial:
+                answers[position] = self.ask(parsed[position], max_solutions)
         return [a if a is not None else [] for a in answers]
 
     def batch_executor(self, share: bool = True):
@@ -1723,9 +1822,13 @@ class PrologDbSession:
         # views, the prepared frontier loop below the statistics
         # threshold.  (Maintained views answered earlier, from their
         # IncrementalClosure, never reach this point.)
-        run = self.closure_for(indicator[0]).solve(
-            low=low, high=high, strategy="plan"
-        )
+        closure = self.closure_for(indicator[0])
+        try:
+            run = closure.solve(low=low, high=high, strategy="plan")
+        except (CouplingError, DeadlineExceeded):
+            raise  # semantic errors and expired budgets are not rungs
+        except Exception:  # noqa: BLE001 - any execution failure degrades
+            run = self._ask_recursive_degraded(closure, low, high)
         answers = []
         for pair_low, pair_high in sorted(run.pairs):
             answer: dict[str, Value] = {}
@@ -1735,6 +1838,28 @@ class PrologDbSession:
                 answer[high_arg.name] = pair_high
             answers.append(answer)
         return answers
+
+    def _ask_recursive_degraded(
+        self, closure: TransitiveClosure, low: Optional[str], high: Optional[str]
+    ) -> RecursionRun:
+        """Step down the recursion ladder when the planned strategy fails.
+
+        Rung two is the prepared frontier loop on the bound side
+        (``auto``); rung three fetches the flat edge view once and runs
+        the fixpoint in Python (``memory``) — the slowest strategy, but
+        the one with the fewest backend dependencies.  Answers from any
+        rung are identical (the E7 equivalence the tests pin); only the
+        cost differs, which is why a stepped-down answer counts as
+        *degraded*, not wrong.
+        """
+        try:
+            run = closure.solve(low=low, high=high, strategy="auto")
+        except (CouplingError, DeadlineExceeded):
+            raise
+        except Exception:  # noqa: BLE001 - last rung below
+            run = closure.solve(low=low, high=high, strategy="memory")
+        self.database.resilience.incr("degraded_answers")
+        return run
 
     def solve_recursive(
         self,
@@ -1751,6 +1876,19 @@ class PrologDbSession:
             return self.closure_for(view_name).solve(
                 low=low, high=high, strategy=strategy, max_levels=max_levels
             )
+
+    def heal_materialized(self) -> int:
+        """Rebuild quarantined materialized views now, not lazily.
+
+        Quarantined views normally heal at the next write-side
+        opportunity (any insert/delete touching their relations, or a
+        write-path ask that needs them); this forces the attempt
+        immediately.  Returns how many views remain quarantined — zero
+        means fully healed.  Write-locked: healing refreshes views
+        against the current visible union.
+        """
+        with self.kb.lock.write():
+            return self.materialize.heal_all()
 
     # -- extensions (paper section 7) ------------------------------------------------------
 
@@ -1841,6 +1979,8 @@ class PrologDbSession:
         cache_stats = self.cache.stats.snapshot()
         db_stats = self.database.stats.snapshot()
         phase_stats = self.compile_phases.snapshot()
+        resilience = self.database.resilience.snapshot()
+        resilience["breakers"] = self.database.breaker_states()
         return {
             "kb": {
                 "generation": self.kb.generation,
@@ -1851,6 +1991,7 @@ class PrologDbSession:
             "database": db_stats,
             "compile_phases": phase_stats,
             "materialize": self.materialize.stats_dict(),
+            "resilience": resilience,
         }
 
     def explain(self, goal: Union[str, Term]) -> TranslationTrace:

@@ -41,8 +41,18 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
-from ..concurrency import LockedCounters
-from ..errors import ExecutionError, SchemaError
+from ..concurrency import Deadline, LockedCounters
+from ..errors import (
+    DeadlineExceeded,
+    ExecutionError,
+    BackendPoisonedError,
+    PoolExhaustedError,
+    SchemaError,
+    TransientBackendError,
+    classify_sqlite_error,
+)
+from ..resilience.policy import CircuitBreaker, FaultPolicy
+from ..resilience.stats import ResilienceStats
 from ..schema.catalog import DatabaseSchema, Relation
 from ..sql.ast import RecursiveQuery, SqlQuery, UnionQuery
 from ..sql.dialects import SqliteDialect
@@ -154,7 +164,20 @@ class ExternalDatabase:
     endpoints; without it only attributes shared between relations (the
     tableau model's join columns) are indexed.  ``auto_index=False``
     restores the bare 1984 heap-table behaviour.
+
+    ``policy`` configures the fault-handling layer (retry/backoff,
+    circuit breakers, whole-ask retry bounds); ``FaultPolicy.disabled()``
+    reverts to the pre-resilience single-attempt behaviour.
+    ``max_readers`` caps the pooled read connections — threads beyond the
+    cap wait up to ``pool_wait_timeout`` seconds for a slot and then get
+    a typed :class:`~repro.errors.PoolExhaustedError` instead of a hang.
     """
+
+    #: Hook consulted before each instrumented backend operation.
+    #: ``None`` on healthy backends — the fault-free hot path pays one
+    #: attribute test; :class:`~repro.resilience.faults.
+    #: FaultInjectingBackend` overrides it with the schedule drawer.
+    _fault_point = None
 
     def __init__(
         self,
@@ -163,6 +186,9 @@ class ExternalDatabase:
         constraints=None,
         auto_index: bool = True,
         pooled_reads: bool = True,
+        policy: Optional[FaultPolicy] = None,
+        max_readers: Optional[int] = None,
+        pool_wait_timeout: float = 5.0,
     ):
         self.schema = schema
         # Anonymous in-memory databases are private to one connection; the
@@ -196,8 +222,29 @@ class ExternalDatabase:
         self._reader_connections: list[sqlite3.Connection] = []
         self._reader_finalizers: list = []
         self._pool_lock = threading.Lock()
+        self._pool_cond = threading.Condition(self._pool_lock)
         self._pool_peak = 0
+        self._max_readers = max_readers
+        self._pool_wait_timeout = pool_wait_timeout
         self._closed = False
+        self._policy = policy if policy is not None else FaultPolicy()
+        self.resilience = ResilienceStats()
+        # One breaker per connection class: a failing read substrate
+        # stops being hammered while the owning write connection (a
+        # different failure domain) proceeds, and vice versa.
+        self._read_breaker = CircuitBreaker(
+            self._policy.breaker_threshold,
+            self._policy.breaker_cooldown,
+            self.resilience,
+            name="read",
+        )
+        self._write_breaker = CircuitBreaker(
+            self._policy.breaker_threshold,
+            self._policy.breaker_cooldown,
+            self.resilience,
+            name="write",
+        )
+        self._deadlines = threading.local()
         if self._file_backed:
             # WAL lets pooled readers proceed while the owning connection
             # writes; harmless no-op for in-memory targets (skipped).
@@ -250,33 +297,52 @@ class ExternalDatabase:
         accumulate open connections without bound.
         """
         connection = getattr(self._readers, "connection", None)
-        if connection is None:
+        if connection is not None:
+            return connection
+        with self._pool_cond:
+            # registration and the closed check share the pool lock,
+            # so close() cannot clear the pool between them
+            if self._max_readers is not None:
+                give_up_at = time.monotonic() + self._pool_wait_timeout
+                while (
+                    not self._closed
+                    and len(self._reader_connections) >= self._max_readers
+                ):
+                    remaining = give_up_at - time.monotonic()
+                    if remaining <= 0:
+                        self.resilience.incr("pool_timeouts")
+                        raise PoolExhaustedError(
+                            f"read pool saturated at {self._max_readers} "
+                            f"connections; no slot freed within "
+                            f"{self._pool_wait_timeout:.3f}s"
+                        )
+                    self._pool_cond.wait(remaining)
+            if self._closed:
+                raise ExecutionError("database is closed")
             connection = sqlite3.connect(
                 self._target,
                 uri=self._uri,
                 cached_statements=256,
                 check_same_thread=False,
             )
-            connection.execute("PRAGMA busy_timeout=2000")
-            with self._pool_lock:
-                # registration and the closed check share the pool lock,
-                # so close() cannot clear the pool between them
-                if self._closed:
-                    connection.close()
-                    raise ExecutionError("database is closed")
-                self._reader_connections.append(connection)
-                self._pool_peak = max(
-                    self._pool_peak, len(self._reader_connections)
-                )
-            self._readers.connection = connection
-            finalizer = weakref.finalize(
-                threading.current_thread(), self._retire_reader, connection
+            try:
+                connection.execute("PRAGMA busy_timeout=2000")
+            except sqlite3.Error:
+                connection.close()
+                raise
+            self._reader_connections.append(connection)
+            self._pool_peak = max(
+                self._pool_peak, len(self._reader_connections)
             )
-            # finalize handles reference this backend through the bound
-            # method; close() detaches them so a closed backend (and its
-            # connections) never stays pinned for the thread's lifetime.
-            with self._pool_lock:
-                self._reader_finalizers.append(finalizer)
+        self._readers.connection = connection
+        finalizer = weakref.finalize(
+            threading.current_thread(), self._retire_reader, connection
+        )
+        # finalize handles reference this backend through the bound
+        # method; close() detaches them so a closed backend (and its
+        # connections) never stays pinned for the thread's lifetime.
+        with self._pool_lock:
+            self._reader_finalizers.append(finalizer)
         return connection
 
     def _retire_reader(self, connection: sqlite3.Connection) -> None:
@@ -293,11 +359,36 @@ class ExternalDatabase:
                 self._reader_connections.remove(connection)
             except ValueError:
                 return  # close() already took it
+            self._pool_cond.notify_all()
         self._optimize_connection(connection)
         try:
             connection.close()
         except sqlite3.Error:
             pass
+
+    def _retire_current_reader(self) -> None:
+        """Drop the calling thread's pooled reader — poisoned, not recycled.
+
+        Called by the retry loop when a read fails with a
+        connection-level error ("closed database", corruption): the
+        connection leaves the pool (freeing a capacity slot for
+        waiters), and the thread's next read lazily opens a fresh one.
+        """
+        connection = getattr(self._readers, "connection", None)
+        if connection is None:
+            return
+        self._readers.connection = None
+        with self._pool_lock:
+            try:
+                self._reader_connections.remove(connection)
+            except ValueError:
+                pass
+            self._pool_cond.notify_all()
+        try:
+            connection.close()
+        except sqlite3.Error:
+            pass
+        self.resilience.incr("poisoned_retired")
 
     def _optimize_connection(self, connection: sqlite3.Connection) -> None:
         """``PRAGMA optimize`` before a connection goes away.
@@ -330,21 +421,219 @@ class ExternalDatabase:
     def _run_read(
         self, text: str, parameters: Sequence[Value] = ()
     ) -> list[Row]:
-        """Execute a SELECT on the routed connection, retrying lock errors.
+        """Execute a SELECT on the routed connection with full fault handling.
 
-        Shared-cache readers can observe a transient table lock while the
-        owning connection holds an open write transaction (file-backed WAL
-        readers never do); a short bounded retry rides it out.
+        The connection is re-routed on every attempt so a poisoned
+        reader retired mid-ladder is replaced by a fresh one before the
+        retry, and the deadline guard interrupts long statements from
+        inside the SQLite VM.
         """
-        connection = self._query_connection()
-        deadline = time.monotonic() + 2.0
-        while True:
+        params = tuple(parameters)
+
+        def attempt() -> list[Row]:
+            connection = self._query_connection()
+            with self._deadline_guard(connection):
+                return connection.execute(text, params).fetchall()
+
+        return self._with_retries("read", text, attempt)
+
+    # -- fault handling: deadlines, retries, write guard ---------------------------
+
+    @contextmanager
+    def deadline(self, seconds: Optional[float]) -> Iterator[None]:
+        """Bound every backend operation on this thread by a time budget.
+
+        Scopes nest by shrinking: an inner scope can only tighten the
+        budget, never extend it past the enclosing one.  Expiry raises a
+        typed :class:`~repro.errors.DeadlineExceeded` carrying
+        partial-work counters; running statements are interrupted via a
+        progress handler (:meth:`_deadline_guard`).
+        """
+        if seconds is None:
+            yield
+            return
+        outer = getattr(self._deadlines, "current", None)
+        scope = Deadline(seconds)
+        if outer is not None and outer.until < scope.until:
+            scope = outer
+        self._deadlines.current = scope
+        try:
+            yield
+        finally:
+            self._deadlines.current = outer
+
+    def current_deadline(self) -> Optional[Deadline]:
+        return getattr(self._deadlines, "current", None)
+
+    @contextmanager
+    def _deadline_guard(self, connection: sqlite3.Connection) -> Iterator[None]:
+        """Interrupt ``connection`` from inside the VM once the budget dies.
+
+        SQLite's progress handler runs every N virtual-machine
+        instructions on the querying thread; returning nonzero aborts
+        the statement with SQLITE_INTERRUPT, which the retry loop
+        converts into :class:`~repro.errors.DeadlineExceeded`.  No-op
+        (one attribute read) when no deadline scope is active.
+        """
+        scope = self.current_deadline()
+        if scope is None:
+            yield
+            return
+        connection.set_progress_handler(
+            lambda: 1 if scope.expired else 0, 4000
+        )
+        try:
+            yield
+        finally:
             try:
-                return connection.execute(text, tuple(parameters)).fetchall()
-            except sqlite3.OperationalError as error:
-                if "locked" not in str(error) or time.monotonic() > deadline:
+                connection.set_progress_handler(None, 0)
+            except sqlite3.Error:
+                pass  # a poisoned connection has nothing to restore
+
+    def partial_work(self) -> dict:
+        """Work counters for ``DeadlineExceeded.partial`` accounting."""
+        execution = self.stats.snapshot()
+        resilience = self.resilience.snapshot()
+        return {
+            "queries_executed": execution["queries_executed"],
+            "rows_fetched": execution["rows_fetched"],
+            "retries": resilience["retries"],
+            "backoff_seconds": resilience["backoff_seconds"],
+        }
+
+    def _with_retries(self, klass: str, label: str, attempt_once) -> list[Row]:
+        """The statement-level fault ladder shared by reads and writes.
+
+        Classifies each ``sqlite3`` failure (transient / poisoned /
+        permanent), applies jittered exponential backoff within the
+        attempt budget, retires poisoned readers, honours the circuit
+        breaker for this connection class, and converts expiry of the
+        active deadline scope into ``DeadlineExceeded``.  Lock-type
+        errors keep the pre-resilience patience window
+        (``policy.lock_patience``) so shared-cache readers still ride
+        out a slow writer's transaction.
+        """
+        policy = self._policy
+        if not policy.enabled:
+            # pre-resilience behaviour, kept as the overhead baseline:
+            # bounded patience for shared-cache table locks, nothing else.
+            give_up_at = time.monotonic() + policy.lock_patience
+            while True:
+                try:
+                    return attempt_once()
+                except sqlite3.OperationalError as error:
+                    if "locked" not in str(error) or time.monotonic() > give_up_at:
+                        raise
+                    time.sleep(0.002)
+        breaker = self._read_breaker if klass == "read" else self._write_breaker
+        stats = self.resilience
+        scope = self.current_deadline()
+        started = time.monotonic()
+        attempts = 0
+        last_error: Optional[BaseException] = None
+        while True:
+            if scope is not None and scope.expired:
+                stats.incr("deadline_exceeded")
+                raise DeadlineExceeded(
+                    f"deadline expired during {klass} {label[:80]!r}",
+                    self.partial_work(),
+                ) from last_error
+            if not breaker.allow():
+                pause = breaker.retry_after() or policy.backoff(attempts)
+                if scope is not None:
+                    pause = scope.clamp(pause)
+                time.sleep(pause)
+                attempts += 1
+                if attempts >= policy.max_attempts * 2:
+                    raise TransientBackendError(
+                        f"{klass} breaker open; gave up on {label[:80]!r}"
+                    ) from last_error
+                continue
+            fault = self._fault_point
+            try:
+                if fault is not None:
+                    fault(klass, label)
+                result = attempt_once()
+            except (DeadlineExceeded, PoolExhaustedError):
+                raise  # already typed; budgets are not retryable here
+            except sqlite3.Error as error:
+                category = classify_sqlite_error(error)
+                if category == "permanent":
+                    # the statement's fault, not the substrate's: the
+                    # breaker saw a live backend answer
+                    breaker.success()
                     raise
-                time.sleep(0.002)
+                if scope is not None and scope.expired:
+                    stats.incr("deadline_exceeded")
+                    raise DeadlineExceeded(
+                        f"deadline expired during {klass} {label[:80]!r}",
+                        self.partial_work(),
+                    ) from error
+                breaker.failure()
+                last_error = error
+                attempts += 1
+                if category == "poisoned":
+                    if klass != "read":
+                        raise BackendPoisonedError(
+                            f"owning connection unusable: {error}"
+                        ) from error
+                    self._retire_current_reader()
+                lockish = isinstance(error, sqlite3.OperationalError) and (
+                    "locked" in str(error) or "busy" in str(error)
+                )
+                patient = (
+                    lockish
+                    and time.monotonic() - started < policy.lock_patience
+                )
+                if attempts >= policy.max_attempts and not patient:
+                    raise TransientBackendError(
+                        f"{klass} {label[:80]!r} failed after {attempts} "
+                        f"attempts: {error}"
+                    ) from error
+                pause = policy.backoff(attempts - 1)
+                if scope is not None:
+                    pause = scope.clamp(pause)
+                stats.incr("retries")
+                stats.incr("backoff_seconds", pause)
+                if pause > 0:
+                    time.sleep(pause)
+            else:
+                breaker.success()
+                return result
+
+    @contextmanager
+    def _mutate(self) -> Iterator[None]:
+        """Write guard: no failed statement may leave half its rows staged.
+
+        Outside an explicit :meth:`transaction` bracket, a failing
+        multi-row statement (``executemany`` mid-batch) leaves its
+        partial effect pending on the owning connection — and the *next*
+        commit, whoever issues it, would silently persist it.  This
+        guard rolls back on the spot; inside a bracket the outermost
+        ``transaction`` exit already rolls the whole unit back.
+        """
+        with self._write_lock:
+            try:
+                yield
+            except BaseException:
+                if self._txn_depth == 0:
+                    try:
+                        self._connection.rollback()
+                    except sqlite3.Error:
+                        pass  # nothing staged, or connection gone
+                raise
+
+    def _run_write(self, label: str, attempt_once):
+        """Route one top-level write through the retry ladder.
+
+        Inside an open transaction the enclosing bracket owns recovery
+        (retrying one statement of a multi-statement unit would corrupt
+        it), so the statement runs bare; at top level each attempt is
+        rolled back by :meth:`_mutate` before the ladder retries it.
+        """
+        if self._txn_depth and self._txn_thread == threading.get_ident():
+            return attempt_once()
+        return self._with_retries("write", label, attempt_once)
 
     # -- DDL -----------------------------------------------------------------
 
@@ -422,7 +711,7 @@ class ExternalDatabase:
             else f"{attribute} TEXT"
             for attribute in attributes
         )
-        with self._write_lock:
+        with self._mutate():
             cursor = self._connection.cursor()
             cursor.execute(f"DROP TABLE IF EXISTS {name}")
             cursor.execute(f"CREATE TABLE {name} ({column_defs})")
@@ -454,13 +743,19 @@ class ExternalDatabase:
         if name not in self._intermediates:
             raise ExecutionError(f"unknown intermediate relation {name!r}")
         attributes = self._intermediates[name]
-        with self._write_lock:
-            cursor = self._connection.cursor()
-            cursor.execute(f"DELETE FROM {name}")
-            placeholders = ", ".join("?" * len(attributes))
-            data = [tuple(row) for row in rows]
-            cursor.executemany(f"INSERT INTO {name} VALUES ({placeholders})", data)
-            self._commit()
+        placeholders = ", ".join("?" * len(attributes))
+        data = [tuple(row) for row in rows]
+
+        def attempt() -> None:
+            with self._mutate():
+                cursor = self._connection.cursor()
+                cursor.execute(f"DELETE FROM {name}")
+                cursor.executemany(
+                    f"INSERT INTO {name} VALUES ({placeholders})", data
+                )
+                self._commit()
+
+        self._run_write(f"setrel {name}", attempt)
         return len(data)
 
     # -- materialized view tables ------------------------------------------------
@@ -468,6 +763,17 @@ class ExternalDatabase:
     #: Reserved name prefix so materialized tables can never collide with
     #: base relations or setrel intermediates.
     MATERIALIZED_PREFIX = "mv_"
+
+    #: One row per materialized table: the maintenance generation last
+    #: committed to it.  Written in the *same transaction* as the delta
+    #: it stamps, so a stamp that disagrees with the view's in-memory
+    #: generation is proof of torn maintenance.
+    GENERATION_TABLE = "mv__generation_stamps"
+
+    _GENERATION_UPSERT = (
+        "INSERT INTO {table} (view_table, generation) VALUES (?, ?) "
+        "ON CONFLICT(view_table) DO UPDATE SET generation = excluded.generation"
+    )
 
     def create_materialized(self, name: str, attributes: Sequence[str]) -> None:
         """Create (or reset) a materialized count table for one view.
@@ -491,7 +797,7 @@ class ExternalDatabase:
             else f"{label} TEXT"
             for label, attribute in zip(labels, attributes)
         )
-        with self._write_lock:
+        with self._mutate():
             cursor = self._connection.cursor()
             cursor.execute(f"DROP TABLE IF EXISTS {name}")
             cursor.execute(
@@ -501,47 +807,88 @@ class ExternalDatabase:
                 f"CREATE UNIQUE INDEX idx_{name}_row ON {name} "
                 f"({', '.join(labels)})"
             )
+            cursor.execute(
+                f"CREATE TABLE IF NOT EXISTS {self.GENERATION_TABLE} "
+                "(view_table TEXT PRIMARY KEY, generation INTEGER NOT NULL)"
+            )
+            cursor.execute(
+                self._GENERATION_UPSERT.format(table=self.GENERATION_TABLE),
+                (name, 0),
+            )
             self._commit()
             self._materialized[name] = tuple(labels)
 
     def drop_materialized(self, name: str) -> None:
         if name not in self._materialized:
             return
-        with self._write_lock:
+        with self._mutate():
             self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+            self._connection.execute(
+                f"DELETE FROM {self.GENERATION_TABLE} WHERE view_table = ?",
+                (name,),
+            )
             self._commit()
             self._materialized.pop(name, None)
 
     def set_materialized_rows(
-        self, name: str, counted_rows: Iterable[tuple[Row, int]]
+        self,
+        name: str,
+        counted_rows: Iterable[tuple[Row, int]],
+        generation: Optional[int] = None,
     ) -> int:
-        """Replace a materialized table's contents with (row, support) pairs."""
+        """Replace a materialized table's contents with (row, support) pairs.
+
+        ``generation`` (when given) stamps the maintenance generation in
+        the same commit as the rewrite, so a torn refresh is detectable.
+        """
         labels = self._materialized_labels(name)
-        with self._write_lock:
-            cursor = self._connection.cursor()
-            cursor.execute(f"DELETE FROM {name}")
-            placeholders = ", ".join("?" * (len(labels) + 1))
-            data = [tuple(row) + (support,) for row, support in counted_rows]
-            cursor.executemany(f"INSERT INTO {name} VALUES ({placeholders})", data)
-            self._commit()
+        placeholders = ", ".join("?" * (len(labels) + 1))
+        data = [tuple(row) + (support,) for row, support in counted_rows]
+
+        def attempt() -> None:
+            with self._mutate():
+                cursor = self._connection.cursor()
+                cursor.execute(f"DELETE FROM {name}")
+                cursor.executemany(
+                    f"INSERT INTO {name} VALUES ({placeholders})", data
+                )
+                if generation is not None:
+                    cursor.execute(
+                        self._GENERATION_UPSERT.format(
+                            table=self.GENERATION_TABLE
+                        ),
+                        (name, generation),
+                    )
+                self._commit()
+
+        self._run_write(f"materialize {name}", attempt)
         return len(data)
 
     def apply_materialized_delta(
-        self, name: str, changes: Iterable[tuple[Row, int]]
+        self,
+        name: str,
+        changes: Iterable[tuple[Row, int]],
+        generation: Optional[int] = None,
     ) -> int:
         """Apply per-row support deltas in one transaction.
 
         Each ``(row, delta)`` adjusts the row's support count: missing
         rows are inserted, rows whose support reaches zero are deleted.
-        The whole batch commits once (or rolls back together).  Returns
-        the number of rows touched.
+        The whole batch commits once (or rolls back together), together
+        with the ``generation`` stamp when one is given.  Returns the
+        number of rows touched.
         """
         labels = self._materialized_labels(name)
         match = " AND ".join(f"{label} = ?" for label in labels)
         placeholders = ", ".join("?" * (len(labels) + 1))
         touched = 0
+        fault = self._fault_point
         with self.transaction():
             for row, delta in changes:
+                if fault is not None:
+                    # mid-transaction fault injection: a failure here
+                    # must roll the whole delta back (counts never torn)
+                    fault("delta", name)
                 if delta == 0:
                     continue
                 values = tuple(row)
@@ -564,7 +911,24 @@ class ExternalDatabase:
                         values,
                     )
                 touched += 1
+            if generation is not None:
+                self._connection.execute(
+                    self._GENERATION_UPSERT.format(table=self.GENERATION_TABLE),
+                    (name, generation),
+                )
         return touched
+
+    def materialized_generation(self, name: str) -> Optional[int]:
+        """The maintenance generation last committed for ``name`` (or None)."""
+        try:
+            rows = self._run_read(
+                f"SELECT generation FROM {self.GENERATION_TABLE} "
+                "WHERE view_table = ?",
+                (name,),
+            )
+        except (sqlite3.Error, ExecutionError):
+            return None  # stamp table absent: nothing stamped yet
+        return rows[0][0] if rows else None
 
     def fetch_materialized(self, name: str) -> list[Row]:
         """The distinct rows of a materialized view (support > 0)."""
@@ -601,13 +965,18 @@ class ExternalDatabase:
         match = " AND ".join(
             f"{attribute} = ?" for attribute in relation.attributes
         )
-        with self._write_lock:
-            cursor = self._connection.execute(
-                f"DELETE FROM {relation_name} WHERE {match}", tuple(row)
-            )
-            self._commit()
+
+        def attempt() -> int:
+            with self._mutate():
+                cursor = self._connection.execute(
+                    f"DELETE FROM {relation_name} WHERE {match}", tuple(row)
+                )
+                self._commit()
+                return cursor.rowcount
+
+        count = self._run_write(f"delete {relation_name}", attempt)
         self._note_mutation(relation_name)
-        return cursor.rowcount
+        return count
 
     # -- transactions -----------------------------------------------------------
 
@@ -654,20 +1023,27 @@ class ExternalDatabase:
                 raise ExecutionError(
                     f"{relation_name}: expected {relation.arity} values, got {len(row)}"
                 )
-        with self._write_lock:
-            cursor = self._connection.cursor()
-            cursor.executemany(
-                f"INSERT INTO {relation_name} VALUES ({placeholders})", data
-            )
-            self._commit()
+        def attempt() -> None:
+            with self._mutate():
+                cursor = self._connection.cursor()
+                cursor.executemany(
+                    f"INSERT INTO {relation_name} VALUES ({placeholders})", data
+                )
+                self._commit()
+
+        self._run_write(f"insert {relation_name}", attempt)
         self._note_mutation(relation_name)
         return len(data)
 
     def clear_relation(self, relation_name: str) -> None:
         self.schema.relation(relation_name)  # validates
-        with self._write_lock:
-            self._connection.execute(f"DELETE FROM {relation_name}")
-            self._commit()
+
+        def attempt() -> None:
+            with self._mutate():
+                self._connection.execute(f"DELETE FROM {relation_name}")
+                self._commit()
+
+        self._run_write(f"clear {relation_name}", attempt)
         self._note_mutation(relation_name)
 
     def row_count(self, relation_name: str) -> int:
@@ -769,15 +1145,21 @@ class ExternalDatabase:
             if self._is_read_statement(text):
                 rows = self._run_read(text, parameters)
             else:
-                with self._write_lock:
-                    cursor = self._connection.execute(text, tuple(parameters))
-                    rows = cursor.fetchall()
+                rows = self._run_write(
+                    text, lambda: self._owning_fetch(text, tuple(parameters))
+                )
         except sqlite3.Error as error:
             raise ExecutionError(
                 f"SQLite rejected prepared {text!r}: {error}"
             ) from error
         self.stats.record(text, len(rows), prepared=True)
         return rows
+
+    def _owning_fetch(self, text: str, parameters: tuple) -> list[Row]:
+        """One guarded statement on the owning write connection."""
+        with self._mutate():
+            with self._deadline_guard(self._connection):
+                return self._connection.execute(text, parameters).fetchall()
 
     def execute(self, query: Union[SqlQuery, UnionQuery, str]) -> list[Row]:
         """Run a generated query and fetch all result tuples."""
@@ -797,9 +1179,9 @@ class ExternalDatabase:
             if self._is_read_statement(text):
                 rows = self._run_read(text)
             else:
-                with self._write_lock:
-                    cursor = self._connection.execute(text)
-                    rows = cursor.fetchall()
+                rows = self._run_write(
+                    text, lambda: self._owning_fetch(text, ())
+                )
         except sqlite3.Error as error:
             raise ExecutionError(f"SQLite rejected {text!r}: {error}") from error
         self.stats.record(text, len(rows))
@@ -848,9 +1230,22 @@ class ExternalDatabase:
             ) from error
         return [str(row[-1]) for row in rows]
 
+    @property
+    def policy(self) -> FaultPolicy:
+        """The fault policy governing this backend's retry behaviour."""
+        return self._policy
+
+    def breaker_states(self) -> dict:
+        """Current circuit-breaker states (``session.stats()`` surfaces this)."""
+        return {
+            "read": self._read_breaker.state,
+            "write": self._write_breaker.state,
+        }
+
     def close(self) -> None:
         with self._pool_lock:
             self._closed = True
+            self._pool_cond.notify_all()  # waiters wake and see closed
             for finalizer in self._reader_finalizers:
                 finalizer.detach()
             self._reader_finalizers.clear()

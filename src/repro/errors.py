@@ -122,6 +122,96 @@ class ExecutionError(ReproError):
     """Raised when the external DBMS rejects or fails a generated query."""
 
 
+class TransientBackendError(ExecutionError):
+    """A backend failure that may clear on retry (locked, busy, interrupted).
+
+    The fault policy's retry/backoff machinery consumes exactly this
+    class: anything else raised by the backend is *permanent* for the
+    statement that raised it (syntax, schema, constraint, full disk) and
+    retrying verbatim cannot help — the degradation ladder steps down
+    instead.
+    """
+
+
+class BackendPoisonedError(TransientBackendError):
+    """The serving connection itself is unusable (closed, corrupted).
+
+    Retryable, but only after the pool retires the poisoned connection
+    and replaces it with a fresh one — re-executing on the same
+    connection would fail forever.
+    """
+
+
+class PoolExhaustedError(TransientBackendError):
+    """Read-pool saturation did not clear within the wait budget.
+
+    Raised instead of blocking indefinitely when ``max_readers`` is set
+    and every pooled connection stays claimed past the pool wait
+    timeout — a clean, typed timeout rather than a hang.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """An operation ran past its per-ask deadline budget.
+
+    Deliberately *not* a :class:`TransientBackendError`: a deadline is a
+    caller-imposed budget, so neither the retry loop nor the degradation
+    ladder may swallow it.  ``partial`` carries the work counters
+    accumulated before the budget ran out (queries executed, retries,
+    elapsed seconds) so callers can account for partial progress.
+    """
+
+    def __init__(self, message: str, partial: dict | None = None):
+        super().__init__(message)
+        self.partial = dict(partial or {})
+
+
+#: ``sqlite3`` primary result codes the retry policy treats as transient.
+#: SQLITE_BUSY (5) and SQLITE_LOCKED (6) clear when the competing
+#: transaction finishes; SQLITE_INTERRUPT (9) is our own deadline/cancel
+#: machinery; SQLITE_IOERR (10) covers transient device hiccups (the
+#: fault injector's "I/O error burst"); SQLITE_PROTOCOL (15) is SQLite's
+#: own "retry the operation" locking-protocol code.
+TRANSIENT_SQLITE_CODES = frozenset({5, 6, 9, 10, 15})
+
+#: Message fragments identifying the same transient conditions when no
+#: result code is attached (synthetic errors, older drivers).
+TRANSIENT_SQLITE_MESSAGES = (
+    "database is locked",
+    "database table is locked",
+    "database is busy",
+    "interrupted",
+    "disk i/o error",
+    "locking protocol",
+)
+
+#: Message fragments identifying a connection that is beyond saving.
+POISONED_SQLITE_MESSAGES = (
+    "closed database",
+    "database disk image is malformed",
+)
+
+
+def classify_sqlite_error(error: BaseException) -> str:
+    """Classify a ``sqlite3`` exception: transient, poisoned, or permanent.
+
+    The single choke point the fault policy consumes — prefers the
+    driver's primary result code (``sqlite_errorcode``, masked to drop
+    extended-code bits) and falls back to message matching for synthetic
+    or code-less errors.  Returns ``"transient"``, ``"poisoned"``, or
+    ``"permanent"``.
+    """
+    message = str(error).lower()
+    if any(fragment in message for fragment in POISONED_SQLITE_MESSAGES):
+        return "poisoned"
+    code = getattr(error, "sqlite_errorcode", None)
+    if code is not None and (code & 0xFF) in TRANSIENT_SQLITE_CODES:
+        return "transient"
+    if any(fragment in message for fragment in TRANSIENT_SQLITE_MESSAGES):
+        return "transient"
+    return "permanent"
+
+
 class CouplingError(ReproError):
     """Raised by the session layer for protocol misuse (e.g. closed session)."""
 

@@ -68,6 +68,9 @@ class MaterializeManager:
         self.policy = policy if policy is not None else StoragePolicy()
         self.optimize = optimize
         self.stats = MaintenanceStats()
+        #: Shared resilience ledger (lives on the backend) — quarantine,
+        #: heal, and torn-maintenance events report to both stats objects.
+        self.resilience = getattr(database, "resilience", None)
         self._views: dict[tuple[str, int], MaintainedView] = {}
         self._storage_request: dict[tuple[str, int], str] = {}
         self._by_relation: dict[str, list[MaintainedView]] = {}
@@ -278,6 +281,7 @@ class MaterializeManager:
         self.database.insert_rows(relation, [row])
         union.add(row)
         self._dispatch(Delta(relation, INSERT, row))
+        self._heal_pass(relation)
 
     def _apply_delete(self, relation: str, row: tuple) -> None:
         union = self._union[relation]
@@ -287,6 +291,7 @@ class MaterializeManager:
         self._dispatch(Delta(relation, DELETE, row))
         self.database.delete_row(relation, row)
         union.discard(row)
+        self._heal_pass(relation)
 
     def external_delete(self, relation: str, row: tuple) -> bool:
         """Remove a tuple that exists only externally (no internal fact).
@@ -305,6 +310,8 @@ class MaterializeManager:
 
     def _dispatch(self, delta: Delta) -> None:
         for view in self._by_relation.get(delta.relation, ()):
+            if view.quarantined:
+                continue  # rebuilt wholesale by the heal pass, not patched
             if view.storage == INVALIDATE or view.stale:
                 view.stale = True
                 continue
@@ -312,8 +319,70 @@ class MaterializeManager:
                 view.apply_delta(delta)
                 self.stats.incr("deltas_applied")
             except Exception:
-                view.stale = True
-                self.stats.incr("fallbacks")
+                self._quarantine(view)
+
+    # -- quarantine and self-healing ----------------------------------------
+
+    def _resilience_incr(self, counter: str) -> None:
+        if self.resilience is not None:
+            self.resilience.incr(counter)
+
+    def _quarantine(self, view: MaintainedView) -> None:
+        """A maintenance delta failed: stop trusting the view's counts.
+
+        The backend half of the delta is transactional (rolled back with
+        its generation stamp), so normally both stores still agree at
+        the old generation — a stamp mismatch here is *torn* maintenance
+        and is counted separately.  Either way the view leaves serving:
+        asks fall through to cold recompute until the next write-side
+        opportunity rebuilds it.
+        """
+        try:
+            torn = not view.verify_generation()
+        except Exception:
+            torn = False  # verification needs the backend too; stay humble
+        if torn:
+            self.stats.incr("torn_detected")
+            self._resilience_incr("torn_detected")
+        view.quarantined = True
+        view.stale = True
+        self.stats.incr("quarantines")
+        self.stats.incr("fallbacks")
+        self._resilience_incr("quarantines")
+
+    def _heal_pass(self, relation: str) -> None:
+        """The write-side self-healing opportunity after a mutation."""
+        for view in self._by_relation.get(relation, ()):
+            if view.quarantined:
+                self._try_heal(view)
+
+    def _try_heal(self, view: MaintainedView) -> bool:
+        """Rebuild one quarantined view; False when the rebuild failed too.
+
+        A failed heal leaves the view quarantined — the next write-side
+        opportunity (or explicit :meth:`heal_all`) retries, so on any
+        eventually-healing fault schedule every view converges back to
+        serving condition.
+        """
+        try:
+            view.refresh()
+        except Exception:
+            return False
+        self.stats.incr("refreshes")
+        self.stats.incr("heals")
+        self._resilience_incr("heals")
+        return True
+
+    def heal_all(self) -> int:
+        """Attempt to heal every quarantined view; returns how many remain."""
+        remaining = 0
+        for view in self._views.values():
+            if view.quarantined and not self._try_heal(view):
+                remaining += 1
+        return remaining
+
+    def quarantined_views(self) -> list[MaintainedView]:
+        return [view for view in self._views.values() if view.quarantined]
 
     # -- serving ------------------------------------------------------------
 
@@ -331,7 +400,10 @@ class MaterializeManager:
         # restarts them on the write side first.
         parts = conjuncts(goal)
         view = self._views.get(parts[0].indicator)
-        if view.stale:
+        if view.quarantined:
+            if not self._try_heal(view):
+                return None  # degraded: cold recompute serves this ask
+        elif view.stale:
             view.refresh()
             self.stats.incr("refreshes")
         answers = view.answers(parts[0])
@@ -362,8 +434,8 @@ class MaterializeManager:
         view = self._views.get(call.indicator)
         if view is None:
             return "miss", None
-        if view.stale:
-            return "stale", None
+        if view.quarantined or view.stale:
+            return "stale", None  # healing/refreshing mutates: write side
         if (
             not view.recursive
             and view.backend_table is None

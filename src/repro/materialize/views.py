@@ -105,6 +105,15 @@ class MaterializedView:
         self.storage = "memory"
         self.backend_table: Optional[str] = None
         self.stale = False
+        #: Quarantined: a maintenance delta failed, so the counts are no
+        #: longer trusted; the manager serves this view by recompute and
+        #: rebuilds it at the next write-side opportunity.
+        self.quarantined = False
+        #: Maintenance generation: advanced once per successfully applied
+        #: delta or refresh, and stamped into the backend count table in
+        #: the same transaction as the backend delta — a stamp mismatch
+        #: is proof of torn maintenance.
+        self.applied_generation = 0
         self.stats = ViewStats()
 
         self.select_names = [t.name for t in predicate.target_symbols()]
@@ -225,16 +234,25 @@ class MaterializedView:
     # -- loading ------------------------------------------------------------
 
     def refresh(self) -> None:
-        """Recompute the counts from scratch (registration, staleness)."""
+        """Recompute the counts from scratch (registration, staleness, heal).
+
+        Backend first, memory second: a failure while rewriting the
+        backend table leaves the in-memory state untouched and the view
+        still stale/quarantined — never half-refreshed.
+        """
         rows = self.database.execute_prepared(self._load_sql)
-        self.counts = Counter(rows)
-        self._indexes.clear()
-        self.stale = False
-        self.stats.refreshes += 1
+        counts = Counter(rows)
+        next_generation = self.applied_generation + 1
         if self.backend_table is not None:
             self.database.set_materialized_rows(
-                self.backend_table, self.counts.items()
+                self.backend_table, counts.items(), generation=next_generation
             )
+        self.counts = counts
+        self._indexes.clear()
+        self.applied_generation = next_generation
+        self.stale = False
+        self.quarantined = False
+        self.stats.refreshes += 1
 
     @property
     def row_count(self) -> int:
@@ -252,9 +270,25 @@ class MaterializedView:
             for column in range(len(self.select_names))
         ]
         self.database.create_materialized(table_name, attributes)
-        self.database.set_materialized_rows(table_name, self.counts.items())
+        self.database.set_materialized_rows(
+            table_name, self.counts.items(), generation=self.applied_generation
+        )
         self.backend_table = table_name
         self.storage = "backend"
+
+    def verify_generation(self) -> bool:
+        """Do backend and memory agree on the maintenance generation?
+
+        Memory-only views cannot tear across stores (the memory mutation
+        is applied after all failure-prone work) and always verify; for
+        backend-stored views a stamp mismatch means one store holds a
+        delta the other missed — torn maintenance, grounds for
+        quarantine.
+        """
+        if self.backend_table is None:
+            return True
+        stored = self.database.materialized_generation(self.backend_table)
+        return stored is None or stored == self.applied_generation
 
     # -- maintenance --------------------------------------------------------
 
@@ -264,6 +298,14 @@ class MaterializedView:
         Returns ``(appeared, disappeared)`` — the distinct answer rows
         whose support crossed zero, which is the delta a *subscriber*
         (e.g. a recursive view over this one) observes.
+
+        Application is two-phase so a failure can never tear the view:
+        phase one runs the (read-only) delta-rule queries and validates
+        the support arithmetic without touching any state; phase two
+        applies the backend delta transactionally — stamped with the new
+        maintenance generation inside the same transaction — and only
+        then mutates the in-memory counts.  An exception anywhere leaves
+        both stores at the old generation together.
         """
         changes: Counter = Counter()
         outer_sign = 1 if delta.kind == INSERT else -1
@@ -277,17 +319,24 @@ class MaterializedView:
             sign = rule.sign * outer_sign
             for produced_row in produced:
                 changes[produced_row] += sign
-        appeared: list[tuple] = []
-        disappeared: list[tuple] = []
-        for row, change in changes.items():
-            if change == 0:
-                continue
-            before = self.counts[row]
-            after = before + change
-            if after < 0:
+        effective = {row: change for row, change in changes.items() if change}
+        for row, change in effective.items():
+            if self.counts[row] + change < 0:
                 raise CouplingError(
                     f"view {self.name}: negative support for {row!r}"
                 )
+        next_generation = self.applied_generation + 1
+        if self.backend_table is not None and effective:
+            self.database.apply_materialized_delta(
+                self.backend_table,
+                list(effective.items()),
+                generation=next_generation,
+            )
+        appeared: list[tuple] = []
+        disappeared: list[tuple] = []
+        for row, change in effective.items():
+            before = self.counts[row]
+            after = before + change
             if after == 0:
                 del self.counts[row]
                 disappeared.append(row)
@@ -295,6 +344,7 @@ class MaterializedView:
                 self.counts[row] = after
                 if before == 0:
                     appeared.append(row)
+        self.applied_generation = next_generation
         self.stats.deltas_applied += 1
         self.stats.rows_added += len(appeared)
         self.stats.rows_removed += len(disappeared)
@@ -305,11 +355,6 @@ class MaterializedView:
                 bucket = index.get(row[column])
                 if bucket is not None:
                     bucket.discard(row)
-        if self.backend_table is not None and changes:
-            self.database.apply_materialized_delta(
-                self.backend_table,
-                [(row, change) for row, change in changes.items() if change],
-            )
         return appeared, disappeared
 
     # -- serving ------------------------------------------------------------

@@ -1,0 +1,45 @@
+"""Fault-tolerant execution: injection, retry policy, degradation, healing.
+
+The subsystem has four cooperating parts, threaded through the backend,
+session, and materialize layers:
+
+1. **fault injection** (:mod:`.faults`) — seeded, scheduled faults so
+   every failure mode is reproducible;
+2. **retry/timeout/backoff** (:mod:`.policy`) — exponential backoff with
+   jitter, per-ask deadline budgets, per-connection-class circuit
+   breakers, poisoned-connection retirement;
+3. **graceful degradation** — the session's ask ladder (CTE → prepared
+   frontier loop → in-memory engine) and view quarantine live in the
+   session/materialize layers but report here;
+4. **self-healing** — quarantined views rebuild on the next write-side
+   opportunity; :mod:`.stats` is the shared ledger all of it writes to.
+
+``FaultInjectingBackend`` is imported lazily: :mod:`.faults` subclasses
+the backend, which itself imports the policy/stats modules, and the lazy
+hook keeps that cycle unwound regardless of which module loads first.
+"""
+
+from __future__ import annotations
+
+from .policy import CircuitBreaker, FaultPolicy
+from .stats import ResilienceStats
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultPolicy",
+    "ResilienceStats",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjectingBackend",
+    "FAULT_KINDS",
+]
+
+_LAZY = ("FaultEvent", "FaultSchedule", "FaultInjectingBackend", "FAULT_KINDS")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

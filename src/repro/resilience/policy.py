@@ -1,0 +1,157 @@
+"""Retry policy and circuit breaker for the fault-tolerant layer.
+
+:class:`FaultPolicy` is the single knob bundle every retry decision
+reads: attempt budget, exponential-backoff shape, jitter, breaker
+thresholds, and the session-level whole-ask retry bound.  It is frozen —
+a policy is configuration, not state — and ``FaultPolicy.disabled()``
+yields the zero-overhead baseline the benchmarks compare against.
+
+:class:`CircuitBreaker` is the classic closed → open → half-open state
+machine, one instance per connection class (read pool vs. owning write
+connection), so a failing read substrate stops being hammered while
+writes proceed, and vice versa.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from .stats import ResilienceStats
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Immutable retry/backoff/breaker configuration.
+
+    Defaults are tuned for an embedded SQLite substrate where transient
+    conditions (shared-cache locks, injected bursts) clear in
+    milliseconds: five attempts with 1 ms → 50 ms exponential backoff
+    ride out any realistic lock burst while adding nothing measurable to
+    a healthy hot path.
+    """
+
+    #: statement-level attempts before giving up with a typed
+    #: ``TransientBackendError`` (the session may still retry the ask).
+    max_attempts: int = 5
+    base_backoff: float = 0.001
+    backoff_multiplier: float = 2.0
+    max_backoff: float = 0.05
+    #: symmetric jitter fraction: a computed backoff ``b`` becomes a
+    #: uniform draw from ``[b*(1-jitter), b*(1+jitter)]`` so retrying
+    #: threads decorrelate instead of stampeding in lockstep.
+    jitter: float = 0.25
+    #: consecutive failures that trip a breaker open.
+    breaker_threshold: int = 8
+    #: seconds an open breaker waits before admitting a half-open probe.
+    breaker_cooldown: float = 0.05
+    #: whole-ask retries the session performs when a statement-level
+    #: budget is exhausted — bounds convergence on eventually-healing
+    #: fault schedules without ever looping forever.
+    max_ask_retries: int = 64
+    #: pause between whole-ask retries (also jittered).
+    ask_retry_pause: float = 0.002
+    #: patience window for lock-type errors (locked/busy): genuine
+    #: shared-cache contention clears when the writer commits, so lock
+    #: errors retry until this much wall clock has passed even after
+    #: ``max_attempts``, matching the pre-resilience reader behaviour.
+    lock_patience: float = 2.0
+    #: master switch: False short-circuits every fault-handling branch,
+    #: giving the overhead benchmarks their baseline.
+    enabled: bool = True
+
+    def backoff(self, attempt: int) -> float:
+        """Jittered exponential backoff for the given retry ordinal."""
+        pause = min(
+            self.max_backoff,
+            self.base_backoff * self.backoff_multiplier ** attempt,
+        )
+        if self.jitter:
+            pause *= 1.0 + self.jitter * (2.0 * random.random() - 1.0)
+        return max(0.0, pause)
+
+    @classmethod
+    def disabled(cls) -> "FaultPolicy":
+        """The no-resilience baseline: one bare attempt, no machinery."""
+        return cls(enabled=False, max_attempts=1, jitter=0.0)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker for one connection class.
+
+    The closed-state fast path reads one attribute without locking (a
+    stale read costs at most one extra attempt against a just-opened
+    breaker — harmless); every transition runs under the lock.  Breakers
+    exist so a substrate that is *down* (not merely contended) stops
+    absorbing full retry ladders per statement: once open, callers fail
+    fast until the cooldown admits a single half-open probe, whose
+    outcome closes or re-opens the breaker.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown: float,
+        stats: ResilienceStats | None = None,
+        name: str = "",
+    ):
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self.name = name
+        self._stats = stats
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a caller attempt the backend right now?"""
+        if self._state == "closed":  # lock-free hot path; stale is benign
+            return True
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if time.monotonic() - self._opened_at < self.cooldown:
+                    return False
+                self._state = "half-open"
+                if self._stats is not None:
+                    self._stats.incr("breaker_half_opens")
+            return True  # half-open: admit the probe
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker will admit a probe (0 if not open)."""
+        with self._lock:
+            if self._state != "open":
+                return 0.0
+            return max(0.0, self.cooldown - (time.monotonic() - self._opened_at))
+
+    def success(self) -> None:
+        if self._state == "closed" and self._failures == 0:
+            return  # steady-state: no lock traffic
+        with self._lock:
+            if self._state != "closed":
+                self._state = "closed"
+                if self._stats is not None:
+                    self._stats.incr("breaker_closes")
+            self._failures = 0
+
+    def failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            tripping = (
+                self._state == "half-open"
+                or self._failures >= self.threshold
+            )
+            if tripping:
+                if self._state != "open" and self._stats is not None:
+                    self._stats.incr("breaker_opens")
+                self._state = "open"
+                self._opened_at = time.monotonic()

@@ -1,0 +1,72 @@
+"""Counters for the fault-tolerant execution layer.
+
+One :class:`ResilienceStats` instance lives on the backend and is shared
+by every layer that participates in fault handling — the retry loop, the
+circuit breakers, the session's degradation ladder, and the materialize
+manager's quarantine/heal lifecycle — so ``session.stats()["resilience"]``
+is a single consistent snapshot of how rough the run actually was.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..concurrency import LockedCounters
+
+
+@dataclass
+class ResilienceStats(LockedCounters):
+    """Cumulative fault-handling counters (lock-guarded, snapshot-safe)."""
+
+    #: statement-level retries performed by the backend retry loop.
+    retries: int = 0
+    #: total seconds slept in exponential backoff (float).
+    backoff_seconds: float = 0.0
+    #: circuit-breaker transitions, per edge of the state machine.
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    #: answers produced by a lower rung of the degradation ladder than
+    #: the planner's first choice (CTE → frontier → in-memory engine).
+    degraded_answers: int = 0
+    #: warm plans evicted after a permanent prepared-statement failure
+    #: (each is followed by exactly one cold recompile).
+    plan_invalidations: int = 0
+    #: asks that ran out of deadline budget (typed ``DeadlineExceeded``).
+    deadline_exceeded: int = 0
+    #: poisoned pooled connections retired instead of recycled.
+    poisoned_retired: int = 0
+    #: read-pool waits that expired into ``PoolExhaustedError``.
+    pool_timeouts: int = 0
+    #: maintained views quarantined after a failed maintenance delta.
+    quarantines: int = 0
+    #: quarantined views rebuilt back to serving condition.
+    heals: int = 0
+    #: torn maintenance detected by generation-stamp verification.
+    torn_detected: int = 0
+    #: whole-ask retries performed by the session after a transient error.
+    ask_retries: int = 0
+    #: faults actually delivered by a :class:`FaultInjectingBackend`.
+    faults_injected: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    _snapshot_fields = (
+        "retries",
+        "backoff_seconds",
+        "breaker_opens",
+        "breaker_half_opens",
+        "breaker_closes",
+        "degraded_answers",
+        "plan_invalidations",
+        "deadline_exceeded",
+        "poisoned_retired",
+        "pool_timeouts",
+        "quarantines",
+        "heals",
+        "torn_detected",
+        "ask_retries",
+        "faults_injected",
+    )

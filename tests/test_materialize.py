@@ -452,6 +452,7 @@ class TestSessionStats:
             "database",
             "compile_phases",
             "materialize",
+            "resilience",
         }
         # Maintained views answered every ask here: no cold compiles.
         assert stats["compile_phases"]["cold_compilations"] == 0
