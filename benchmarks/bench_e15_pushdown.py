@@ -15,8 +15,9 @@ Claims regression-gated here (and recorded in ``BENCH_pushdown.json`` by
   ``IncrementalClosure`` (PR 3's path, untouched);
 * ``ask_many`` batches warm recursive shapes through the batch-seeded
   CTE (no serial fallback) with answers identical to serial ``ask()``;
-* the statistics-driven planner picks the CTE on this workload and
-  records why.
+* the statistics-driven planner picks the pushdown tier (CTE — or,
+  since PR 7, the interval probe on tree-shaped data) on this workload
+  and records why.
 
 The pytest entry points gate the relaxed (quick-size) thresholds;
 ``run_all.py`` applies the strict full-size gates.
@@ -252,7 +253,8 @@ def test_e15_cte_speedup_and_zero_commits(chain_org):
     assert result["speedup"] >= gate
     assert result["cte_commits"] == 0
     assert result["cte_sql_prints"] == 0
-    assert result["planner_strategy"] == "cte"
+    # PR 7: tree-shaped chains may plan as the interval probe instead.
+    assert result["planner_strategy"] in ("cte", "interval")
 
 
 def test_e15_strategy_differential():

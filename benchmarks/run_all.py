@@ -2,11 +2,12 @@
 """Benchmark driver: runs the engine hot-path benchmarks (E11), the
 compile-once coupling benchmarks (E12), the incremental view-maintenance
 benchmarks (E13), the concurrent batched serving benchmarks (E14),
-the backend-pushdown benchmarks (E15), and the fault-tolerance
-benchmarks (E16); records ``BENCH_engine.json``,
-``BENCH_coupling.json``, ``BENCH_materialize.json``,
-``BENCH_serving.json``, ``BENCH_pushdown.json``, and
-``BENCH_resilience.json`` (per-workload
+the backend-pushdown benchmarks (E15), the fault-tolerance
+benchmarks (E16), and the interval-accelerator benchmarks (E17);
+records ``BENCH_engine.json``, ``BENCH_coupling.json``,
+``BENCH_materialize.json``, ``BENCH_serving.json``,
+``BENCH_pushdown.json``, ``BENCH_resilience.json``, and
+``BENCH_intervals.json`` (per-workload
 wall-clock + the speedup over the pinned baselines), gating regressions.
 
 Usage::
@@ -62,10 +63,11 @@ import bench_e13_materialize as e13  # noqa: E402
 import bench_e14_serving as e14  # noqa: E402
 import bench_e15_pushdown as e15  # noqa: E402
 import bench_e16_resilience as e16  # noqa: E402
+import bench_e17_intervals as e17  # noqa: E402
 from repro.dbms import generate_org  # noqa: E402
 
 #: Benchmark selector names accepted by ``--only`` (case-insensitive).
-BENCH_NAMES = ("E11", "E12", "E13", "E14", "E15", "E16")
+BENCH_NAMES = ("E11", "E12", "E13", "E14", "E15", "E16", "E17")
 
 #: (join facts, join iterations, recursion chain, join gate, recursion gate)
 FULL = (10_000, 5, 300, 5.0, 3.0)
@@ -407,7 +409,7 @@ def run_pushdown_benchmarks(
         "cte_min_speedup": gate,
         "cte_max_commits": 0,
         "cte_max_reprints": 0,
-        "planner_picks_cte": True,
+        "planner_picks_pushdown_tier": True,
         "differential_identical": True,
         "ask_many_recursive_batched": True,
     }
@@ -415,7 +417,9 @@ def run_pushdown_benchmarks(
         chain["speedup"] >= gate
         and chain["cte_commits"] == 0
         and chain["cte_sql_prints"] == 0
-        and chain["planner_strategy"] == "cte"
+        # PR 7: the planner may now prefer the interval probe over the
+        # CTE on tree-shaped chains — both are the pushdown tier.
+        and chain["planner_strategy"] in ("cte", "interval")
         and chain["identical"]
         and differential["identical"]
         and batching["recursive_batches"] >= 1
@@ -536,6 +540,98 @@ def run_resilience_benchmarks(
     return gates_passed
 
 
+def run_interval_benchmarks(
+    quick: bool, output: str, smoke_ok: bool, seed: int
+) -> bool:
+    depth, branching, staff, rounds, gate = (
+        e17.QUICK_PROBE if quick else e17.FULL_PROBE
+    )
+    c_depth, c_branching, c_staff, probes, churn_rounds = (
+        e17.QUICK_CHURN if quick else e17.FULL_CHURN
+    )
+    b_depth, b_branching, b_staff, total = (
+        e17.QUICK_BATCH if quick else e17.FULL_BATCH
+    )
+
+    print(f"== E17 interval benchmarks ({'quick' if quick else 'full'}) ==")
+    probe = e17.bench_probe_latency(depth, branching, staff, rounds)
+    print(
+        f"{probe['employees']}-employee hierarchy (depth "
+        f"{probe['tree_depth']}): interval={probe['interval_seconds']}s "
+        f"cte={probe['cte_seconds']}s speedup={probe['speedup']}x "
+        f"(end-to-end {probe['solve_speedup']}x, build "
+        f"{probe['labeling_build_seconds']}s, planner: "
+        f"{probe['planner_strategy']})"
+    )
+    churn = e17.churn_differential(
+        c_depth, c_branching, c_staff, probes, churn_rounds, seed=seed
+    )
+    print(
+        f"churn differential: {churn['probes']} probes over "
+        f"{churn['churn_rounds']} rounds ({churn['hires']} hires), "
+        f"absorbs={churn['local_absorbs']} tombstones={churn['tombstones']} "
+        f"exhaustions={churn['gap_exhaustions']} relabels={churn['relabels']}, "
+        f"identical={churn['identical']}"
+    )
+    batching = e17.bench_interval_ask_many(b_depth, b_branching, b_staff, total)
+    print(
+        f"interval ask_many: {batching['goals']} goals in "
+        f"{batching['recursive_batches']} batch statement(s), "
+        f"identical={batching['identical']}"
+    )
+
+    gates = {
+        "interval_min_speedup": gate,
+        "interval_max_commits": 0,
+        "interval_max_reprints": 0,
+        "planner_picks_interval": True,
+        "differential_identical": True,
+        "min_local_absorbs": 1,
+        "max_demotions": 0,
+        "ask_many_recursive_batched": True,
+    }
+    gates_passed = (
+        probe["speedup"] >= gate
+        and probe["interval_commits"] == 0
+        and probe["interval_sql_prints"] == 0
+        and probe["planner_strategy"] == "interval"
+        and probe["identical"]
+        and churn["identical"]
+        and churn["local_absorbs"] >= 1
+        and churn["demotions"] == 0
+        and batching["recursive_batches"] >= 1
+        and batching["identical"]
+    )
+    record = {
+        "benchmark": "E17 interval-labeled hierarchy accelerator "
+        "(nested-set labeling + covering-index range probes)",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "baseline": "prepared WITH RECURSIVE CTE probes (the PR 5 "
+        "pushdown tier)",
+        "workloads": {
+            "probe_latency": probe,
+            "churn_differential": churn,
+            "interval_ask_many": batching,
+        },
+        "gates": gates,
+        "passed": bool(gates_passed and smoke_ok),
+    }
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    if not gates_passed:
+        print(
+            f"FAIL: interval gates not met (speedup {probe['speedup']}x "
+            f"< {gate}x, commits {probe['interval_commits']}, planner "
+            f"{probe['planner_strategy']}, differential "
+            f"identical={churn['identical']}, absorbs "
+            f"{churn['local_absorbs']}, demotions {churn['demotions']}, "
+            f"recursive batches {batching['recursive_batches']})",
+            file=sys.stderr,
+        )
+    return gates_passed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -584,6 +680,13 @@ def main() -> int:
         default=None,
         help="where to write the resilience benchmark record (default: "
         "repo-root BENCH_resilience.json / BENCH_resilience.quick.json)",
+    )
+    parser.add_argument(
+        "--intervals-output",
+        default=None,
+        help="where to write the interval-accelerator benchmark record "
+        "(default: repo-root BENCH_intervals.json / "
+        "BENCH_intervals.quick.json)",
     )
     parser.add_argument(
         "--only",
@@ -640,6 +743,14 @@ def main() -> int:
         )
         arguments.resilience_output = str(REPO_ROOT / name)
 
+    if arguments.intervals_output is None:
+        name = (
+            "BENCH_intervals.quick.json"
+            if arguments.quick
+            else "BENCH_intervals.json"
+        )
+        arguments.intervals_output = str(REPO_ROOT / name)
+
     if arguments.only is None:
         selected = set(BENCH_NAMES)
     else:
@@ -676,6 +787,9 @@ def main() -> int:
         ),
         "E16": lambda: run_resilience_benchmarks(
             arguments.quick, arguments.resilience_output, smoke_ok, seed
+        ),
+        "E17": lambda: run_interval_benchmarks(
+            arguments.quick, arguments.intervals_output, smoke_ok, seed
         ),
     }
     results = {

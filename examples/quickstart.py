@@ -11,7 +11,11 @@ generation, and execution against SQLite.
 """
 
 from repro import PrologDbSession, generate_org
-from repro.schema import SAME_MANAGER_SOURCE, WORKS_DIR_FOR_SOURCE
+from repro.schema import (
+    SAME_MANAGER_SOURCE,
+    WORKS_DIR_FOR_SOURCE,
+    WORKS_FOR_TOP_DOWN_SOURCE,
+)
 
 
 def main() -> None:
@@ -79,6 +83,21 @@ def main() -> None:
             print(f"  {key}={value}")
     snapshot = session.stats()
     print(f"  unified session.stats() keys: {sorted(snapshot)}")
+
+    # Recursive closure without recursion: label the works_for forest
+    # with pre/post (nested-set) intervals and a reachability probe
+    # becomes one covering-index range scan — no fixpoint at all.
+    # The planner picks this tier automatically on large tree-shaped
+    # data (strategy="plan"); here we force it to show the machinery.
+    session.consult(WORKS_FOR_TOP_DOWN_SOURCE)
+    boss = org.root_manager_name()
+    session.ask(f"works_for(X, {boss})")  # warm the recursive shape
+    run = session.solve_recursive("works_for", high=boss, strategy="interval")
+    print()
+    print("=== Interval accelerator (one indexed range probe) ===")
+    print(f"  everyone under {boss}: {len(run.pairs)} pairs")
+    plans = session.stats()["recursion_plans"]
+    print(f"  recursion plans by strategy: {plans}")
 
     session.close()
 

@@ -22,8 +22,12 @@ question, solved here with the bound-argument heuristic.
 Beyond the paper's repertoire, the executor can push the *entire*
 fixpoint into the backend as one prepared ``WITH RECURSIVE`` statement
 (``strategy="cte"``): no intermediate relation, no per-level Python
-round-trip, no commits.  ``strategy="plan"`` chooses between the CTE
-pushdown and the prepared frontier loop from the backend's relation
+round-trip, no commits.  On forest-shaped data it goes one further:
+``strategy="interval"`` answers the probe from a pre/post nested-set
+labeling (:class:`~repro.materialize.intervals.IntervalIndex`) — one
+indexed range predicate, no recursion in either Python *or* the backend.
+``strategy="plan"`` chooses between the interval probe, the CTE
+pushdown, and the prepared frontier loop from the backend's relation
 statistics (:meth:`TransitiveClosure.plan`); maintained views keep their
 :class:`IncrementalClosure` path in the materialize subsystem.
 """
@@ -35,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from ..dbcl.predicate import DbclPredicate
-from ..errors import CouplingError, RecursionLimitExceeded
+from ..errors import CouplingError, IntervalUnavailable, RecursionLimitExceeded
 from ..metaevaluate.recursion import (
     expansion_at_level,
     is_linear_recursive,
@@ -244,6 +248,9 @@ class TransitiveClosure:
         #: closures whenever the program changes, so caching the failure
         #: for this executor's lifetime is sound.
         self._cte_error: Optional[Exception] = None
+        #: The view's interval (nested-set) labeling, built lazily the
+        #: first time the planner considers the ``interval`` strategy.
+        self._interval = None
         #: The most recent :meth:`plan` decision (inspection/benchmarks).
         self.last_plan: Optional[RecursionPlan] = None
         # The setrel loop mutates one shared intermediate table per view;
@@ -431,6 +438,77 @@ class TransitiveClosure:
                 cte.batch_texts[key] = text
             return text
 
+    # -- interval (nested-set) acceleration ----------------------------------------------
+
+    def interval_index(self):
+        """The view's :class:`~repro.materialize.intervals.IntervalIndex`.
+
+        Built lazily over the same compiled edge view the CTE pushdown
+        uses (so interval availability implies CTE availability — the
+        demotion target always exists).  Imported locally: the
+        materialize package reaches back into this module.
+        """
+        with self._solve_lock:
+            if self._interval is None:
+                from ..materialize.intervals import IntervalIndex
+
+                cte = self._prepare_cte()
+                self._interval = IntervalIndex(
+                    self.database,
+                    self.view[0],
+                    cte.edge_sql,
+                    cte.edge_relations,
+                )
+            return self._interval
+
+    def _solve_interval(
+        self, low: Optional[str], high: Optional[str]
+    ) -> RecursionRun:
+        """One indexed range probe answers the whole closure question.
+
+        No fixpoint anywhere: descendants are the rows whose intervals
+        nest inside the seed's (a single range scan over the composite
+        ``(pre, post)`` index), ancestors the containing intervals.
+        Raises :class:`~repro.errors.IntervalUnavailable` when the data
+        is not forest-shaped — callers asking explicitly see it; the
+        planner never routes here in that state.
+        """
+        index = self.interval_index()
+        index.ensure_fresh()
+        stats = RecursionStats(strategy="interval")
+        if high is not None:
+            rows = self.database.execute_prepared(
+                index.descend_text, (high, high)
+            )
+        else:
+            assert low is not None
+            rows = self.database.execute_prepared(
+                index.ascend_text, (low, low)
+            )
+        stats.queries_issued = 1
+        nodes = {row[0] for row in rows}
+        stats.new_answers_per_level.append(len(nodes))
+        if high is not None:
+            pairs = {(node, high) for node in nodes}
+        else:
+            pairs = {(low, node) for node in nodes}
+        return RecursionRun(pairs=pairs, stats=stats)
+
+    def batch_probe_text(self, bound: str, batch_size: int) -> str:
+        """The best prepared batch statement for a same-shape ask group.
+
+        Prefers the interval batch probe (seeds bound once through a
+        ``VALUES`` CTE, rows back as ``(root, node)`` exactly like the
+        batch closure CTE) when the labeling is fresh and servable;
+        falls back to :meth:`batch_cte_text` otherwise.
+        """
+        try:
+            index = self.interval_index()
+            index.ensure_fresh()
+            return index.batch_text(bound, batch_size)
+        except Exception:  # noqa: BLE001 - demoted/failed: CTE form
+            return self.batch_cte_text(bound, batch_size)
+
     def _solve_cte(
         self, low: Optional[str], high: Optional[str]
     ) -> RecursionRun:
@@ -471,8 +549,13 @@ class TransitiveClosure:
         * edge view estimated below :data:`CTE_MIN_EDGE_ROWS` rows → the
           frontier loop (per-level Python overhead is noise at that size,
           and its per-level statistics stay observable);
+        * forest-shaped data with a fresh (or freshenable) interval
+          labeling → the interval probe: one indexed range predicate,
+          no recursion at all, with the labeling's exact depth/fanout
+          recorded in the reason;
         * otherwise → CTE pushdown: one statement, zero per-level
-          round-trips and commits.
+          round-trips and commits (also the landing rung when the
+          labeling demotes — non-tree edges, failed relabels).
 
         Maintained views never reach this planner: the materialize
         subsystem answers them from its :class:`IncrementalClosure`
@@ -510,6 +593,30 @@ class TransitiveClosure:
                 ),
                 estimated_edge_rows=estimate,
             )
+            self.last_plan = decision
+            return decision
+        unavailable: Optional[str] = None
+        try:
+            index = self.interval_index()
+            index.ensure_fresh()
+        except IntervalUnavailable as error:
+            unavailable = str(error)
+        except Exception as error:  # noqa: BLE001 - failed labeling → CTE rung
+            unavailable = f"labeling failed: {error}"
+        if unavailable is None:
+            decision = RecursionPlan(
+                strategy="interval",
+                reason=(
+                    f"interval probe: labeled forest ({index.describe()}); "
+                    "reachability is one indexed range predicate"
+                    + (
+                        f" (edge view ~{estimate} rows)"
+                        if estimate is not None
+                        else ""
+                    )
+                ),
+                estimated_edge_rows=estimate,
+            )
         else:
             decision = RecursionPlan(
                 strategy="cte",
@@ -521,6 +628,7 @@ class TransitiveClosure:
                         if estimate is not None
                         else " (no statistics; pushdown is the default)"
                     )
+                    + f"; interval unavailable ({unavailable})"
                 ),
                 estimated_edge_rows=estimate,
             )
@@ -541,7 +649,11 @@ class TransitiveClosure:
         ``strategy``:
 
         * ``plan`` — cost-based: consult :meth:`plan` (relation
-          statistics) and run whichever of ``cte`` / frontier it picks;
+          statistics) and run whichever of ``interval`` / ``cte`` /
+          frontier it picks;
+        * ``interval`` — answer from the nested-set labeling: one
+          indexed range probe, no fixpoint anywhere (raises
+          :class:`~repro.errors.IntervalUnavailable` on non-tree data);
         * ``cte`` — push the whole fixpoint down as one prepared
           ``WITH RECURSIVE`` statement (zero per-level round-trips);
         * ``auto`` — frontier starts at the bound argument (efficient);
@@ -559,6 +671,8 @@ class TransitiveClosure:
         with self._solve_lock:
             if strategy == "plan":
                 strategy = self.plan(low, high).strategy
+            if strategy == "interval":
+                return self._solve_interval(low, high)
             if strategy == "cte":
                 return self._solve_cte(low, high)
             if strategy == "memory":

@@ -162,6 +162,60 @@ class CompilePhaseStats(LockedCounters):
 
 
 @dataclass
+class RecursionPlanStats(LockedCounters):
+    """Observability for the cost-based recursion planner's decisions.
+
+    Every planned recursive ask records which strategy the planner chose
+    (per-strategy counters) plus the *reason string* of the most recent
+    decision, so interval-vs-CTE routing is auditable in production via
+    ``session.stats()["recursion_plans"]`` instead of requiring a
+    debugger on :attr:`TransitiveClosure.last_plan`.
+    """
+
+    planned_asks: int = 0
+    interval: int = 0
+    cte: int = 0
+    topdown: int = 0
+    bottomup: int = 0
+    other: int = 0
+    last_strategy: str = ""
+    last_reason: str = ""
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    _snapshot_fields = (
+        "planned_asks",
+        "interval",
+        "cte",
+        "topdown",
+        "bottomup",
+        "other",
+    )
+
+    def note(self, plan) -> None:
+        """Record one :class:`~repro.coupling.recursion_exec.RecursionPlan`."""
+        with self._lock:
+            self.planned_asks += 1
+            name = plan.strategy
+            if name in ("interval", "cte", "topdown", "bottomup"):
+                setattr(self, name, getattr(self, name) + 1)
+            else:
+                self.other += 1
+            self.last_strategy = plan.strategy
+            self.last_reason = plan.reason
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            data = {
+                name: getattr(self, name) for name in self._snapshot_fields
+            }
+            data["last_strategy"] = self.last_strategy
+            data["last_reason"] = self.last_reason
+            return data
+
+
+@dataclass
 class TranslationTrace:
     """Everything the pipeline produced for one goal (``explain``)."""
 
@@ -215,6 +269,7 @@ class PrologDbSession:
         self.cache = ResultCache(cache_policy)
         self.plans = PlanCache()
         self.compile_phases = CompilePhaseStats()
+        self.recursion_plans = RecursionPlanStats()
         self._plan_caching = plan_cache
         self._closures: dict[tuple[str, int], TransitiveClosure] = {}
         self._closures_lock = threading.Lock()
@@ -910,15 +965,19 @@ class PrologDbSession:
         distinct: dict = dict.fromkeys(seeds)
         if len({str(seed) for seed in distinct}) != len(distinct):
             return None  # affinity-coercible seed collision: serial
-        try:
-            text = closure.batch_cte_text(bound, len(distinct))
-        except Exception:  # noqa: BLE001 - no batch CTE form
-            return None
         with self.kb.lock.read():
             self.plans.sync(self.kb)
             entry = self.plans.entry_for(shapes[0])
             if entry is None or entry.uncacheable:
                 return None  # a concurrent write invalidated the plan
+            try:
+                # Interval batch probe when the labeling serves (seed
+                # intervals matched through one IN (VALUES …) CTE), the
+                # batch-seeded WITH RECURSIVE otherwise.  Under the read
+                # lock: freshening the labeling must not race a writer.
+                text = closure.batch_probe_text(bound, len(distinct))
+            except Exception:  # noqa: BLE001 - no batch form at all
+                return None
             rows = self.database.execute_prepared(text, list(distinct))
         demux: dict = {seed: set() for seed in distinct}
         for root, node in rows:
@@ -1824,11 +1883,17 @@ class PrologDbSession:
         # IncrementalClosure, never reach this point.)
         closure = self.closure_for(indicator[0])
         try:
-            run = closure.solve(low=low, high=high, strategy="plan")
-        except (CouplingError, DeadlineExceeded):
-            raise  # semantic errors and expired budgets are not rungs
-        except Exception:  # noqa: BLE001 - any execution failure degrades
-            run = self._ask_recursive_degraded(closure, low, high)
+            try:
+                run = closure.solve(low=low, high=high, strategy="plan")
+            except (CouplingError, DeadlineExceeded):
+                raise  # semantic errors and expired budgets are not rungs
+            except Exception:  # noqa: BLE001 - any execution failure degrades
+                run = self._ask_recursive_degraded(closure, low, high)
+        finally:
+            # The decision was made even when execution degraded or
+            # failed — record it either way (observability satellite).
+            if closure.last_plan is not None:
+                self.recursion_plans.note(closure.last_plan)
         answers = []
         for pair_low, pair_high in sorted(run.pairs):
             answer: dict[str, Value] = {}
@@ -1844,20 +1909,30 @@ class PrologDbSession:
     ) -> RecursionRun:
         """Step down the recursion ladder when the planned strategy fails.
 
-        Rung two is the prepared frontier loop on the bound side
-        (``auto``); rung three fetches the flat edge view once and runs
-        the fixpoint in Python (``memory``) — the slowest strategy, but
-        the one with the fewest backend dependencies.  Answers from any
-        rung are identical (the E7 equivalence the tests pin); only the
-        cost differs, which is why a stepped-down answer counts as
+        When the failed plan was the interval probe, the first rung down
+        is the CTE pushdown (stale or failing labels must not cost the
+        whole pushdown tier); then the prepared frontier loop on the
+        bound side (``auto``); finally one flat edge fetch with the
+        fixpoint in Python (``memory``) — the slowest strategy, but the
+        one with the fewest backend dependencies.  Answers from any rung
+        are identical (the E7 equivalence the tests pin); only the cost
+        differs, which is why a stepped-down answer counts as
         *degraded*, not wrong.
         """
-        try:
-            run = closure.solve(low=low, high=high, strategy="auto")
-        except (CouplingError, DeadlineExceeded):
-            raise
-        except Exception:  # noqa: BLE001 - last rung below
-            run = closure.solve(low=low, high=high, strategy="memory")
+        rungs = ["auto", "memory"]
+        plan = closure.last_plan
+        if plan is not None and plan.strategy == "interval":
+            rungs.insert(0, "cte")
+        run = None
+        for position, rung in enumerate(rungs):
+            try:
+                run = closure.solve(low=low, high=high, strategy=rung)
+                break
+            except (CouplingError, DeadlineExceeded):
+                raise
+            except Exception:  # noqa: BLE001 - try the next rung
+                if position == len(rungs) - 1:
+                    raise
         self.database.resilience.incr("degraded_answers")
         return run
 
@@ -1873,9 +1948,13 @@ class PrologDbSession:
         # The setrel loop swaps a shared intermediate relation per level;
         # serialize against mutations and other closure runs.
         with self.kb.lock.write():
-            return self.closure_for(view_name).solve(
+            closure = self.closure_for(view_name)
+            run = closure.solve(
                 low=low, high=high, strategy=strategy, max_levels=max_levels
             )
+            if strategy == "plan" and closure.last_plan is not None:
+                self.recursion_plans.note(closure.last_plan)
+            return run
 
     def heal_materialized(self) -> int:
         """Rebuild quarantined materialized views now, not lazily.
@@ -1990,6 +2069,7 @@ class PrologDbSession:
             "result_cache": {"entries": len(self.cache), **cache_stats},
             "database": db_stats,
             "compile_phases": phase_stats,
+            "recursion_plans": self.recursion_plans.snapshot(),
             "materialize": self.materialize.stats_dict(),
             "resilience": resilience,
         }

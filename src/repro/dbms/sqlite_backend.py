@@ -261,6 +261,7 @@ class ExternalDatabase:
         self._stats_lock = threading.Lock()
         self._intermediates: dict[str, tuple[str, ...]] = {}
         self._materialized: dict[str, tuple[str, ...]] = {}
+        self._intervals: dict[str, tuple[str, ...]] = {}
         self._txn_depth = 0
         self._txn_thread: Optional[int] = None
         self.index_statements: list[str] = []
@@ -952,6 +953,193 @@ class ExternalDatabase:
         if labels is None:
             raise ExecutionError(f"unknown materialized table {name!r}")
         return labels
+
+    # -- interval-index tables (nested-set hierarchy labelings) --------------------
+
+    #: Reserved name prefix for interval (pre/post nested-set) labelings,
+    #: disjoint from base relations, setrel intermediates, and ``mv_``
+    #: materialized tables.
+    INTERVAL_PREFIX = "ivl_"
+
+    def create_interval_index(self, name: str) -> None:
+        """Create (or reset) an interval-labeling table for one hierarchy.
+
+        One row per node: ``(node, pre, post, cyc)``.  The ``node``
+        column deliberately has *no* declared type — BLOB affinity stores
+        integer and text endpoint values exactly as bound, so probe
+        results demultiplex by Python equality.  The composite
+        ``(pre, post, node)`` index is the accelerator: a descendant
+        probe is one range scan over it, *covering* — the trailing
+        ``node`` column means the probe never touches the table.  ``cyc``
+        marks nodes carrying a self-loop edge (the org generator's
+        self-managed top department), which the tree labels cannot
+        express.
+        """
+        if not name.startswith(self.INTERVAL_PREFIX):
+            raise SchemaError(
+                f"interval table {name!r} must use the "
+                f"{self.INTERVAL_PREFIX!r} prefix"
+            )
+        if self.schema.has_relation(name):
+            raise SchemaError(f"{name!r} clashes with a base relation")
+        with self._mutate():
+            cursor = self._connection.cursor()
+            cursor.execute(f"DROP TABLE IF EXISTS {name}")
+            cursor.execute(
+                f"CREATE TABLE {name} (node PRIMARY KEY, "
+                "pre INTEGER NOT NULL, post INTEGER NOT NULL, "
+                "cyc INTEGER NOT NULL DEFAULT 0)"
+            )
+            cursor.execute(
+                f"CREATE INDEX idx_{name}_pre_post ON {name} (pre, post, node)"
+            )
+            cursor.execute(
+                f"CREATE TABLE IF NOT EXISTS {self.GENERATION_TABLE} "
+                "(view_table TEXT PRIMARY KEY, generation INTEGER NOT NULL)"
+            )
+            cursor.execute(
+                self._GENERATION_UPSERT.format(table=self.GENERATION_TABLE),
+                (name, 0),
+            )
+            self._commit()
+            self._intervals[name] = ("node", "pre", "post", "cyc")
+
+    def drop_interval_index(self, name: str) -> None:
+        if name not in self._intervals:
+            return
+        with self._mutate():
+            self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+            self._connection.execute(
+                f"DELETE FROM {self.GENERATION_TABLE} WHERE view_table = ?",
+                (name,),
+            )
+            self._commit()
+            self._intervals.pop(name, None)
+
+    def _interval_check(self, name: str) -> None:
+        if name not in self._intervals:
+            raise ExecutionError(f"unknown interval table {name!r}")
+
+    def set_interval_rows(
+        self,
+        name: str,
+        rows: Iterable[Row],
+        generation: Optional[int] = None,
+    ) -> int:
+        """Replace a labeling with ``(node, pre, post, cyc)`` rows.
+
+        The Python-fallback relabel path: labels computed client-side
+        cross the wire once, and the rewrite plus the ``generation``
+        stamp commit together (a torn relabel is detectable).
+        """
+        self._interval_check(name)
+        data = [tuple(row) for row in rows]
+
+        def attempt() -> None:
+            with self._mutate():
+                cursor = self._connection.cursor()
+                cursor.execute(f"DELETE FROM {name}")
+                cursor.executemany(
+                    f"INSERT INTO {name} (node, pre, post, cyc) "
+                    "VALUES (?, ?, ?, ?)",
+                    data,
+                )
+                if generation is not None:
+                    cursor.execute(
+                        self._GENERATION_UPSERT.format(
+                            table=self.GENERATION_TABLE
+                        ),
+                        (name, generation),
+                    )
+                self._commit()
+
+        self._run_write(f"interval relabel {name}", attempt)
+        return len(data)
+
+    def relabel_interval(
+        self,
+        name: str,
+        select_text: str,
+        generation: Optional[int] = None,
+    ) -> int:
+        """In-backend bulk relabel: ``DELETE`` + ``INSERT … SELECT`` once.
+
+        ``select_text`` is a (possibly ``WITH RECURSIVE``-prefixed)
+        SELECT producing ``(node, pre, post, cyc)`` rows — the
+        window-function labeling statement — so the labels never cross
+        the wire.  Returns the number of rows inserted; the caller
+        compares it against the expected node count to detect an
+        incomplete walk.
+        """
+        self._interval_check(name)
+        statement = f"INSERT INTO {name} (node, pre, post, cyc) {select_text}"
+
+        def attempt() -> int:
+            with self._mutate():
+                cursor = self._connection.cursor()
+                cursor.execute(f"DELETE FROM {name}")
+                cursor.execute(statement)
+                count = cursor.rowcount
+                if generation is not None:
+                    cursor.execute(
+                        self._GENERATION_UPSERT.format(
+                            table=self.GENERATION_TABLE
+                        ),
+                        (name, generation),
+                    )
+                self._commit()
+                return count
+
+        return self._run_write(f"interval relabel {name}", attempt)
+
+    def apply_interval_delta(
+        self,
+        name: str,
+        upserts: Iterable[Row] = (),
+        deletes: Iterable[Value] = (),
+        generation: Optional[int] = None,
+    ) -> int:
+        """Local label maintenance: upsert placed nodes, tombstone removed ones.
+
+        Gap-based labels absorb a leaf attach as one ``(node, pre, post,
+        cyc)`` upsert inside the parent's gap; a leaf delete just drops
+        the row (its interval becomes reusable gap).  The whole delta and
+        the ``generation`` stamp commit together.
+        """
+        self._interval_check(name)
+        placed = [tuple(row) for row in upserts]
+        removed = [(node,) for node in deletes]
+
+        def attempt() -> None:
+            with self._mutate():
+                cursor = self._connection.cursor()
+                if removed:
+                    cursor.executemany(
+                        f"DELETE FROM {name} WHERE node = ?", removed
+                    )
+                if placed:
+                    cursor.executemany(
+                        f"INSERT INTO {name} (node, pre, post, cyc) "
+                        "VALUES (?, ?, ?, ?) ON CONFLICT(node) DO UPDATE SET "
+                        "pre = excluded.pre, post = excluded.post, "
+                        "cyc = excluded.cyc",
+                        placed,
+                    )
+                if generation is not None:
+                    cursor.execute(
+                        self._GENERATION_UPSERT.format(
+                            table=self.GENERATION_TABLE
+                        ),
+                        (name, generation),
+                    )
+                self._commit()
+
+        self._run_write(f"interval delta {name}", attempt)
+        return len(placed) + len(removed)
+
+    def interval_generation(self, name: str) -> Optional[int]:
+        """The labeling generation last committed for ``name`` (or None)."""
+        return self.materialized_generation(name)
 
     # -- row-level DML (maintenance deltas) ---------------------------------------
 

@@ -218,3 +218,16 @@ class CouplingError(ReproError):
 
 class RecursionLimitExceeded(CouplingError):
     """Raised when recursive evaluation does not converge within its bound."""
+
+
+class IntervalUnavailable(CouplingError):
+    """The interval labeling cannot serve the current hierarchy.
+
+    Raised when the edge view is not a forest (a node with two parents,
+    a cycle longer than a self-loop) or a previous labeling attempt left
+    the index demoted.  A *semantic* demotion signal, not an operational
+    failure: the recursion planner catches exactly this class and falls
+    back to the CTE pushdown, while callers who requested
+    ``strategy="interval"`` explicitly see it raised as a
+    :class:`CouplingError`.
+    """

@@ -25,10 +25,17 @@ change**:
   decision made cost-based: fed by plan-cache and result-cache hit
   statistics, it chooses which views get promoted to backend materialized
   tables (DDL plus transactional delta DML in the SQLite backend) versus
-  staying invalidate-only.
+  staying invalidate-only;
+* :class:`~repro.materialize.intervals.IntervalIndex` is a third
+  materialized-view kind: a gap-scaled pre/post (nested-set) labeling of
+  a recursive view's edge forest, stored as an indexed ``ivl_*`` backend
+  table so a reachability probe is one indexed range predicate — with
+  local absorption of leaf churn, window-function bulk relabels, and
+  demotion back to the CTE strategies on non-tree data.
 """
 
 from .delta import Delta, MaintenanceStats
+from .intervals import IntervalIndex, IntervalStats
 from .manager import MaterializeManager
 from .policy import StoragePolicy
 from .recursive import RecursiveMaterializedView
@@ -37,6 +44,8 @@ from .views import DeltaRule, MaterializedView
 __all__ = [
     "Delta",
     "DeltaRule",
+    "IntervalIndex",
+    "IntervalStats",
     "MaintenanceStats",
     "MaterializeManager",
     "MaterializedView",

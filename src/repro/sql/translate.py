@@ -416,3 +416,121 @@ def closure_cte(
     return RecursiveQuery(
         name=name, columns=columns, base=base, step=step, final=final
     )
+
+
+# -- interval (nested-set) accelerator statements ------------------------------------
+
+
+def interval_probe(
+    table: str, bound: str, batch_size: Optional[int] = None
+) -> str:
+    """Prepared probe text over an interval-labeled hierarchy table.
+
+    ``table`` holds one ``(node, pre, post, cyc)`` row per node of a
+    forest, labels strictly nested (descendant ⇔ ``pre_a < pre_d AND
+    post_d < post_a``).  ``bound`` names the closure probe's bound side:
+
+    * ``"high"`` — descendants of the seed (the ``closure(X, seed)``
+      shape): a single range scan over the composite ``(pre, post)``
+      index, bounded on *both* sides (``s.pre > a.pre AND s.pre <
+      a.post``) so the scan touches exactly the seed's cone;
+    * ``"low"`` — ancestors of the seed (``closure(seed, Y)``): the
+      containing intervals, at most one per tree level.
+
+    A ``cyc = 1`` node carries a self-loop edge, which tree labels
+    cannot express; a ``UNION`` branch adds the seed's own reflexive
+    pair.  The single-seed form binds the seed **twice** (once per UNION
+    branch); the batch form (``batch_size`` seeds) binds each seed
+    exactly once through a ``VALUES`` CTE and returns ``(root, node)``
+    rows that demultiplex by seed, mirroring the batch closure CTE.
+    """
+    if bound not in ("low", "high"):
+        raise TranslationError(
+            f"bound side must be 'low' or 'high', got {bound!r}"
+        )
+    if batch_size is None:
+        if bound == "high":
+            return (
+                f"SELECT s.node FROM {table} a JOIN {table} s "
+                "ON s.pre > a.pre AND s.pre < a.post AND s.post < a.post "
+                "WHERE a.node = ? "
+                f"UNION SELECT node FROM {table} WHERE node = ? AND cyc = 1"
+            )
+        return (
+            f"SELECT a.node FROM {table} s JOIN {table} a "
+            "ON a.pre < s.pre AND a.post > s.post "
+            "WHERE s.node = ? "
+            f"UNION SELECT node FROM {table} WHERE node = ? AND cyc = 1"
+        )
+    if batch_size < 1:
+        raise TranslationError("interval batch probe needs at least one seed")
+    values = ", ".join("(?)" for _ in range(batch_size))
+    if bound == "high":
+        return (
+            f"WITH seeds(node) AS (VALUES {values}) "
+            f"SELECT a.node AS root, s.node AS node "
+            f"FROM seeds q JOIN {table} a ON a.node = q.node "
+            f"JOIN {table} s ON s.pre > a.pre AND s.pre < a.post "
+            "AND s.post < a.post "
+            f"UNION SELECT a.node, a.node FROM seeds q "
+            f"JOIN {table} a ON a.node = q.node WHERE a.cyc = 1"
+        )
+    return (
+        f"WITH seeds(node) AS (VALUES {values}) "
+        f"SELECT s.node AS root, a.node AS node "
+        f"FROM seeds q JOIN {table} s ON s.node = q.node "
+        f"JOIN {table} a ON a.pre < s.pre AND a.post > s.post "
+        f"UNION SELECT s.node, s.node FROM seeds q "
+        f"JOIN {table} s ON s.node = q.node WHERE s.cyc = 1"
+    )
+
+
+def interval_labeling(edge_text: str, gap: int) -> str:
+    """The in-backend (window-function) labeling statement for a forest.
+
+    Produces one ``(node, pre, post, cyc)`` row per node of the edge
+    view's forest, never shipping labels across the wire: the caller
+    wraps this SELECT in ``INSERT INTO ivl_… (…)``.  The walk orders
+    nodes by a materialized root-to-node path string — every subtree is
+    a contiguous lexicographic block, so ``ROW_NUMBER() OVER (ORDER BY
+    path)`` is a preorder index — then converts (preorder index, depth,
+    subtree size) into entry/exit event numbers scaled by ``gap`` so
+    later leaf attaches can be absorbed locally::
+
+        pre  = gap * (2*(idx-1) - depth + 1)
+        post = pre + gap * (2*size - 1)
+
+    Self-loop edges are excluded from the tree and surface as ``cyc=1``
+    on the node's row.  The caller must have verified the tree shape
+    (single parent per node, no long cycles) **before** running this —
+    a multi-parent node would make the recursive walk explode — and
+    should compare the inserted row count against the expected node
+    count afterwards.  Only sound when node values are slash-free text
+    (the path encoding); other domains use the Python labeling path.
+    """
+    if gap < 1:
+        raise TranslationError("interval labeling gap must be positive")
+    return (
+        "WITH RECURSIVE "
+        f"ivl_edges(lo, hi) AS ({edge_text}), "
+        "ivl_tree(node, parent) AS "
+        "(SELECT lo, hi FROM ivl_edges WHERE lo IS NOT hi), "
+        "ivl_walk(node, path, depth) AS ("
+        "SELECT node, '/' || node || '/', 0 FROM "
+        "(SELECT lo AS node FROM ivl_edges "
+        "UNION SELECT hi FROM ivl_edges) "
+        "WHERE node NOT IN (SELECT node FROM ivl_tree) "
+        "UNION ALL "
+        "SELECT t.node, w.path || t.node || '/', w.depth + 1 "
+        "FROM ivl_tree t JOIN ivl_walk w ON t.parent = w.node), "
+        "ivl_ordered AS (SELECT node, path, depth, "
+        "ROW_NUMBER() OVER (ORDER BY path) AS idx FROM ivl_walk) "
+        "SELECT o.node, "
+        f"{gap} * (2 * (o.idx - 1) - o.depth + 1), "
+        f"{gap} * (2 * (o.idx - 1) - o.depth + 2 * "
+        "(SELECT COUNT(*) FROM ivl_ordered d "
+        "WHERE substr(d.path, 1, length(o.path)) = o.path)), "
+        "EXISTS(SELECT 1 FROM ivl_edges e "
+        "WHERE e.lo = o.node AND e.hi = o.node) "
+        "FROM ivl_ordered o"
+    )

@@ -451,6 +451,7 @@ class TestSessionStats:
             "result_cache",
             "database",
             "compile_phases",
+            "recursion_plans",
             "materialize",
             "resilience",
         }

@@ -185,10 +185,14 @@ class TestCteStrategy:
 
 
 class TestRecursionPlanner:
-    def test_large_edge_views_push_down(self, session, org):
+    def test_large_edge_views_take_the_interval_probe(self, session, org):
+        # PR 7: on a tree-shaped hierarchy above the statistics
+        # threshold the planner now prefers the interval labeling over
+        # the recursive CTE — reachability as one indexed range probe.
         closure = session.closure_for("works_for")
         plan = closure.plan(low=org.leaf_employee_name(), high=None)
-        assert plan.strategy == "cte"
+        assert plan.strategy == "interval"
+        assert "labeled forest" in plan.reason
         assert plan.estimated_edge_rows is not None
         assert plan.estimated_edge_rows >= CTE_MIN_EDGE_ROWS
         assert closure.last_plan is plan
@@ -243,7 +247,7 @@ class TestRecursionPlanner:
         boss = org.root_manager_name()
         session.ask(f"works_for(People, {boss})")
         plan = session.closure_for("works_for").last_plan
-        assert plan is not None and plan.strategy == "cte"
+        assert plan is not None and plan.strategy == "interval"
 
     def test_warm_recursive_ask_binds_into_prepared_cte(self, session, org):
         boss = org.root_manager_name()
@@ -306,6 +310,44 @@ class TestRelationStatistics:
         assert database.relation_statistics("empl").row_count == 1
         database.clear_relation("empl")
         assert database.relation_statistics("empl").row_count == 0
+        database.close()
+
+    def test_empty_relation_profiles_cleanly(self):
+        # Edge case: statistics over a relation with no rows must not
+        # divide by zero and must still cache per generation.
+        schema = empdep_schema()
+        database = ExternalDatabase(schema)
+        profile = database.relation_statistics("empl")
+        assert profile.row_count == 0
+        assert profile.distinct["eno"] == 0
+        assert database.relation_statistics("empl") is profile
+        database.close()
+
+    def test_clear_bumps_the_data_generation(self):
+        schema = empdep_schema()
+        database = ExternalDatabase(schema)
+        database.insert_rows("empl", [(1, "a", 20000, 1)])
+        before = database.data_generation("empl")
+        database.clear_relation("empl")
+        assert database.data_generation("empl") > before
+        # And the post-clear profile reflects the emptied relation.
+        assert database.relation_statistics("empl").row_count == 0
+        database.close()
+
+    def test_profiles_go_stale_across_churn(self):
+        # A held profile object is a snapshot: churn must produce a new
+        # object with the new counts, never mutate the old one in place.
+        schema = empdep_schema()
+        database = ExternalDatabase(schema)
+        database.insert_rows("empl", [(1, "a", 20000, 1)])
+        stale = database.relation_statistics("empl")
+        database.insert_rows("empl", [(2, "b", 21000, 1)])
+        database.delete_row("empl", (1, "a", 20000, 1))
+        fresh = database.relation_statistics("empl")
+        assert fresh is not stale
+        assert stale.row_count == 1  # snapshot unchanged
+        assert fresh.row_count == 1  # +1 insert, -1 delete
+        assert fresh.distinct["nam"] == 1
         database.close()
 
     def test_analyze_feeds_sqlite_stat1(self):
@@ -440,6 +482,24 @@ class TestExplainQueryPlanRegressions:
         used = " | ".join(details)
         assert "USING INDEX idx_empl_nam" in used, used
         assert "SCAN v1" not in used or "USING INDEX" in used
+
+    def test_warm_interval_probe_uses_the_composite_index(self, session, org):
+        # PR 7 regression: both probe directions must range-scan the
+        # composite (pre, post) index — a drift back to a full SCAN of
+        # the ivl_* table silently re-introduces O(n) probes.
+        boss = org.root_manager_name()
+        session.ask(f"works_for(X, {boss})")  # warm: labeling built
+        index = session.closure_for("works_for").interval_index()
+        for text in (index.descend_text, index.ascend_text):
+            details = session.database.query_plan(text)
+            used = " | ".join(details)
+            # "USING COVERING INDEX" on the range side: the trailing
+            # node column means the probe never touches the table.
+            assert "INDEX idx_ivl_works_for_pre_post" in used, used
+            assert "COVERING" in used, used
+        batch = session.database.query_plan(index.batch_text("low", 3))
+        used = " | ".join(batch)
+        assert "INDEX idx_ivl_works_for_pre_post" in used, used
 
 
 # -- dialects --------------------------------------------------------------------------
