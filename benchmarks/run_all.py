@@ -3,11 +3,12 @@
 compile-once coupling benchmarks (E12), the incremental view-maintenance
 benchmarks (E13), the concurrent batched serving benchmarks (E14),
 the backend-pushdown benchmarks (E15), the fault-tolerance
-benchmarks (E16), and the interval-accelerator benchmarks (E17);
-records ``BENCH_engine.json``, ``BENCH_coupling.json``,
-``BENCH_materialize.json``, ``BENCH_serving.json``,
-``BENCH_pushdown.json``, ``BENCH_resilience.json``, and
-``BENCH_intervals.json`` (per-workload
+benchmarks (E16), the interval-accelerator benchmarks (E17), and the
+tracing-overhead benchmarks (E20); records ``BENCH_engine.json``,
+``BENCH_coupling.json``, ``BENCH_materialize.json``,
+``BENCH_serving.json``, ``BENCH_pushdown.json``,
+``BENCH_resilience.json``, ``BENCH_intervals.json``, and
+``BENCH_observe.json`` (per-workload
 wall-clock + the speedup over the pinned baselines), gating regressions.
 
 Usage::
@@ -64,10 +65,11 @@ import bench_e14_serving as e14  # noqa: E402
 import bench_e15_pushdown as e15  # noqa: E402
 import bench_e16_resilience as e16  # noqa: E402
 import bench_e17_intervals as e17  # noqa: E402
+import bench_e20_observe as e20  # noqa: E402
 from repro.dbms import generate_org  # noqa: E402
 
 #: Benchmark selector names accepted by ``--only`` (case-insensitive).
-BENCH_NAMES = ("E11", "E12", "E13", "E14", "E15", "E16", "E17")
+BENCH_NAMES = ("E11", "E12", "E13", "E14", "E15", "E16", "E17", "E20")
 
 #: (join facts, join iterations, recursion chain, join gate, recursion gate)
 FULL = (10_000, 5, 300, 5.0, 3.0)
@@ -632,6 +634,76 @@ def run_interval_benchmarks(
     return gates_passed
 
 
+def run_observe_benchmarks(
+    quick: bool, output: str, smoke_ok: bool, seed: int
+) -> bool:
+    depth, branching, staff, asks, batch_size, max_overhead = (
+        e20.QUICK_SIZES if quick else e20.FULL_SIZES
+    )
+    org = generate_org(
+        depth=depth, branching=branching, staff_per_dept=staff, seed=5
+    )
+
+    print(f"== E20 observability benchmarks ({'quick' if quick else 'full'}) ==")
+    overhead = e20.bench_overhead(org, asks, batch_size)
+    print(
+        f"tracing overhead: warm enabled="
+        f"{overhead['enabled_warm_asks_per_second']}/s disabled="
+        f"{overhead['disabled_warm_asks_per_second']}/s "
+        f"({overhead['warm_overhead_pct']:+.2f}%), batched enabled="
+        f"{overhead['enabled_batched_asks_per_second']}/s disabled="
+        f"{overhead['disabled_batched_asks_per_second']}/s "
+        f"({overhead['batched_overhead_pct']:+.2f}%)"
+    )
+    print(
+        f"trace completeness: {overhead['spans_committed']}/"
+        f"{overhead['spans_expected']} spans committed "
+        f"(complete={overhead['trace_complete']}), "
+        f"{overhead['resident_records']} resident records, "
+        f"disabled-side spans={overhead['disabled_spans']}"
+    )
+
+    gates = {
+        "warm_max_overhead_pct": max_overhead,
+        "batched_max_overhead_pct": max_overhead,
+        "trace_complete": True,
+        "disabled_spans_zero": True,
+        "traces_json_serializable": True,
+    }
+    gates_passed = (
+        overhead["warm_overhead_pct"] <= max_overhead
+        and overhead["batched_overhead_pct"] <= max_overhead
+        and overhead["trace_complete"]
+        and overhead["disabled_spans"] == 0
+        and overhead["traces_json_serializable"]
+    )
+    record = {
+        "benchmark": "E20 query tracing & metrics layer "
+        "(per-ask spans + phase timings + slow-query log + "
+        "structured export)",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "baseline": "tracing=False: the kill-switch path (no span "
+        "allocation, no execute observer, no clock reads)",
+        "org": {"depth": depth, "branching": branching, "staff_per_dept": staff},
+        "workloads": {"tracing_overhead": overhead},
+        "gates": gates,
+        "passed": bool(gates_passed and smoke_ok),
+    }
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    if not gates_passed:
+        print(
+            f"FAIL: observability gates not met (warm overhead "
+            f"{overhead['warm_overhead_pct']}% / batched "
+            f"{overhead['batched_overhead_pct']}% vs {max_overhead}%, "
+            f"complete={overhead['trace_complete']}, disabled spans="
+            f"{overhead['disabled_spans']})",
+            file=sys.stderr,
+        )
+    return gates_passed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -687,6 +759,12 @@ def main() -> int:
         help="where to write the interval-accelerator benchmark record "
         "(default: repo-root BENCH_intervals.json / "
         "BENCH_intervals.quick.json)",
+    )
+    parser.add_argument(
+        "--observe-output",
+        default=None,
+        help="where to write the observability benchmark record (default: "
+        "repo-root BENCH_observe.json / BENCH_observe.quick.json)",
     )
     parser.add_argument(
         "--only",
@@ -750,6 +828,13 @@ def main() -> int:
             else "BENCH_intervals.json"
         )
         arguments.intervals_output = str(REPO_ROOT / name)
+    if arguments.observe_output is None:
+        name = (
+            "BENCH_observe.quick.json"
+            if arguments.quick
+            else "BENCH_observe.json"
+        )
+        arguments.observe_output = str(REPO_ROOT / name)
 
     if arguments.only is None:
         selected = set(BENCH_NAMES)
@@ -790,6 +875,9 @@ def main() -> int:
         ),
         "E17": lambda: run_interval_benchmarks(
             arguments.quick, arguments.intervals_output, smoke_ok, seed
+        ),
+        "E20": lambda: run_observe_benchmarks(
+            arguments.quick, arguments.observe_output, smoke_ok, seed
         ),
     }
     results = {

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from functools import lru_cache
+from hashlib import blake2b
 from typing import Iterable, Optional, Sequence, Union
 
 import networkx as nx
@@ -259,6 +261,18 @@ class GoalShape:
     @property
     def parameter_count(self) -> int:
         return len(self.constants)
+
+
+@lru_cache(maxsize=4096)
+def shape_digest(key: tuple) -> str:
+    """A short stable hex digest naming one goal shape.
+
+    The digest is the public identity of a shape in trace records and
+    latency histograms — stable across sessions and processes (unlike
+    ``hash``, which is salted), short enough to read in a log line, and
+    memoized because the tracer computes it once per committed span.
+    """
+    return blake2b(repr(key).encode("utf-8"), digest_size=6).hexdigest()
 
 
 def _constant_value(term: Term) -> Optional[Value]:

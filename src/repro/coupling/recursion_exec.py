@@ -173,6 +173,14 @@ class RecursionPlan:
     reason: str
     estimated_edge_rows: Optional[int] = None
 
+    def as_dict(self) -> dict:
+        """The decision as a plain JSON-serializable record."""
+        return {
+            "strategy": self.strategy,
+            "reason": self.reason,
+            "estimated_edge_rows": self.estimated_edge_rows,
+        }
+
 
 @dataclass
 class _CteQueries:
@@ -259,6 +267,16 @@ class TransitiveClosure:
         # knowledge base's write lock already; this mutex keeps *direct*
         # executor use safe too.
         self._solve_lock = threading.RLock()
+
+    def interval_stats(self) -> Optional[dict]:
+        """The interval accelerator's counters, or None before first build.
+
+        Trace spans read this to report demotions alongside the planner's
+        strategy decision without forcing the labeling to exist.
+        """
+        if self._interval is None:
+            return None
+        return self._interval.stats.snapshot()
 
     # -- step-query preparation -------------------------------------------------------
 

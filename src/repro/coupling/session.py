@@ -79,6 +79,7 @@ from ..metaevaluate.recursion import (
     view_call_graph,
 )
 from ..metaevaluate.translator import Metaevaluator
+from ..observe import Tracer
 from ..optimize.pipeline import SimplificationResult, SimplifyOptions, simplify
 from ..prolog.engine import Engine
 from ..prolog.knowledge_base import KnowledgeBase
@@ -126,6 +127,14 @@ Value = Union[int, float, str, None]
 #: Sentinel: the lock-free/read-locked fast path could not answer the
 #: goal; the caller must re-run the full pipeline under the write lock.
 _NEEDS_WRITE = object()
+
+
+def _hit_rate(hits: int, misses: int) -> Optional[float]:
+    """Hits as a fraction of lookups, or None before the first lookup."""
+    total = hits + misses
+    if not total:
+        return None
+    return round(hits / total, 4)
 
 
 @dataclass
@@ -249,6 +258,11 @@ class PrologDbSession:
         cache_policy: Optional[CachePolicy] = None,
         plan_cache: bool = True,
         storage_policy=None,
+        tracing: bool = True,
+        trace_ring: int = 1024,
+        slow_query_seconds: float = 0.25,
+        tracer=None,
+        wall_clock=None,
     ):
         self.schema = schema if schema is not None else empdep_schema()
         self.constraints = (
@@ -270,6 +284,22 @@ class PrologDbSession:
         self.plans = PlanCache()
         self.compile_phases = CompilePhaseStats()
         self.recursion_plans = RecursionPlanStats()
+        #: Per-ask tracing (ROADMAP E20).  ``tracing=False`` is the kill
+        #: switch: ``Tracer.begin`` then returns ``None`` before any
+        #: allocation and the backend execute observer is never installed.
+        #: ``wall_clock`` injects the span timestamp provider (tests and
+        #: seeded differentials pin it to a fake clock).
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(
+                enabled=tracing,
+                ring_size=trace_ring,
+                slow_query_seconds=slow_query_seconds,
+                wall_clock=wall_clock,
+            )
+        )
+        self.tracer.attach(self.database)
         self._plan_caching = plan_cache
         self._closures: dict[tuple[str, int], TransitiveClosure] = {}
         self._closures_lock = threading.Lock()
@@ -436,9 +466,18 @@ class PrologDbSession:
         self.engine.register_builtin("metaevaluate", 4, builtin_metaevaluate)
 
     def _phase(self, phase: str, started: float) -> float:
-        """Accumulate one compile phase's wall clock; returns a new mark."""
+        """Accumulate one compile phase's wall clock; returns a new mark.
+
+        Feeds both the session-wide :class:`CompilePhaseStats` and — when
+        an ask span is open on this thread — that span's per-ask phase
+        breakdown, so cold compiles are explainable from one trace record.
+        """
         now = time.perf_counter()
-        self.compile_phases.incr(f"{phase}_seconds", now - started)
+        elapsed = now - started
+        self.compile_phases.incr(f"{phase}_seconds", elapsed)
+        span = self.tracer.current_span()
+        if span is not None:
+            span.phases[phase] = span.phases.get(phase, 0.0) + elapsed
         return now
 
     def _cost_ordered(self, predicate: DbclPredicate) -> DbclPredicate:
@@ -579,18 +618,34 @@ class PrologDbSession:
         """
         if isinstance(goal, str):
             goal = parse_goal(goal)
-        with self.database.deadline(deadline):
-            return self._ask_resilient(goal, max_solutions)
+        span = self.tracer.begin(goal)
+        if span is None:  # tracing disabled, or attributed to an outer span
+            with self.database.deadline(deadline):
+                return self._ask_resilient(goal, max_solutions)
+        try:
+            with self.database.deadline(deadline):
+                answers = self._ask_resilient(goal, max_solutions, span)
+                if deadline is not None:
+                    scope = self.database.current_deadline()
+                    if scope is not None:
+                        span.deadline_remaining = round(scope.remaining(), 6)
+            span.answers = len(answers)
+            return answers
+        except Exception as error:
+            span.error = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            self.tracer.commit(span)
 
     def _ask_resilient(
-        self, goal: Term, max_solutions: Optional[int]
+        self, goal: Term, max_solutions: Optional[int], span=None
     ) -> list[dict[str, Value]]:
         """Retry transient failures around the whole ask pipeline."""
         policy = self.database.policy
         attempts = 0
         while True:
             try:
-                return self._ask_once(goal, max_solutions)
+                return self._ask_once(goal, max_solutions, span)
             except TransientBackendError:
                 attempts += 1
                 if not policy.enabled or attempts > policy.max_ask_retries:
@@ -605,33 +660,47 @@ class PrologDbSession:
                 time.sleep(pause)
 
     def _ask_once(
-        self, goal: Term, max_solutions: Optional[int]
+        self, goal: Term, max_solutions: Optional[int], span=None
     ) -> list[dict[str, Value]]:
-        fast = self._ask_read_path(goal, max_solutions)
+        fast = self._ask_read_path(goal, max_solutions, span)
         if fast is not _NEEDS_WRITE:
             return fast
         with self.kb.lock.write():
-            return self._ask_write_path(goal, max_solutions)
+            return self._ask_write_path(goal, max_solutions, span)
 
-    def _ask_read_path(self, goal: Term, max_solutions: Optional[int]):
+    def _ask_read_path(self, goal: Term, max_solutions: Optional[int],
+                       span=None):
         """Answer under the read lock, or :data:`_NEEDS_WRITE`.
 
         Only evaluations that provably mutate nothing run here: a fresh
         maintained view, or a cached pure-external plan whose relations
         have no pending internal segments.  Plan-cache *stats* for misses
         are left to the write path (which repeats the lookup), so counts
-        match the single-threaded accounting exactly.
+        match the single-threaded accounting exactly.  The open span (if
+        any) arrives as a parameter — the warm path is where the E20
+        overhead budget is spent, and a thread-local read per ask is
+        measurable there.
         """
         with self.kb.lock.read():
             status, maintained = self.materialize.try_answer(goal, max_solutions)
             if status == "hit":
+                if span is not None:
+                    span.plan_cache = "maintained"
+                    span.plan_kind = "maintained"
                 return maintained
             if status == "stale":
                 return _NEEDS_WRITE
             if not self._plan_caching:
                 return _NEEDS_WRITE
+            mark = time.perf_counter() if span is not None else 0.0
             self.plans.sync(self.kb)
             shape = goal_shape(goal)
+            if span is not None:
+                # Inlined span.mark(): method-call frames on this branch
+                # are paid on every warm ask (E20 overhead budget).
+                now = time.perf_counter()
+                span.phases["shape"] = now - mark
+                mark = now
             if shape is None:
                 return _NEEDS_WRITE
             entry = self.plans.entry_for(shape)
@@ -645,6 +714,12 @@ class PrologDbSession:
             ):
                 return _NEEDS_WRITE
             self.plans.stats.incr("hits")
+            if span is not None:
+                span.shape_key = shape.key
+                span.plan_cache = "hit"
+                span.plan_kind = plan.kind
+                now = time.perf_counter()
+                span.phases["plan_lookup"] = now - mark
             if plan.is_empty:
                 return []
             bound = plan.bind(shape.constants, self.constraints)
@@ -665,32 +740,53 @@ class PrologDbSession:
                 # recompile cold) mutates the plan cache and runs the
                 # cold pipeline: restart on the write side.
                 return _NEEDS_WRITE
+            if span is not None:
+                mark = time.perf_counter()
             goal_vars = [v for v in variables_of(goal) if not v.is_anonymous]
             answers = self._rows_to_answers(
                 bound, plan.fetch_targets, rows, goal_vars
             )
+            if span is not None:
+                span.phases["demux"] = time.perf_counter() - mark
             if max_solutions is not None:
                 return answers[:max_solutions]
             return answers
 
     def _ask_write_path(
-        self, goal: Term, max_solutions: Optional[int]
+        self, goal: Term, max_solutions: Optional[int], span=None
     ) -> list[dict[str, Value]]:
         """The full pipeline (mutations allowed; caller holds write lock)."""
+        if span is None:
+            span = self.tracer.current_span()
         maintained = self.materialize.answer(goal, max_solutions)
         if maintained is not None:
+            if span is not None:
+                span.plan_cache = "maintained"
+                span.plan_kind = "maintained"
             return maintained
         goal_vars = [v for v in variables_of(goal) if not v.is_anonymous]
 
         shape: Optional[GoalShape] = None
         if self._plan_caching:
+            mark = time.perf_counter() if span is not None else 0.0
             self.plans.sync(self.kb)
             shape = goal_shape(goal)
+            if span is not None:
+                mark = span.mark("shape", mark)
+                if shape is not None:
+                    span.shape_key = shape.key
             if shape is not None:
                 plan = self.plans.lookup(shape)
+                if span is not None:
+                    span.mark("plan_lookup", mark)
                 if plan is UNCACHEABLE:
+                    if span is not None:
+                        span.plan_cache = "uncacheable"
                     shape = None  # cold path, no recompilation attempt
                 elif plan is not None:
+                    if span is not None:
+                        span.plan_cache = "hit"
+                        span.plan_kind = plan.kind
                     try:
                         return self._execute_plan(
                             plan, shape, goal, goal_vars, max_solutions
@@ -705,6 +801,9 @@ class PrologDbSession:
                         self._invalidate_failed_plan(shape)
 
         answers, artifacts = self._ask_cold(goal, goal_vars, max_solutions)
+        if span is not None:
+            span.plan_cache = "miss"
+            span.plan_kind = artifacts.get("kind")
         if shape is not None:
             self._try_compile(shape, goal, artifacts)
         return answers
@@ -882,14 +981,29 @@ class PrologDbSession:
             return
         group_shapes = [shapes[position] for position in pending]
         group_goals = [parsed[position] for position in pending]
-        if plan is not None:
-            batched = self._execute_batch(
-                plan, group_shapes, group_goals, max_solutions
-            )
-        else:
-            batched = self._execute_recursive_batch(
-                recursive, group_shapes, group_goals
-            )
+        # One *group* span covers the whole batched execution — a span
+        # per member would cost more than the batch itself (~6µs/goal);
+        # the tracer expands the group back to per-goal records on read.
+        with self.tracer.group(len(pending)) as gspan:
+            if plan is not None:
+                batched = self._execute_batch(
+                    plan, group_shapes, group_goals, max_solutions
+                )
+                batch_kind = "external"
+            else:
+                batched = self._execute_recursive_batch(
+                    recursive, group_shapes, group_goals
+                )
+                batch_kind = "recursive"
+            if batched is not None and gspan is not None:
+                gspan.shape_key = group_shapes[0].key
+                gspan.phases["batch"] = time.perf_counter() - gspan.t0
+                self.tracer.commit_group(
+                    gspan,
+                    group_goals,
+                    [len(result) for result in batched],
+                    batch_kind,
+                )
         if batched is None:
             for position in pending:
                 answers[position] = self.ask(parsed[position], max_solutions)
@@ -1894,6 +2008,11 @@ class PrologDbSession:
             # failed — record it either way (observability satellite).
             if closure.last_plan is not None:
                 self.recursion_plans.note(closure.last_plan)
+                span = self.tracer.current_span()
+                if span is not None:
+                    span.note_recursion(
+                        closure.last_plan, closure.interval_stats()
+                    )
         answers = []
         for pair_low, pair_high in sorted(run.pairs):
             answer: dict[str, Value] = {}
@@ -2060,6 +2179,13 @@ class PrologDbSession:
         phase_stats = self.compile_phases.snapshot()
         resilience = self.database.resilience.snapshot()
         resilience["breakers"] = self.database.breaker_states()
+        observe = self.tracer.stats_snapshot()
+        observe["hit_rates"] = {
+            "plan_cache": _hit_rate(plan_stats["hits"], plan_stats["misses"]),
+            "result_cache": _hit_rate(
+                cache_stats["hits"], cache_stats["misses"]
+            ),
+        }
         return {
             "kb": {
                 "generation": self.kb.generation,
@@ -2072,7 +2198,37 @@ class PrologDbSession:
             "recursion_plans": self.recursion_plans.snapshot(),
             "materialize": self.materialize.stats_dict(),
             "resilience": resilience,
+            "observe": observe,
         }
+
+    def traces(self) -> list:
+        """The resident trace spans as JSON-serializable dicts.
+
+        One record per traced ``ask``/``ask_many`` goal (batched groups
+        expand to their members), oldest resident first; at most the
+        ring's ``trace_ring`` most recent goals are resident.
+        """
+        return self.tracer.traces()
+
+    def slow_queries(self) -> list:
+        """Full-detail records for asks over the slow-query threshold.
+
+        Each record carries everything :meth:`traces` has plus the
+        backend's ``EXPLAIN QUERY PLAN`` for the span's last statement,
+        captured on demand when the threshold triggered.
+        """
+        return self.tracer.slow_queries()
+
+    def on_span(self, callback) -> None:
+        """Stream completed span dicts to an external sink (opt-in)."""
+        self.tracer.on_span(callback)
+
+    def export_trace(self, path) -> int:
+        """Write resident traces plus observe metrics to ``path`` (JSON).
+
+        Returns the number of trace records written.
+        """
+        return self.tracer.export(path, stats=self.stats()["observe"])
 
     def explain(self, goal: Union[str, Term]) -> TranslationTrace:
         """The full translation trace for an external goal (no execution)."""

@@ -252,6 +252,11 @@ class ExternalDatabase:
             self._connection.execute("PRAGMA synchronous=NORMAL")
         self._dialect = SqliteDialect()
         self.stats = ExecutionStats()
+        #: Optional execute observer ``(text, rows, seconds) -> None``,
+        #: installed by an *enabled* tracer only — when ``None`` (the
+        #: default, and the disabled-tracing case) the execute paths do
+        #: not even read the clock for it.
+        self.observer = None
         self._constraints = constraints
         #: Per-relation monotone counters advanced by that relation's
         #: mutations; the statistics cache keys freshness on them, so a
@@ -1329,6 +1334,8 @@ class ExternalDatabase:
         owning connection inside an open transaction); anything else goes
         through the owning write connection under the write mutex.
         """
+        observer = self.observer
+        started = time.perf_counter() if observer is not None else 0.0
         try:
             if self._is_read_statement(text):
                 rows = self._run_read(text, parameters)
@@ -1341,6 +1348,8 @@ class ExternalDatabase:
                 f"SQLite rejected prepared {text!r}: {error}"
             ) from error
         self.stats.record(text, len(rows), prepared=True)
+        if observer is not None:
+            observer(text, len(rows), time.perf_counter() - started)
         return rows
 
     def _owning_fetch(self, text: str, parameters: tuple) -> list[Row]:
@@ -1363,6 +1372,8 @@ class ExternalDatabase:
             text = self.render(query)
         else:
             text = query
+        observer = self.observer
+        started = time.perf_counter() if observer is not None else 0.0
         try:
             if self._is_read_statement(text):
                 rows = self._run_read(text)
@@ -1373,6 +1384,8 @@ class ExternalDatabase:
         except sqlite3.Error as error:
             raise ExecutionError(f"SQLite rejected {text!r}: {error}") from error
         self.stats.record(text, len(rows))
+        if observer is not None:
+            observer(text, len(rows), time.perf_counter() - started)
         return rows
 
     def execute_scalar(self, sql_text: str) -> Value:

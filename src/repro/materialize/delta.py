@@ -104,12 +104,17 @@ class MaintenanceStats(LockedCounters):
         "torn_detected",
     )
 
-    def as_dict(self) -> dict:
+    def snapshot(self) -> dict:
         # aggregate fields come from the locked snapshot so a concurrent
-        # incr never tears the group (per-view detail stays best-effort)
-        data = self.snapshot()
+        # incr never tears the group (per-view detail stays best-effort);
+        # the result is a plain JSON-serializable dict, same contract as
+        # every other stats section.
+        data = super().snapshot()
         data["per_view"] = {
             name: stats.as_dict() if isinstance(stats, ViewStats) else stats
             for name, stats in self.per_view.items()
         }
         return data
+
+    def as_dict(self) -> dict:
+        return self.snapshot()

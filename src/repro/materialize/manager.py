@@ -534,4 +534,10 @@ class MaterializeManager:
         return indicator in self._views
 
     def stats_dict(self) -> dict:
-        return self.stats.as_dict()
+        """The maintenance counters as one plain JSON-serializable dict.
+
+        Delegates to the uniform ``snapshot()`` contract every stats
+        section now follows (``session.stats()`` is ``json.dumps``-able
+        end to end).
+        """
+        return self.stats.snapshot()

@@ -1,0 +1,23 @@
+"""Query tracing and metrics (the observability layer, ROADMAP E20).
+
+Every ``ask``/``ask_many`` goal gets one :class:`AskTrace` span — phase
+timings on the monotonic clock, the plan-cache outcome, the recursion
+planner's strategy *and its reason*, resilience events consumed from the
+fault-handling ladder, and row/answer counts — stored in a fixed-size
+lock-striped :class:`TraceRing` and surfaced through
+``session.traces()``, ``session.stats()["observe"]`` (per-shape latency
+histograms and hit-rate gauges), a threshold-triggered slow-query log
+(with on-demand ``EXPLAIN QUERY PLAN``), and an opt-in ``on_span``
+callback / ``export_trace(path)`` sink for external collectors.
+
+The paper's global optimizer records *why* it chose a storage form;
+this package extends that discipline to every runtime decision the
+system now makes (plan cache, cost-based recursion planner, interval
+accelerator, resilience ladder, view maintenance), so a slow or
+degraded production ask is explainable from its trace alone.
+"""
+
+from .ring import TraceRing
+from .tracer import AskTrace, Tracer
+
+__all__ = ["AskTrace", "TraceRing", "Tracer"]

@@ -1,0 +1,74 @@
+"""A fixed-size, lock-striped ring buffer for completed trace spans.
+
+The ring is the memory bound of the whole observability layer: however
+long a session serves, at most ``size`` span objects are retained, and
+a new span simply overwrites the slot of the span ``size`` ids before
+it.  Slots are addressed by span id, so ids double as the eviction
+order; stripes keep concurrent serving threads from contending on one
+global mutex while still making each slot's read-modify-write atomic
+(the tear-freedom the 4-thread hammer test pins).
+
+Only *completed* spans are ever stored — the tracer finishes a span
+before calling :meth:`store` — so readers can never observe a span
+with its duration or answer count missing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..concurrency import StripedLock
+
+
+class TraceRing:
+    """Completed spans, newest-wins, bounded at ``size`` objects."""
+
+    __slots__ = ("size", "_slots", "_stripes")
+
+    def __init__(self, size: int = 1024, stripes: int = 8):
+        if size < 1:
+            raise ValueError("trace ring needs at least one slot")
+        self.size = size
+        self._slots: list = [None] * size
+        self._stripes = StripedLock(min(stripes, size))
+
+    def store(self, span) -> None:
+        """File one completed span under its id's slot."""
+        index = span.span_id % self.size
+        with self._stripes.for_key(index):
+            self._slots[index] = span
+
+    def store_many(self, spans) -> None:
+        """File a drained batch under one stripe sweep.
+
+        Acquiring every stripe once per batch instead of one stripe per
+        span keeps the amortized cost of a deferred drain a fraction of
+        per-span filing.
+        """
+        size = self.size
+        slots = self._slots
+        with self._stripes.all():
+            for span in spans:
+                slots[span.span_id % size] = span
+
+    def spans(self) -> list:
+        """The resident spans, oldest first (ascending span id).
+
+        Group spans (one ``ask_many`` batch execution covering several
+        goals) occupy a single slot but span a range of ids; callers
+        expand them.  The snapshot holds every stripe, so no slot is
+        observed mid-store.
+        """
+        with self._stripes.all():
+            resident = [span for span in self._slots if span is not None]
+        resident.sort(key=lambda span: span.span_id)
+        return resident
+
+    def newest(self) -> Optional[object]:
+        spans = self.spans()
+        return spans[-1] if spans else None
+
+    def clear(self) -> None:
+        with self._stripes.all():
+            for index in range(self.size):
+                self._slots[index] = None

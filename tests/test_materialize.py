@@ -454,6 +454,7 @@ class TestSessionStats:
             "recursion_plans",
             "materialize",
             "resilience",
+            "observe",
         }
         # Maintained views answered every ask here: no cold compiles.
         assert stats["compile_phases"]["cold_compilations"] == 0

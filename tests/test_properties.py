@@ -356,3 +356,117 @@ class TestOptimizerSoundness:
         renamed = predicate.rename(mapping)
         assert renamed.canonical_key() == predicate.canonical_key()
         assert renamed.canonical_form() == predicate.canonical_form()
+
+
+# ---------------------------------------------------------------------------
+# metamorphic serving properties (ROADMAP E20 harness seed)
+# ---------------------------------------------------------------------------
+
+from repro.coupling import PrologDbSession  # noqa: E402
+from repro.coupling.global_opt import CachePolicy  # noqa: E402
+from repro.schema import ALL_VIEWS_SOURCE  # noqa: E402
+
+#: One small shared org: the *schedules* vary per example, not the data.
+_META_ORG = generate_org(depth=2, branching=2, staff_per_dept=3, seed=29)
+_META_NAMES = tuple(employee.nam for employee in _META_ORG.employees)
+
+#: Goal templates, each closed over one employee-name constant.
+_META_TEMPLATES = (
+    "works_dir_for(X, {name})",
+    "works_dir_for({name}, Y)",
+    "empl(E, {name}, S, D)",
+    "same_manager(X, {name})",
+    "works_dir_for(X, Y)",
+)
+
+
+def _meta_goal(template_index: int, name_index: int) -> str:
+    template = _META_TEMPLATES[template_index % len(_META_TEMPLATES)]
+    return template.format(name=_META_NAMES[name_index % len(_META_NAMES)])
+
+
+def _meta_fact(slot: int) -> tuple:
+    """A deterministic empl tuple for mutation op ``slot``."""
+    return (900 + slot, f"hypo{slot:02d}", 21000 + 500 * slot, 1 + slot % 3)
+
+
+def _meta_session(warm: bool) -> PrologDbSession:
+    session = PrologDbSession(
+        plan_cache=warm,
+        cache_policy=CachePolicy(enabled=warm),
+    )
+    session.load_org(_META_ORG)
+    session.consult(ALL_VIEWS_SOURCE)
+    return session
+
+
+_meta_ops = st.one_of(
+    st.tuples(
+        st.just("ask"),
+        st.integers(min_value=0, max_value=len(_META_TEMPLATES) - 1),
+        st.integers(min_value=0, max_value=len(_META_NAMES) - 1),
+    ),
+    st.tuples(st.just("assert"), st.integers(min_value=0, max_value=5)),
+    st.tuples(st.just("retract"), st.integers(min_value=0, max_value=5)),
+)
+
+
+class TestMetamorphicServing:
+    """Warm ≡ cold and batched ≡ serial over generated ask/mutation
+    schedules — shrinking hands back the minimal divergent schedule."""
+
+    @given(schedule=st.lists(_meta_ops, min_size=1, max_size=10))
+    @settings(max_examples=12, deadline=None)
+    def test_warm_equals_cold_under_interleaved_mutations(self, schedule):
+        warm = _meta_session(warm=True)
+        cold = _meta_session(warm=False)
+        try:
+            asks = 0
+            for op in schedule:
+                if op[0] == "ask":
+                    goal = _meta_goal(op[1], op[2])
+                    asks += 1
+                    assert answer_sets(warm.ask(goal)) == answer_sets(
+                        cold.ask(goal)
+                    ), goal
+                elif op[0] == "assert":
+                    warm.assert_fact("empl", *_meta_fact(op[1]))
+                    cold.assert_fact("empl", *_meta_fact(op[1]))
+                else:
+                    assert warm.retract_fact(
+                        "empl", *_meta_fact(op[1])
+                    ) == cold.retract_fact("empl", *_meta_fact(op[1]))
+            # the E20 harness contract: every generated ask left a trace
+            assert warm.stats()["observe"]["spans"] == asks
+            assert len(warm.traces()) == min(asks, warm.tracer.ring.size)
+        finally:
+            warm.close()
+            cold.close()
+
+    @given(
+        goals=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=len(_META_TEMPLATES) - 1),
+                st.integers(min_value=0, max_value=len(_META_NAMES) - 1),
+            ),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_batched_equals_serial(self, goals):
+        session = _meta_session(warm=True)
+        try:
+            texts = [_meta_goal(t, n) for t, n in goals]
+            serial = [session.ask(goal) for goal in texts]
+            batched = session.ask_many(texts)
+            for goal, lone, grouped in zip(texts, serial, batched):
+                assert answer_sets(lone) == answer_sets(grouped), goal
+            # every goal traced: the serial pass and the ask_many pass
+            assert session.stats()["observe"]["spans"] == 2 * len(texts)
+        finally:
+            session.close()
+
+
+def answer_sets(answers):
+    return {frozenset(answer.items()) for answer in answers}
