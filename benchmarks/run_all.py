@@ -3,11 +3,13 @@
 compile-once coupling benchmarks (E12), the incremental view-maintenance
 benchmarks (E13), the concurrent batched serving benchmarks (E14),
 the backend-pushdown benchmarks (E15), the fault-tolerance
-benchmarks (E16), the interval-accelerator benchmarks (E17), and the
+benchmarks (E16), the interval-accelerator benchmarks (E17), the
+scale-out serving benchmarks (E18), and the
 tracing-overhead benchmarks (E20); records ``BENCH_engine.json``,
 ``BENCH_coupling.json``, ``BENCH_materialize.json``,
 ``BENCH_serving.json``, ``BENCH_pushdown.json``,
-``BENCH_resilience.json``, ``BENCH_intervals.json``, and
+``BENCH_resilience.json``, ``BENCH_intervals.json``,
+``BENCH_scaleout.json``, and
 ``BENCH_observe.json`` (per-workload
 wall-clock + the speedup over the pinned baselines), gating regressions.
 
@@ -65,11 +67,12 @@ import bench_e14_serving as e14  # noqa: E402
 import bench_e15_pushdown as e15  # noqa: E402
 import bench_e16_resilience as e16  # noqa: E402
 import bench_e17_intervals as e17  # noqa: E402
+import bench_e18_scaleout as e18  # noqa: E402
 import bench_e20_observe as e20  # noqa: E402
 from repro.dbms import generate_org  # noqa: E402
 
 #: Benchmark selector names accepted by ``--only`` (case-insensitive).
-BENCH_NAMES = ("E11", "E12", "E13", "E14", "E15", "E16", "E17", "E20")
+BENCH_NAMES = ("E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E20")
 
 #: (join facts, join iterations, recursion chain, join gate, recursion gate)
 FULL = (10_000, 5, 300, 5.0, 3.0)
@@ -634,6 +637,78 @@ def run_interval_benchmarks(
     return gates_passed
 
 
+def run_scaleout_benchmarks(
+    quick: bool, output: str, smoke_ok: bool, seed: int
+) -> bool:
+    depth, branching, staff = e18.QUICK_SIZES if quick else e18.FULL_SIZES
+    workers, drivers, total = e18.QUICK_FLEET if quick else e18.FULL_FLEET
+    clients, client_asks, writes = e18.QUICK_COAL if quick else e18.FULL_COAL
+    org = generate_org(
+        depth=depth, branching=branching, staff_per_dept=staff, seed=5
+    )
+
+    print(f"== E18 scale-out benchmarks ({'quick' if quick else 'full'}) ==")
+    fleet = e18.bench_fleet(org, workers, drivers, total)
+    floor = (
+        e18.QUICK_SINGLE_CORE_FLOOR if quick else e18.SINGLE_CORE_FLOOR
+    )
+    fleet_min, fleet_ok = e18.worker_gate(fleet, floor)
+    print(
+        f"{workers}-worker fleet: multi="
+        f"{fleet['multi_worker_asks_per_second']}/s single="
+        f"{fleet['single_worker_asks_per_second']}/s "
+        f"speedup={fleet['speedup']}x "
+        f"(gate {fleet_min} on {fleet['cpu_count']} cpu(s))"
+    )
+    coalesced = e18.coalesced_differential(
+        org, clients, client_asks, writes, seed=seed
+    )
+    print(
+        f"coalesced differential: {coalesced['answers_observed']} answers "
+        f"vs {coalesced['checkpoint_states']} states, "
+        f"stray={coalesced['stray_answers']}, "
+        f"{coalesced['coalesced_batches']} batches "
+        f"({coalesced['batched_goals']} goals coalesced), "
+        f"identical={coalesced['identical']}"
+    )
+
+    gates = {
+        "fleet_min_speedup": fleet_min,
+        "coalesced_differential_identical": True,
+        "min_coalesced_batches": 1,
+    }
+    gates_passed = (
+        fleet_ok
+        and coalesced["identical"]
+        and coalesced["coalesced_batches"] >= 1
+    )
+    record = {
+        "benchmark": "E18 scale-out serving tier "
+        "(multi-process workers + snapshot shipping + coalescing front door)",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "baseline": "one worker process behind the same tier and driver load",
+        "org": {"depth": depth, "branching": branching, "staff_per_dept": staff},
+        "workloads": {
+            "fleet_throughput": fleet,
+            "coalesced_differential": coalesced,
+        },
+        "gates": gates,
+        "passed": bool(gates_passed and smoke_ok),
+    }
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    if not gates_passed:
+        print(
+            f"FAIL: scale-out gates not met (fleet {fleet['speedup']}x vs "
+            f"gate {fleet_min}, coalesced identical="
+            f"{coalesced['identical']}, batches "
+            f"{coalesced['coalesced_batches']})",
+            file=sys.stderr,
+        )
+    return gates_passed
+
+
 def run_observe_benchmarks(
     quick: bool, output: str, smoke_ok: bool, seed: int
 ) -> bool:
@@ -761,6 +836,13 @@ def main() -> int:
         "BENCH_intervals.quick.json)",
     )
     parser.add_argument(
+        "--scaleout-output",
+        default=None,
+        help="where to write the scale-out serving benchmark record "
+        "(default: repo-root BENCH_scaleout.json / "
+        "BENCH_scaleout.quick.json)",
+    )
+    parser.add_argument(
         "--observe-output",
         default=None,
         help="where to write the observability benchmark record (default: "
@@ -828,6 +910,13 @@ def main() -> int:
             else "BENCH_intervals.json"
         )
         arguments.intervals_output = str(REPO_ROOT / name)
+    if arguments.scaleout_output is None:
+        name = (
+            "BENCH_scaleout.quick.json"
+            if arguments.quick
+            else "BENCH_scaleout.json"
+        )
+        arguments.scaleout_output = str(REPO_ROOT / name)
     if arguments.observe_output is None:
         name = (
             "BENCH_observe.quick.json"
@@ -875,6 +964,9 @@ def main() -> int:
         ),
         "E17": lambda: run_interval_benchmarks(
             arguments.quick, arguments.intervals_output, smoke_ok, seed
+        ),
+        "E18": lambda: run_scaleout_benchmarks(
+            arguments.quick, arguments.scaleout_output, smoke_ok, seed
         ),
         "E20": lambda: run_observe_benchmarks(
             arguments.quick, arguments.observe_output, smoke_ok, seed

@@ -40,6 +40,7 @@ from .schema import (
     empdep_schema,
     make_schema,
 )
+from .serving import FrontDoor, ServingTier
 from .sql import print_sql, translate
 
 __version__ = "1.0.0"
@@ -74,6 +75,8 @@ __all__ = [
     "empdep_constraints",
     "empdep_schema",
     "make_schema",
+    "FrontDoor",
+    "ServingTier",
     "print_sql",
     "translate",
     "__version__",

@@ -71,6 +71,7 @@ from ..errors import (
     DeadlineExceeded,
     ExecutionError,
     MetaevaluationError,
+    ReproError,
     TransientBackendError,
 )
 from ..metaevaluate.recursion import (
@@ -364,6 +365,50 @@ class PrologDbSession:
                 relations = load_org(self.database, org)
             self.cache.invalidate(relations)
             self.materialize.on_load(relations)
+
+    def warm(self, goals: Iterable[Union[str, Term]]) -> int:
+        """Prime the plan cache: compile-and-ask each goal, answers discarded.
+
+        The scale-out serving tier (ROADMAP E18) calls this on every
+        worker after a snapshot refresh, so the first real request after
+        a generation change pays a warm plan-cache hit instead of a cold
+        compile.  A goal that fails to compile or execute is skipped —
+        warmup must never take a worker down.  Returns how many goals
+        warmed successfully.
+        """
+        warmed = 0
+        for goal in goals:
+            try:
+                self.ask(goal)
+            except ReproError:
+                continue
+            warmed += 1
+        return warmed
+
+    def program_snapshot(self) -> tuple[int, str]:
+        """The in-memory program as ``(generation, source text)``.
+
+        The payload a scale-out owner ships to read-only workers: every
+        rule and non-base fact, rendered back to Prolog source, stamped
+        with the knowledge base generation it serializes.  Base-relation
+        facts are deliberately excluded — the external store already
+        holds them (the serving tier merges internal segments before
+        publishing), and shipping them would turn read-only workers
+        into writers when their merge procedure fired.
+        """
+        from ..prolog.writer import program_to_string
+
+        with self.kb.lock.read():
+            clauses = []
+            for indicator in list(self.kb.indicators()):
+                name, arity = indicator
+                if (
+                    self.schema.has_relation(name)
+                    and self.schema.relation(name).arity == arity
+                ):
+                    continue
+                clauses.extend(self.kb.all_clauses(indicator))
+            return self.kb.generation, program_to_string(clauses)
 
     @staticmethod
     def _fact_terms(values) -> tuple[Term, ...]:

@@ -33,6 +33,7 @@ reference" storage decision.
 from __future__ import annotations
 
 import itertools
+import os
 import sqlite3
 import threading
 import time
@@ -218,6 +219,12 @@ class ExternalDatabase:
         )
         self._write_lock = threading.RLock()
         self._pooled_reads = pooled_reads
+        #: Pool ownership is per process: a ``fork()`` child inherits the
+        #: parent's pooled reader *objects* but must never use (or close)
+        #: them — two processes stepping on one SQLite handle corrupts
+        #: both.  Every pool entry point checks this stamp and rebuilds
+        #: the pool empty in a child before handing out a connection.
+        self._pool_pid = os.getpid()
         self._readers = threading.local()
         self._reader_connections: list[sqlite3.Connection] = []
         self._reader_finalizers: list = []
@@ -302,6 +309,8 @@ class ExternalDatabase:
         thread is collected, so thread-per-request deployments do not
         accumulate open connections without bound.
         """
+        if self._pool_pid != os.getpid():
+            self._reset_pool_after_fork()
         connection = getattr(self._readers, "connection", None)
         if connection is not None:
             return connection
@@ -350,6 +359,28 @@ class ExternalDatabase:
         with self._pool_lock:
             self._reader_finalizers.append(finalizer)
         return connection
+
+    def _reset_pool_after_fork(self) -> None:
+        """Rebuild the read pool empty in a forked/spawned child process.
+
+        The inherited connection objects stay untouched — they wrap the
+        parent's SQLite handles, and closing them here would run the
+        parent's shutdown logic on duplicated file descriptors.  The
+        child simply forgets them (detaching their finalizers so a
+        child-side GC pass cannot reach back either) and lazily opens
+        its own readers against the same file-backed store.  Locks are
+        recreated too: a lock forked mid-acquisition would stay held
+        forever in the child.
+        """
+        for finalizer in self._reader_finalizers:
+            finalizer.detach()
+        self._pool_pid = os.getpid()
+        self._readers = threading.local()
+        self._reader_connections = []
+        self._reader_finalizers = []
+        self._pool_lock = threading.Lock()
+        self._pool_cond = threading.Condition(self._pool_lock)
+        self._pool_peak = 0
 
     def _retire_reader(self, connection: sqlite3.Connection) -> None:
         """Close a pooled reader whose owning thread has been collected."""

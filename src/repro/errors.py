@@ -231,3 +231,24 @@ class IntervalUnavailable(CouplingError):
     ``strategy="interval"`` explicitly see it raised as a
     :class:`CouplingError`.
     """
+
+
+class SingleProcessStoreError(CouplingError):
+    """The backing store cannot be shared with worker processes.
+
+    A ``:memory:`` database lives inside one process (the shared-cache
+    URI trick only spans *threads*), so a scale-out serving tier built
+    over it would hand every worker an empty store.  The tier fails
+    fast with this class at construction instead of serving silently
+    wrong (empty) answers.
+    """
+
+
+class WorkerUnavailableError(TransientBackendError):
+    """A serving worker process died while requests were outstanding.
+
+    Transient by design: the tier restarts the worker from the current
+    snapshot generation and replays the outstanding requests, so a
+    caller only sees this class when the restart budget itself is
+    exhausted.
+    """

@@ -18,6 +18,6 @@ degraded production ask is explainable from its trace alone.
 """
 
 from .ring import TraceRing
-from .tracer import AskTrace, Tracer
+from .tracer import AskTrace, Tracer, merge_histogram_exports
 
-__all__ = ["AskTrace", "TraceRing", "Tracer"]
+__all__ = ["AskTrace", "TraceRing", "Tracer", "merge_histogram_exports"]

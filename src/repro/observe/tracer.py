@@ -23,7 +23,7 @@ import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from ..concurrency import StripedLock
 from .ring import TraceRing
@@ -176,6 +176,7 @@ class Tracer:
         "ring",
         "slow_query_seconds",
         "wall_clock",
+        "worker_id",
         "_local",
         "_id_lock",
         "_next_id",
@@ -200,8 +201,14 @@ class Tracer:
         slow_query_seconds: float = 0.25,
         wall_clock: Optional[Callable[[], float]] = None,
         slow_log_size: int = 64,
+        worker_id: Optional[str] = None,
     ):
         self.enabled = enabled
+        #: Fleet attribution (ROADMAP E18): when set, every expanded
+        #: span record and stats snapshot carries this id, so traces
+        #: exported from a multi-process serving tier stay attributable
+        #: to the worker that produced them.
+        self.worker_id = worker_id
         self.ring = TraceRing(ring_size)
         self.slow_query_seconds = slow_query_seconds
         #: Injected wall-clock provider — span sites never call
@@ -507,6 +514,8 @@ class Tracer:
             "batched": members is not None,
             "slow": span.slow,
         }
+        if self.worker_id is not None:
+            base["worker"] = self.worker_id
         for name in _OPTIONAL:
             value = getattr(span, name, None)
             if value is not None:
@@ -572,7 +581,7 @@ class Tracer:
                 "p95_ms": round(_bucket_quantile(buckets, 0.95), 4),
                 "p99_ms": round(_bucket_quantile(buckets, 0.99), 4),
             }
-        return {
+        snapshot = {
             "enabled": self.enabled,
             "ring_size": self.ring.size,
             "spans": self._committed,
@@ -582,6 +591,80 @@ class Tracer:
             "callback_errors": self._callback_errors,
             "histograms": histograms,
         }
+        if self.worker_id is not None:
+            snapshot["worker"] = self.worker_id
+        return snapshot
+
+    def histogram_export(self) -> dict:
+        """Raw log2-µs bucket counters per shape, for cross-process merge.
+
+        :meth:`stats_snapshot` collapses each histogram to quantiles,
+        which cannot be combined across workers; this surface keeps the
+        buckets themselves (JSON/pickle-serializable) so a serving tier
+        can sum per-worker counters and *then* take quantiles — see
+        :func:`merge_histogram_exports`.
+        """
+        self._drain()
+        with self._hist_stripes.all():
+            items = [
+                (key, entry[:_H_LATENCIES] + [list(entry[_H_LATENCIES])])
+                for key, entry in self._hist.items()
+            ]
+        export = {}
+        for key, entry in items:
+            name = _digest(key) if isinstance(key, tuple) else key
+            export[name] = {
+                "goal": entry[_H_GOAL],
+                "count": entry[_H_COUNT],
+                "errors": entry[_H_ERRORS],
+                "total_seconds": entry[_H_TOTAL],
+                "buckets": entry[_H_LATENCIES],
+            }
+        return export
+
+
+def merge_histogram_exports(exports: Iterable[dict]) -> dict:
+    """Fold per-worker :meth:`Tracer.histogram_export` payloads into one.
+
+    Bucket counters are summed per shape across the fleet, then the
+    aggregate quantiles are taken from the *merged* buckets — the only
+    order of operations that is correct (quantiles of quantiles are
+    not quantiles).  The result uses the same per-shape record shape as
+    ``stats_snapshot()["histograms"]``, so dashboards can read an
+    aggregate view and a single worker's view interchangeably.
+    """
+    merged: dict = {}
+    for export in exports:
+        for name, entry in export.items():
+            into = merged.get(name)
+            if into is None:
+                merged[name] = {
+                    "goal": entry["goal"],
+                    "count": entry["count"],
+                    "errors": entry["errors"],
+                    "total_seconds": entry["total_seconds"],
+                    "buckets": list(entry["buckets"]),
+                }
+                continue
+            into["count"] += entry["count"]
+            into["errors"] += entry["errors"]
+            into["total_seconds"] += entry["total_seconds"]
+            buckets = into["buckets"]
+            for index, hits in enumerate(entry["buckets"]):
+                buckets[index] += hits
+    histograms = {}
+    for name, entry in merged.items():
+        buckets = entry["buckets"]
+        histograms[name] = {
+            "goal": entry["goal"],
+            "count": entry["count"],
+            "errors": entry["errors"],
+            "total_ms": round(entry["total_seconds"] * 1000.0, 3),
+            "p50_ms": round(_bucket_quantile(buckets, 0.50), 4),
+            "p95_ms": round(_bucket_quantile(buckets, 0.95), 4),
+            "p99_ms": round(_bucket_quantile(buckets, 0.99), 4),
+        }
+    return histograms
 
 
 def _goal_text(goal) -> Optional[str]:
