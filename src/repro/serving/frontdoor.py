@@ -70,15 +70,20 @@ class FrontDoor:
         bucket = self._buckets.get(key)
         if bucket is None:
             self._buckets[key] = bucket = []
-            loop.create_task(self._close_window(key))
+            loop.create_task(self._close_window(key, bucket))
         bucket.append((future, term))
         if len(bucket) >= self.max_batch:
             self._flush(key)
         return await future
 
-    async def _close_window(self, key) -> None:
+    async def _close_window(self, key, bucket) -> None:
+        # The bucket's identity is its epoch: if the max-batch path
+        # already flushed this window and a fresh bucket opened under
+        # the same key, this stale timer must not cut the new window
+        # short — the new bucket's own timer is pending.
         await asyncio.sleep(self.window_seconds)
-        self._flush(key)
+        if self._buckets.get(key) is bucket:
+            self._flush(key)
 
     def _flush(self, key) -> None:
         bucket = self._buckets.pop(key, None)

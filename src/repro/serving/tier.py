@@ -8,9 +8,10 @@ and then load-balances ``ask``/``ask_many`` across them round-robin.
 **Generation coherence.**  Every write goes through the tier, which
 merges the owner's internal segment to the external store *first* (so
 the shared WAL file holds the full union), then publishes the new
-generation — a cheap ``("generation", g)`` advance for data-only writes
-(the WAL file itself carries the rows), a full ``("refresh", g,
-program)`` payload when the program changed.  Publishing and request
+generation — a cheap ``("generation", g)`` advance for base-relation
+writes (the WAL file itself carries the rows), a full ``("refresh", g,
+program)`` payload when the program changed: consults, and writes to
+non-base predicates, whose facts exist only in the snapshot.  Publishing and request
 dispatch share one lock, and each worker's queue is FIFO, so a request
 stamped with generation floor *g* can only be processed after the
 worker has seen the advance to *g*: no answer is ever served from a
@@ -37,6 +38,7 @@ import itertools
 import multiprocessing
 import threading
 import time
+from multiprocessing import connection as mp_connection
 
 from ..concurrency import Deadline
 from ..errors import (
@@ -69,6 +71,7 @@ class PendingRequest:
         "status",
         "result_payload",
         "_event",
+        "_abandon",
     )
 
     def __init__(self, req_id, kind, payload, max_solutions, deadline):
@@ -83,6 +86,7 @@ class PendingRequest:
         self.status = None
         self.result_payload = None
         self._event = threading.Event()
+        self._abandon = None
 
     def complete(self, status, payload, generation, worker_index) -> None:
         self.status = status
@@ -94,6 +98,8 @@ class PendingRequest:
     def result(self, timeout=None):
         """Block for the answer; re-raise typed errors from the worker."""
         if not self._event.wait(timeout):
+            if self._abandon is not None:
+                self._abandon(self)
             raise TimeoutError(
                 f"serving request {self.req_id} unanswered after {timeout}s"
             )
@@ -121,12 +127,20 @@ def _rebuild_error(name: str, message: str, detail) -> Exception:
 class _WorkerHandle:
     """Owner-side bookkeeping for one worker process."""
 
-    __slots__ = ("index", "process", "requests", "ready", "restarts")
+    __slots__ = (
+        "index",
+        "process",
+        "requests",
+        "response_reader",
+        "ready",
+        "restarts",
+    )
 
     def __init__(self, index):
         self.index = index
         self.process = None
         self.requests = None
+        self.response_reader = None
         self.ready = None
         self.restarts = 0
 
@@ -164,11 +178,21 @@ class ServingTier:
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        # SimpleQueue over Queue throughout: the synchronous pickle+write
-        # path has no feeder thread, so a fleet of N workers does not put
-        # N+1 extra GIL-hungry threads in the owner process — on a small
-        # host that overhead alone collapses throughput.
-        self._responses = self._ctx.SimpleQueue()
+        # Request queues are SimpleQueue over Queue: the synchronous
+        # pickle+write path has no feeder thread, so a fleet of N workers
+        # does not put N+1 extra GIL-hungry threads in the owner process —
+        # on a small host that overhead alone collapses throughput.
+        # Responses deliberately do NOT share one queue: a SimpleQueue
+        # shared by many writers serializes them through one cross-process
+        # write-lock semaphore, and a worker SIGKILLed between finishing
+        # its write and releasing that semaphore (routine on a one-core
+        # host, where the owner wakes on the received bytes and may kill
+        # the worker before it is rescheduled) orphans the lock and
+        # deadlocks every future response — fleet-wide.  Each worker
+        # instead owns a single-writer pipe, which needs no lock at all;
+        # the collector multiplexes over them with ``connection.wait``,
+        # and a killed worker poisons nothing: its pipe just hits EOF.
+        self._response_readers: set = set()
         self._lock = threading.RLock()
         self._pending: dict[int, PendingRequest] = {}
         self._req_ids = itertools.count(1)
@@ -208,6 +232,8 @@ class ServingTier:
         """Spawn (or respawn) one worker from the current snapshot."""
         handle.requests = self._ctx.SimpleQueue()
         handle.ready = self._ctx.Event()
+        reader, writer = self._ctx.Pipe(duplex=False)
+        handle.response_reader = reader
         handle.process = self._ctx.Process(
             target=worker_main,
             name=f"repro-serving-{handle.index}",
@@ -220,13 +246,16 @@ class ServingTier:
                 self._generation,
                 list(self._warm_goals),
                 handle.requests,
-                self._responses,
+                writer,
                 handle.ready,
                 self._slow_query_seconds,
             ),
             daemon=True,
         )
         handle.process.start()
+        writer.close()  # the worker holds the only write end now
+        with self._lock:
+            self._response_readers.add(reader)
 
     def wait_ready(self, timeout: float = 30.0) -> None:
         """Block until every worker has warmed its plan cache."""
@@ -248,8 +277,12 @@ class ServingTier:
             return self._generation
 
     def worker_pids(self) -> list:
+        """Per-slot pids; ``None`` marks a restart-budget-exhausted slot."""
         with self._lock:
-            return [handle.process.pid for handle in self._workers]
+            return [
+                handle.process.pid if handle.process is not None else None
+                for handle in self._workers
+            ]
 
     def kill_worker(self, index: int) -> int:
         """Hard-kill one worker (test/chaos hook); returns its pid."""
@@ -295,6 +328,15 @@ class ServingTier:
             ]
             process.join(timeout=0)
             handle.restarts += 1
+            # The dead worker's pipe may still buffer responses, but every
+            # request they could answer is replayed (or failed) below, and
+            # a request completed twice resolves once — so retire the pipe
+            # now rather than waiting for an EOF that, under fork, only
+            # arrives once every later-spawned worker has also exited
+            # (children inherit their elders' write ends).
+            if handle.response_reader is not None:
+                self._discard_reader(handle.response_reader)
+                handle.response_reader = None
             if handle.restarts > self._restart_limit:
                 handle.process = None
                 for pending in outstanding:
@@ -323,7 +365,21 @@ class ServingTier:
     # -- request dispatch ------------------------------------------------------
 
     def _pick_worker(self) -> int:
-        return next(self._round_robin) % len(self._workers)
+        """Next *live* worker round-robin; caller holds ``self._lock``.
+
+        A handle whose restart budget is exhausted has ``process set to
+        None`` and no consumer on its queue — dispatching there would
+        strand the request until timeout.  Skip such handles; if the
+        whole fleet is gone, surface the typed transient error so the
+        caller's retry layer takes over immediately.
+        """
+        for _ in range(len(self._workers)):
+            index = next(self._round_robin) % len(self._workers)
+            if self._workers[index].process is not None:
+                return index
+        raise WorkerUnavailableError(
+            "no live worker: every worker exhausted its restart budget"
+        )
 
     def _dispatch_locked(self, pending: PendingRequest, index: int) -> None:
         """Enqueue one request to one worker; caller holds ``self._lock``.
@@ -353,20 +409,33 @@ class ServingTier:
     def _submit(
         self, kind, payload, max_solutions=None, deadline=None, worker=None
     ) -> PendingRequest:
-        if self._closed:
-            raise ExecutionError("serving tier is closed")
         scope = Deadline(deadline) if deadline is not None else None
         pending = PendingRequest(
             next(self._req_ids), kind, payload, max_solutions, scope
         )
+        pending._abandon = self._forget
         with self._lock:
+            # Checked under the lock: close() flips the flag and fails
+            # the pendings under the same lock, so a racing submit can
+            # never slip a request onto a worker being stopped.
+            if self._closed:
+                raise ExecutionError("serving tier is closed")
+            index = worker if worker is not None else self._pick_worker()
+            if self._workers[index].process is None:
+                raise WorkerUnavailableError(
+                    f"worker {index} exhausted its restart budget"
+                )
             self._counters["requests"] += 1
             if kind == "ask_many":
                 self._counters["batched_requests"] += 1
-            index = worker if worker is not None else self._pick_worker()
             self._pending[pending.req_id] = pending
             self._dispatch_locked(pending, index)
         return pending
+
+    def _forget(self, pending: PendingRequest) -> None:
+        """Drop a timed-out request so it cannot leak in ``_pending``."""
+        with self._lock:
+            self._pending.pop(pending.req_id, None)
 
     def submit(self, goal, max_solutions=None, deadline=None, worker=None):
         """Dispatch one goal; returns a :class:`PendingRequest` future."""
@@ -396,20 +465,40 @@ class ServingTier:
             timeout
         )
 
+    def _discard_reader(self, reader) -> None:
+        """Retire one response pipe (idempotent; collector or restart)."""
+        with self._lock:
+            self._response_readers.discard(reader)
+        try:
+            reader.close()
+        except OSError:
+            pass
+
     def _collect(self) -> None:
-        while True:
-            try:
-                item = self._responses.get()
-            except (EOFError, OSError):
-                return  # queue torn down: close() is underway
-            if item is None:
-                return  # close() sentinel
-            req_id, worker_index, generation, status, payload = item
+        while not self._closed:
             with self._lock:
-                pending = self._pending.pop(req_id, None)
-            if pending is None:
-                continue  # a replayed duplicate already resolved this one
-            pending.complete(status, payload, generation, worker_index)
+                readers = list(self._response_readers)
+            if not readers:
+                time.sleep(self._monitor_interval)
+                continue
+            try:
+                ready = mp_connection.wait(
+                    readers, timeout=self._monitor_interval
+                )
+            except (OSError, ValueError):
+                continue  # a reader was retired mid-wait; rebuild the set
+            for reader in ready:
+                try:
+                    item = reader.recv()
+                except (EOFError, OSError):
+                    self._discard_reader(reader)
+                    continue
+                req_id, worker_index, generation, status, payload = item
+                with self._lock:
+                    pending = self._pending.pop(req_id, None)
+                if pending is None:
+                    continue  # a replayed duplicate already resolved this
+                pending.complete(status, payload, generation, worker_index)
 
     # -- writes: funnel to the owner, publish the new generation ---------------
 
@@ -421,16 +510,16 @@ class ServingTier:
     def assert_fact(self, functor: str, *values) -> None:
         """Write one fact through the owner and make it fleet-visible."""
         self._owner.assert_fact(functor, *values)
-        self._externalize(functor, len(values))
-        self._publish(refresh=False)
+        external = self._externalize(functor, len(values))
+        self._publish(refresh=not external)
 
     def retract_fact(self, functor: str, *values) -> bool:
         found = self._owner.retract_fact(functor, *values)
-        self._externalize(functor, len(values))
-        self._publish(refresh=False)
+        external = self._externalize(functor, len(values))
+        self._publish(refresh=not external)
         return found
 
-    def _externalize(self, functor: str, arity: int) -> None:
+    def _externalize(self, functor: str, arity: int) -> bool:
         """Merge the owner's internal segment so the WAL file has the union.
 
         Workers read the shared file, not the owner's memory: a fact
@@ -439,15 +528,24 @@ class ServingTier:
         merges eagerly at write time instead — the same merge procedure
         the ask pipeline runs, just moved before the generation
         publish.
+
+        Returns True when the functor is an externalizable schema
+        relation, i.e. the shared file carries the write and a cheap
+        generation advance suffices.  A non-base fact exists only in
+        the program snapshot (``program_snapshot`` excludes base
+        relations, nothing else), so the caller must publish a full
+        refresh or live workers would stamp answers with a generation
+        whose data they never received.
         """
         schema = self._owner.schema
         if not (
             schema.has_relation(functor)
             and schema.relation(functor).arity == arity
         ):
-            return
+            return False
         if self._owner.kb.fact_count((functor, arity)):
             self._owner.merger.materialise_internal(functor)
+        return True
 
     def _publish(self, refresh: bool) -> None:
         generation, program = self._owner.program_snapshot()
@@ -577,12 +675,13 @@ class ServingTier:
             handle.process.close()
             handle.process = None
         self._monitor.join(timeout=_STOP_GRACE_SECONDS)
-        try:
-            self._responses.put(None)  # unblock the collector
-        except (ValueError, OSError):
-            pass
+        # The collector polls self._closed between waits, so it exits on
+        # its own — no sentinel write that could block on worker state.
         self._collector.join(timeout=_STOP_GRACE_SECONDS)
-        self._responses.close()
+        for handle in workers:
+            if handle.response_reader is not None:
+                self._discard_reader(handle.response_reader)
+                handle.response_reader = None
 
     def __enter__(self) -> "ServingTier":
         return self

@@ -138,20 +138,24 @@ def worker_main(
             except DeadlineExceeded as error:
                 detail = dict(error.partial)
                 detail["worker"] = label
-                responses.put(
+                responses.send(
                     (req_id, index, generation, "error",
                      ("DeadlineExceeded", str(error), detail))
                 )
             except Exception as error:  # noqa: BLE001 - serialized to the owner
-                responses.put(
+                responses.send(
                     (req_id, index, generation, "error",
                      (type(error).__name__, str(error), None))
                 )
             else:
-                responses.put((req_id, index, generation, "ok", payload))
+                responses.send((req_id, index, generation, "ok", payload))
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # queues torn down under us: the owner is shutting down
     finally:
+        try:
+            responses.close()
+        except OSError:
+            pass
         try:
             session.close()
         except Exception:  # noqa: BLE001 - nothing to report to anymore

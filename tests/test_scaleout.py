@@ -188,6 +188,30 @@ def test_writes_publish_generations_workers_see_them(fleet):
     assert not any(f"gen{eno}" in str(v) for a in answers for v in a.values())
 
 
+def test_non_base_fact_is_fleet_visible(fleet):
+    session, tier, org = fleet
+    # 'approves' is not a schema relation: the WAL file carries nothing
+    # for it and program snapshots are the only transport, so the tier
+    # must publish a full refresh — a bare generation advance would
+    # leave live workers stamping answers they never received data for.
+    before = tier.generation
+    tier.assert_fact("approves", "root_office", "audit_plan")
+    assert tier.generation > before
+    want = answer_set(session.ask("approves(root_office, X)"))
+    assert want
+    for index in range(tier.workers):
+        answers = tier.submit(
+            "approves(root_office, X)", worker=index
+        ).result(30)
+        assert answer_set(answers) == want
+    assert tier.retract_fact("approves", "root_office", "audit_plan")
+    for index in range(tier.workers):
+        assert (
+            tier.submit("approves(root_office, X)", worker=index).result(30)
+            == []
+        )
+
+
 def test_consult_refreshes_every_worker(fleet):
     session, tier, org = fleet
     names = [employee.nam for employee in org.employees]
@@ -277,6 +301,46 @@ def test_worker_kill_restart_replay(org, tmp_path):
         session.close()
 
 
+def test_exhausted_worker_is_skipped_not_hung_on(org, tmp_path):
+    """Dead slots must not receive dispatches once their budget is spent."""
+    from repro.errors import WorkerUnavailableError
+
+    session = make_owner(str(tmp_path / "dead.db"), org)
+    boss = org.root_manager_name()
+    goal = f"same_manager(X, {boss})"
+    tier = ServingTier(session, workers=2, restart_limit=0)
+    tier.wait_ready()
+    try:
+        want = answer_set(session.ask(goal))
+        tier.kill_worker(0)
+        give_up = time.monotonic() + 30
+        while tier.worker_pids()[0] is not None:
+            assert time.monotonic() < give_up, "monitor never retired slot 0"
+            time.sleep(0.02)
+        # round-robin skips the dead slot: every ask lands on worker 1
+        # instead of every other one hanging on a consumer-less queue
+        for _ in range(4):
+            assert answer_set(tier.ask(goal, timeout=20)) == want
+        # explicit dispatch to the dead slot fails fast and typed
+        with pytest.raises(WorkerUnavailableError):
+            tier.submit(goal, worker=0)
+        tier.kill_worker(1)
+        give_up = time.monotonic() + 30
+        while tier.worker_pids()[1] is not None:
+            assert time.monotonic() < give_up, "monitor never retired slot 1"
+            time.sleep(0.02)
+        # a fleet with no live worker surfaces the typed transient error
+        # immediately — the retry layer's signal — not a 60s timeout
+        started = time.monotonic()
+        with pytest.raises(WorkerUnavailableError):
+            tier.ask(goal)
+        assert time.monotonic() - started < 5.0
+        assert tier.stats()["serving"]["pending"] == 0
+    finally:
+        tier.close()
+        session.close()
+
+
 # -- the asyncio front door ---------------------------------------------------------
 
 
@@ -299,6 +363,37 @@ def test_front_door_coalesces_same_shape_goals(fleet):
     ]
     assert door.stats["batches"] >= 1
     assert door.stats["batched_goals"] >= len(goals) // 2
+
+
+def test_front_door_stale_timer_does_not_cut_new_window(fleet):
+    session, tier, org = fleet
+    names = [employee.nam for employee in org.employees]
+    goals = [f"same_manager(X, {names[i % len(names)]})" for i in range(4)]
+
+    async def drive():
+        door = FrontDoor(tier, window_seconds=0.5, max_batch=2)
+        # Two goals hit max_batch and flush at once; the flushed
+        # window's timer task stays pending for another 0.5s.
+        first = [asyncio.ensure_future(door.ask(goal)) for goal in goals[:2]]
+        await asyncio.sleep(0.4)
+        # A new same-shape bucket opens at t≈0.4 (window closes t≈0.9).
+        third = asyncio.ensure_future(door.ask(goals[2]))
+        await asyncio.sleep(0.3)
+        # The stale timer expired at t≈0.5 — between the third and
+        # fourth arrivals.  It must not have flushed the new bucket,
+        # so the fourth goal (t≈0.7) still joins it.
+        fourth = asyncio.ensure_future(door.ask(goals[3]))
+        results = await asyncio.gather(*first, third, fourth)
+        return door, results
+
+    door, results = asyncio.run(drive())
+    serial = [session.ask(goal) for goal in goals]
+    assert [answer_set(a) for a in results] == [
+        answer_set(a) for a in serial
+    ]
+    assert door.stats["batches"] == 2
+    assert door.stats["batched_goals"] == 4
+    assert door.stats["solo_dispatches"] == 0
 
 
 def test_front_door_deadline_bypasses_coalescing(fleet):
