@@ -4,12 +4,13 @@ compile-once coupling benchmarks (E12), the incremental view-maintenance
 benchmarks (E13), the concurrent batched serving benchmarks (E14),
 the backend-pushdown benchmarks (E15), the fault-tolerance
 benchmarks (E16), the interval-accelerator benchmarks (E17), the
-scale-out serving benchmarks (E18), and the
+scale-out serving benchmarks (E18), the consistent-query-answering
+benchmarks (E19), and the
 tracing-overhead benchmarks (E20); records ``BENCH_engine.json``,
 ``BENCH_coupling.json``, ``BENCH_materialize.json``,
 ``BENCH_serving.json``, ``BENCH_pushdown.json``,
 ``BENCH_resilience.json``, ``BENCH_intervals.json``,
-``BENCH_scaleout.json``, and
+``BENCH_scaleout.json``, ``BENCH_cqa.json``, and
 ``BENCH_observe.json`` (per-workload
 wall-clock + the speedup over the pinned baselines), gating regressions.
 
@@ -68,11 +69,14 @@ import bench_e15_pushdown as e15  # noqa: E402
 import bench_e16_resilience as e16  # noqa: E402
 import bench_e17_intervals as e17  # noqa: E402
 import bench_e18_scaleout as e18  # noqa: E402
+import bench_e19_cqa as e19  # noqa: E402
 import bench_e20_observe as e20  # noqa: E402
 from repro.dbms import generate_org  # noqa: E402
 
 #: Benchmark selector names accepted by ``--only`` (case-insensitive).
-BENCH_NAMES = ("E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E20")
+BENCH_NAMES = (
+    "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"
+)
 
 #: (join facts, join iterations, recursion chain, join gate, recursion gate)
 FULL = (10_000, 5, 300, 5.0, 3.0)
@@ -779,6 +783,81 @@ def run_observe_benchmarks(
     return gates_passed
 
 
+def run_cqa_benchmarks(
+    quick: bool, output: str, smoke_ok: bool, seed: int
+) -> bool:
+    cases, warm_asks, min_speedup = (
+        e19.QUICK_SIZES if quick else e19.FULL_SIZES
+    )
+
+    print(f"== E19 consistent-query-answering benchmarks "
+          f"({'quick' if quick else 'full'}) ==")
+    differential = e19.bench_differential(seed=seed, cases=cases)
+    print(
+        f"certain-answer differential: {differential['identical']}/"
+        f"{differential['cases']} identical to repair brute force "
+        f"(modes: {differential['modes']})"
+    )
+    identity = e19.bench_clean_identity()
+    print(
+        f"clean-store identity: {identity['identical']}/"
+        f"{identity['goals']} byte-identical, "
+        f"{identity['extra_statements']} extra statements, "
+        f"{identity['probes']} probes for "
+        f"{identity['clean_fast_paths']} fast-path asks"
+    )
+    speedup = e19.bench_warm_speedup(warm_asks)
+    print(
+        f"warm rewriting: {speedup['warm_asks_per_second']}/s warm vs "
+        f"{speedup['cold_asks_per_second']}/s cold compile "
+        f"({speedup['speedup']}x, gate >= {min_speedup}x)"
+    )
+
+    gates = {
+        "differential_identical": True,
+        "both_paths_exercised": True,
+        "clean_identity": True,
+        "clean_extra_statements_zero": True,
+        "min_warm_speedup": min_speedup,
+    }
+    gates_passed = (
+        differential["all_identical"]
+        and differential["both_paths_exercised"]
+        and identity["all_identical"]
+        and identity["extra_statements"] == 0
+        and speedup["speedup"] >= min_speedup
+    )
+    record = {
+        "benchmark": "E19 consistent query answering "
+        "(violation probes + Koutris-Wijsen certainty rewriting + "
+        "block-wise repair enumeration)",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "baseline": "plain ask() intersected over every explicitly "
+        "materialized repair (one fresh store + session per repair)",
+        "workloads": {
+            "differential": differential,
+            "clean_identity": identity,
+            "warm_speedup": speedup,
+        },
+        "gates": gates,
+        "passed": bool(gates_passed and smoke_ok),
+    }
+    Path(output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    if not gates_passed:
+        print(
+            f"FAIL: cqa gates not met (identical="
+            f"{differential['identical']}/{differential['cases']}, "
+            f"modes={differential['modes']}, clean identical="
+            f"{identity['identical']}/{identity['goals']}, extra "
+            f"statements={identity['extra_statements']}, speedup="
+            f"{speedup['speedup']}x vs {min_speedup}x)",
+            file=sys.stderr,
+        )
+    return gates_passed
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -841,6 +920,13 @@ def main() -> int:
         help="where to write the scale-out serving benchmark record "
         "(default: repo-root BENCH_scaleout.json / "
         "BENCH_scaleout.quick.json)",
+    )
+    parser.add_argument(
+        "--cqa-output",
+        default=None,
+        help="where to write the consistent-query-answering benchmark "
+        "record (default: repo-root BENCH_cqa.json / "
+        "BENCH_cqa.quick.json)",
     )
     parser.add_argument(
         "--observe-output",
@@ -917,6 +1003,11 @@ def main() -> int:
             else "BENCH_scaleout.json"
         )
         arguments.scaleout_output = str(REPO_ROOT / name)
+    if arguments.cqa_output is None:
+        name = (
+            "BENCH_cqa.quick.json" if arguments.quick else "BENCH_cqa.json"
+        )
+        arguments.cqa_output = str(REPO_ROOT / name)
     if arguments.observe_output is None:
         name = (
             "BENCH_observe.quick.json"
@@ -967,6 +1058,9 @@ def main() -> int:
         ),
         "E18": lambda: run_scaleout_benchmarks(
             arguments.quick, arguments.scaleout_output, smoke_ok, seed
+        ),
+        "E19": lambda: run_cqa_benchmarks(
+            arguments.quick, arguments.cqa_output, smoke_ok, seed
         ),
         "E20": lambda: run_observe_benchmarks(
             arguments.quick, arguments.observe_output, smoke_ok, seed

@@ -66,8 +66,17 @@ from ..dbms.internal_db import assert_answers, term_to_value
 from ..dbms.merge import SegmentMerger
 from ..dbms.sqlite_backend import ExternalDatabase
 from ..dbms.workload import OrgHierarchy, load_org
+from ..cqa import (
+    CqaStats,
+    RelationViolations,
+    ViolationDetector,
+    certain_answers as cqa_certain_answers,
+    peel_order,
+    split_blocks,
+)
 from ..errors import (
     CouplingError,
+    CqaError,
     DeadlineExceeded,
     ExecutionError,
     MetaevaluationError,
@@ -104,7 +113,7 @@ from ..schema.constraints import ConstraintSet
 from ..schema.empdep import empdep_constraints, empdep_schema
 from ..sql.ast import SqlQuery
 from ..sql.printer import print_sql
-from ..sql.translate import translate
+from ..sql.translate import certainty_suffix, translate
 from .global_opt import (
     UNCACHEABLE,
     CachePolicy,
@@ -117,6 +126,7 @@ from .global_opt import (
     goal_with_markers,
     marker_columns,
     marker_for,
+    marker_index,
     markers_in_comparisons,
     markers_in_rows,
     plan_goal,
@@ -285,6 +295,22 @@ class PrologDbSession:
         self.plans = PlanCache()
         self.compile_phases = CompilePhaseStats()
         self.recursion_plans = RecursionPlanStats()
+        #: Consistent query answering (ROADMAP E19): key-violation
+        #: detection with per-generation probe caching, plus the
+        #: counters ``stats()["cqa"]`` reports.
+        self.cqa_stats = CqaStats()
+        self.cqa_detector = ViolationDetector(
+            self.database, self.constraints, stats=self.cqa_stats
+        )
+        #: Certain-answer sets from repair enumeration, keyed by
+        #: (predicate canonical key, involved data generations) — any
+        #: mutation of an involved relation changes the key.
+        self._cqa_memo: dict[tuple, frozenset] = {}
+        self._cqa_memo_lock = threading.Lock()
+        #: Reachable-base-relation sets per (goal indicators, kb
+        #: generation) — the call graph only changes with the kb, so a
+        #: warm consistent ask skips the graph traversal entirely.
+        self._cqa_relations_memo: dict[tuple, frozenset] = {}
         #: Per-ask tracing (ROADMAP E20).  ``tracing=False`` is the kill
         #: switch: ``Tracer.begin`` then returns ``None`` before any
         #: allocation and the backend execute observer is never installed.
@@ -878,6 +904,575 @@ class PrologDbSession:
                 return True
         return False
 
+    # -- consistent query answering (ROADMAP E19) -------------------------------------
+
+    def ask_consistent(
+        self,
+        goal: Union[str, Term],
+        max_solutions: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> list[dict[str, Value]]:
+        """The goal's *certain* answers: tuples true in every repair.
+
+        A repair keeps exactly one tuple of each primary-key-equal block
+        of every base relation; certain answers are the intersection of
+        the goal's answers over all repairs (consistent query answering).
+        Three regimes, decided per ask:
+
+        * **clean store** — one cached key-violation probe per involved
+          relation shows no violating blocks; the ask delegates to the
+          plain pipeline and returns byte-identical answers with zero
+          additional statements (the probe itself is cached against the
+          backend's per-relation data generation);
+        * **rewritten** — the goal's attack graph is acyclic
+          (Koutris–Wijsen), so a certainty condition is appended to the
+          plain translated query and the whole rewriting executes as one
+          prepared, parameterized statement cached in the plan cache
+          under the shape's consistent-mode variant — warm consistent
+          asks run at warm-ask speed;
+        * **enumerated** — outside the rewritable class (self-joins, an
+          attack cycle), answers are intersected over the block-wise
+          repair space, bounded by
+          :data:`~repro.cqa.repairs.MAX_REPAIRS` and memoized per data
+          generation.
+
+        Only pure-external, non-recursive conjunctive goals have repair
+        semantics here; anything else raises
+        :class:`~repro.errors.CqaError`.  ``deadline`` and transient
+        retries behave exactly as in :meth:`ask`.
+        """
+        if isinstance(goal, str):
+            goal = parse_goal(goal)
+        span = self.tracer.begin(goal, kind="ask_consistent")
+        if span is None:
+            with self.database.deadline(deadline):
+                return self._ask_consistent_resilient(goal, max_solutions, None)
+        try:
+            with self.database.deadline(deadline):
+                answers = self._ask_consistent_resilient(
+                    goal, max_solutions, span
+                )
+                if deadline is not None:
+                    scope = self.database.current_deadline()
+                    if scope is not None:
+                        span.deadline_remaining = round(scope.remaining(), 6)
+            span.answers = len(answers)
+            return answers
+        except Exception as error:
+            span.error = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            self.tracer.commit(span)
+
+    def _ask_consistent_resilient(
+        self, goal: Term, max_solutions: Optional[int], span=None
+    ) -> list[dict[str, Value]]:
+        """Retry transient failures around the whole consistent ask."""
+        policy = self.database.policy
+        attempts = 0
+        while True:
+            try:
+                return self._ask_consistent_once(goal, max_solutions, span)
+            except TransientBackendError:
+                attempts += 1
+                if not policy.enabled or attempts > policy.max_ask_retries:
+                    raise
+                self.database.resilience.incr("ask_retries")
+                pause = policy.ask_retry_pause * min(attempts, 8)
+                scope = self.database.current_deadline()
+                if scope is not None:
+                    if scope.expired:
+                        raise
+                    pause = scope.clamp(pause)
+                time.sleep(pause)
+
+    def _ask_consistent_once(
+        self, goal: Term, max_solutions: Optional[int], span=None
+    ) -> list[dict[str, Value]]:
+        relations = self._relations_of_goal(goal)
+        self._merge_pending_for(relations)
+        dirty: dict[str, RelationViolations] = {}
+        for name in sorted(relations):
+            snapshot = self.cqa_detector.violations(name)
+            if not snapshot.is_clean:
+                dirty[name] = snapshot
+        if not dirty:
+            # Every repair of a clean store is the store itself: certain
+            # answers coincide with plain answers, and the plain pipeline
+            # (same span, same caches) answers without one extra
+            # statement beyond the cached probes above.
+            self.cqa_stats.incr("clean_fast_paths")
+            if span is not None:
+                span.cqa = {"mode": "clean_fast_path", "violating_blocks": 0}
+            return self._ask_once(goal, max_solutions, span)
+        with self.kb.lock.write():
+            return self._ask_consistent_dirty(goal, dirty, max_solutions, span)
+
+    def _merge_pending_for(self, relations: Iterable[str]) -> None:
+        """Merge pending internal segments before violation probes.
+
+        A fact asserted into a base relation can introduce (or resolve)
+        a key violation; probing the pre-merge store would answer for
+        data the subsequent execution never sees.
+        """
+        pending = [
+            name
+            for name in sorted(set(relations))
+            if self.kb.fact_count((name, self.schema.relation(name).arity))
+        ]
+        if not pending:
+            return
+        with self.kb.lock.write():
+            for name in pending:
+                if self.kb.fact_count((name, self.schema.relation(name).arity)):
+                    self.merger.materialise_internal(name)
+
+    def _relations_of_goal(self, goal: Term) -> set[str]:
+        """Base relations the goal can read, transitively through views."""
+        import networkx as nx
+
+        indicators = []
+        for term in conjuncts(goal):
+            try:
+                indicators.append(goal_indicator(term))
+            except ValueError:
+                continue
+        memo_key = (frozenset(indicators), self.kb.generation)
+        cached = self._cqa_relations_memo.get(memo_key)
+        if cached is not None:
+            return set(cached)
+        graph = (
+            self.plans.graph(self.kb, self.schema)
+            if self._plan_caching
+            else view_call_graph(self.kb, self.schema)
+        )
+        relations: set[str] = set()
+        for indicator in indicators:
+            reachable = {indicator}
+            if graph.has_node(indicator):
+                reachable |= set(nx.descendants(graph, indicator))
+            for name, arity in reachable:
+                if (
+                    self.schema.has_relation(name)
+                    and self.schema.relation(name).arity == arity
+                ):
+                    relations.add(name)
+        if len(self._cqa_relations_memo) >= 128:
+            self._cqa_relations_memo.clear()
+        self._cqa_relations_memo[memo_key] = frozenset(relations)
+        return relations
+
+    def _ask_consistent_dirty(
+        self,
+        goal: Term,
+        dirty: dict[str, RelationViolations],
+        max_solutions: Optional[int],
+        span=None,
+    ) -> list[dict[str, Value]]:
+        """The certain-answer pipeline for a store with violations."""
+        goal_vars = [v for v in variables_of(goal) if not v.is_anonymous]
+        shape: Optional[GoalShape] = None
+        if self._plan_caching:
+            self.plans.sync(self.kb)
+            base = goal_shape(goal)
+            if base is not None:
+                # The consistent-mode variant of the shape: same constants,
+                # prefixed key, so plain and rewritten plans never collide.
+                shape = GoalShape(
+                    key=("cqa",) + base.key, constants=base.constants
+                )
+                cached = self.plans.lookup(shape)
+                if cached is UNCACHEABLE:
+                    shape = None
+                elif cached is not None:
+                    self.cqa_stats.incr("rewrite_cache_hits")
+                    if span is not None:
+                        span.shape_key = shape.key
+                        span.plan_cache = "hit"
+                        span.plan_kind = cached.kind
+                    return self._execute_cqa_plan(
+                        cached, shape.constants, goal_vars, dirty,
+                        max_solutions, span,
+                    )
+        constants = shape.constants if shape is not None else ()
+        try:
+            material, plan = self._compile_cqa_plan(goal, shape)
+        except CqaError:
+            raise
+        except Exception:
+            if shape is not None:
+                self.plans.mark_uncacheable(shape)
+            raise
+        if span is not None:
+            span.plan_cache = "miss"
+            span.plan_kind = plan.kind
+            if shape is not None:
+                span.shape_key = shape.key
+        if shape is not None:
+            self.plans.store(shape, material, plan)
+        return self._execute_cqa_plan(
+            plan, constants, goal_vars, dirty, max_solutions, span
+        )
+
+    def _compile_cqa_plan(
+        self, goal: Term, shape: Optional[GoalShape]
+    ) -> tuple[frozenset, CompiledPlan]:
+        """Classify the goal and compile its consistent-mode plan."""
+        if self._is_recursive(goal):
+            raise CqaError(
+                "consistent answers are not defined for recursive goals: "
+                "neither the rewriting nor the repair enumeration covers "
+                "them (ROADMAP E19 scope)"
+            )
+        graph = (
+            self.plans.graph(self.kb, self.schema) if self._plan_caching else None
+        )
+        try:
+            split = plan_goal(self.kb, self.schema, goal, graph=graph)
+        except CouplingError as error:
+            raise CqaError(
+                f"goal mixes internal and external knowledge inside one "
+                f"view; repairs only range over the external store: {error}"
+            ) from error
+        if not split.is_pure_external:
+            raise CqaError(
+                "consistent answers need a pure-external conjunctive goal; "
+                "internal conjuncts have no repair semantics"
+            )
+        self.cqa_stats.incr("rewrite_compiles")
+        external_goal = conjoin(split.external)
+        interface = set(split.interface_variables)
+        fetch_targets = tuple(
+            v
+            for v in variables_of(external_goal)
+            if not v.is_anonymous and v in interface
+        )
+        options = SimplifyOptions() if self.optimize else SimplifyOptions.none()
+        if (
+            shape is not None
+            and shape.constants
+            and not self._constant_discriminating(
+                [
+                    goal_indicator(term)
+                    for term in split.external
+                    if isinstance(term, Struct)
+                ]
+            )
+        ):
+            plan = self._cqa_marker_plan(goal, shape, fetch_targets, options)
+            if plan is not None:
+                return frozenset(), plan
+        # Exact-constant fallback: one plan per concrete constant tuple.
+        predicate = self.metaevaluator.metaevaluate(
+            external_goal, targets=list(fetch_targets)
+        )
+        result = simplify(predicate, self.constraints, options)
+        material = (
+            frozenset(range(shape.parameter_count)) if shape else frozenset()
+        )
+        if result.is_empty:
+            # Empty under the integrity constraints — and every repair
+            # satisfies them by construction, so certainly empty.
+            return material, CompiledPlan(
+                kind="cqa",
+                is_empty=True,
+                template=result.original,
+                fetch_targets=fetch_targets,
+            )
+        final = self._cost_ordered(result.predicate)
+        return material, self._finish_cqa_plan(
+            final, {}, fetch_targets, (), {}, allow_empty=True
+        )
+
+    def _cqa_marker_plan(
+        self,
+        goal: Term,
+        shape: GoalShape,
+        fetch_targets: tuple[Variable, ...],
+        options: SimplifyOptions,
+    ) -> Optional[CompiledPlan]:
+        """A fully-parameterized consistent plan, or None to fall back.
+
+        One-shot version of :meth:`_parameterize`'s analysis: every
+        constant becomes a marker, and any sign the compilation consulted
+        a concrete value (witness fired, a marker vanished or emptied the
+        plan, translation balked) abandons parameterization for the
+        exact-constant path rather than iterating — rewriting compiles
+        are expected to repeat, so the plan is parameterized eagerly on
+        the first miss.
+        """
+        from ..dbcl.symbols import watch_marker_consultation
+        from ..errors import TranslationError
+
+        open_params = frozenset(range(shape.parameter_count))
+        marker_goal = goal_with_markers(goal, frozenset())
+        predicate_m = self.metaevaluator.metaevaluate(
+            marker_goal, targets=list(fetch_targets)
+        )
+        param_cells = marker_columns(predicate_m)
+        with watch_marker_consultation() as witness:
+            result_m = simplify(predicate_m, self.constraints, options)
+        if result_m.is_empty or witness.consulted:
+            return None
+        final_m = result_m.predicate
+        vanished = (
+            open_params
+            - frozenset(markers_in_rows(final_m))
+            - frozenset(markers_in_comparisons(final_m))
+        )
+        if vanished:
+            return None
+        final_m = self._cost_ordered(final_m)
+        parameter_map = {str(marker_for(index)): index for index in open_params}
+        try:
+            with watch_marker_consultation() as translate_witness:
+                plan = self._finish_cqa_plan(
+                    final_m,
+                    parameter_map,
+                    fetch_targets,
+                    tuple(sorted(open_params)),
+                    {
+                        index: param_cells.get(index, ())
+                        for index in open_params
+                    },
+                    allow_empty=False,
+                )
+            if translate_witness.consulted:
+                return None
+        except TranslationError:
+            return None
+        return plan
+
+    def _finish_cqa_plan(
+        self,
+        final: DbclPredicate,
+        parameter_map: dict,
+        fetch_targets: tuple[Variable, ...],
+        open_params: tuple[int, ...],
+        param_columns: dict,
+        allow_empty: bool,
+    ) -> CompiledPlan:
+        """Decide rewriting vs. enumeration, build the compiled plan.
+
+        ``kind="cqa"`` plans carry the full rewritten statement — the
+        plain translated query with the certainty condition appended —
+        while ``kind="cqa_enum"`` plans carry only the template for the
+        repair enumerator.  The parameterized ``sql`` tree is stored as
+        ``None`` in both: an ``IN (VALUES …)`` batch variant would let
+        one goal's answer satisfy another goal's certainty condition,
+        so consistent plans must never take the batch path.
+        """
+        from ..errors import TranslationError
+
+        keys_of = {
+            row.tag: self.cqa_detector.key_of(row.tag) for row in final.rows
+        }
+        order = peel_order(final, keys_of)
+        if order is None:
+            return CompiledPlan(
+                kind="cqa_enum",
+                template=final,
+                open_params=tuple(open_params),
+                param_columns=dict(param_columns),
+                fetch_targets=tuple(fetch_targets),
+            )
+        sql = translate(final, distinct=True, parameters=parameter_map or None)
+        if sql.is_empty:
+            if not allow_empty:
+                raise TranslationError(
+                    "marker-free ground contradiction: replay via exact plan"
+                )
+            return CompiledPlan(
+                kind="cqa",
+                is_empty=True,
+                template=final,
+                fetch_targets=tuple(fetch_targets),
+            )
+        suffix, suffix_markers = certainty_suffix(
+            final, order, parameters=parameter_map
+        )
+        plain = self.database.prepare(sql)
+        connector = (
+            " AND "
+            if (sql.where or sql.batch_conditions or sql.extra_conditions)
+            else " WHERE "
+        )
+        bind_order = tuple(sql.parameter_order()) + tuple(
+            marker_index(marker) for marker in suffix_markers
+        )
+        return CompiledPlan(
+            kind="cqa",
+            template=final,
+            sql_text=plain + connector + suffix,
+            bind_order=bind_order,
+            open_params=tuple(open_params),
+            param_columns=dict(param_columns),
+            fetch_targets=tuple(fetch_targets),
+        )
+
+    def _execute_cqa_plan(
+        self,
+        plan: CompiledPlan,
+        constants: tuple,
+        goal_vars: Sequence[Variable],
+        dirty: dict[str, RelationViolations],
+        max_solutions: Optional[int],
+        span=None,
+    ) -> list[dict[str, Value]]:
+        """Run a consistent-mode plan against a store with violations."""
+        cqa_info = {
+            "mode": "rewritten" if plan.kind == "cqa" else "enumerated",
+            "rewritable": plan.kind == "cqa",
+            "dirty_relations": sorted(dirty),
+            "violating_blocks": sum(v.block_count for v in dirty.values()),
+        }
+        if span is not None:
+            span.cqa = cqa_info
+        if plan.is_empty:
+            self.cqa_stats.incr("rewritten_asks")
+            return []
+        bound = plan.bind(constants, self.constraints)
+        if bound is None:
+            self.plans.stats.incr("bind_empties")
+            return []
+        if plan.kind == "cqa":
+            try:
+                with self.database.fault_context("cqa_rewrite"):
+                    rows = self.database.execute_prepared(
+                        plan.sql_text, plan.bind_values(constants)
+                    )
+            except TransientBackendError:
+                raise  # retried whole by the resilient driver
+            except ExecutionError:
+                # Degradation rung (extends the PR 6 ladder): the
+                # rewriting statement failed permanently, so fall to
+                # repair enumeration, which reads the store through
+                # plain per-relation fetches instead.
+                self.database.resilience.incr("degraded_answers")
+                self.cqa_stats.incr("degraded")
+                cqa_info["mode"] = "enumerated"
+                cqa_info["degraded"] = True
+                answers = self._enumerate_certain(bound, dirty, goal_vars)
+            else:
+                self.cqa_stats.incr("rewritten_asks")
+                answers = self._rows_to_answers(
+                    bound, plan.fetch_targets, rows, goal_vars
+                )
+        else:
+            answers = self._enumerate_certain(bound, dirty, goal_vars)
+        if max_solutions is not None:
+            return answers[:max_solutions]
+        return answers
+
+    def _enumerate_certain(
+        self,
+        predicate: DbclPredicate,
+        dirty: dict[str, RelationViolations],
+        goal_vars: Sequence[Variable],
+    ) -> list[dict[str, Value]]:
+        """Intersect the goal's answers over every repair (memoized).
+
+        Certain-answer rows never enter the :class:`ResultCache` — its
+        canonical key is the predicate alone, and the *plain* executor
+        stores rows under the same key with different (non-certain)
+        contents — so enumeration results memoize here instead, keyed by
+        predicate plus the data generations of every involved relation.
+        """
+        tags = sorted({row.tag for row in predicate.rows})
+        generations = tuple(
+            (tag, self.database.data_generation(tag)) for tag in tags
+        )
+        memo_key = (predicate.canonical_key(), generations)
+        with self._cqa_memo_lock:
+            certain = self._cqa_memo.get(memo_key)
+        if certain is not None:
+            self.cqa_stats.incr("memo_hits")
+        else:
+            fixed: dict[str, list] = {}
+            blocks: dict[str, list] = {}
+            for tag in tags:
+                rows = [
+                    tuple(row) for row in self.database.fetch_relation(tag)
+                ]
+                snapshot = dirty.get(tag)
+                if snapshot is None or snapshot.is_clean:
+                    fixed[tag] = list(dict.fromkeys(rows))
+                    blocks[tag] = []
+                    continue
+                attributes = tuple(self.schema.relation(tag).attributes)
+                key_positions = [
+                    attributes.index(a) for a in snapshot.key
+                ]
+                fixed[tag], blocks[tag] = split_blocks(rows, key_positions)
+            certain = cqa_certain_answers(
+                predicate, fixed, blocks, stats=self.cqa_stats
+            )
+            with self._cqa_memo_lock:
+                if len(self._cqa_memo) >= 256:
+                    self._cqa_memo.clear()
+                self._cqa_memo[memo_key] = certain
+        self.cqa_stats.incr("fallback_asks")
+        rows = sorted(certain, key=repr)
+        return self._rows_to_answers(predicate, (), rows, goal_vars)
+
+    def integrity_report(self) -> dict:
+        """Per-relation key/FD violation counts with sample blocks.
+
+        Key violations come from the detector's cached probes (so a
+        clean relation re-reports for free); violations of the declared
+        functional dependencies beyond the primary key are counted in
+        Python over one deduplicated fetch per relation that declares
+        any.  Diagnostic view — nothing here feeds the ask paths.
+        """
+        report: dict[str, dict] = {}
+        for name in sorted(self.schema.relations):
+            snapshot = self.cqa_detector.violations(name)
+            attributes = tuple(self.schema.relation(name).attributes)
+            entry: dict = {
+                "key": list(snapshot.key),
+                "key_violations": snapshot.block_count,
+                "violating_rows": snapshot.violating_rows,
+                "sample_blocks": [
+                    {
+                        "key": list(key_value),
+                        "rows": [list(row) for row in block[:4]],
+                    }
+                    for key_value, block in list(
+                        zip(snapshot.key_values, snapshot.blocks)
+                    )[:3]
+                ],
+                "funcdeps": [],
+            }
+            rows: Optional[list[tuple]] = None
+            for dependency in self.constraints.funcdeps_of(name):
+                if rows is None:
+                    rows = list(
+                        dict.fromkeys(
+                            tuple(row)
+                            for row in self.database.fetch_relation(name)
+                        )
+                    )
+                lhs_positions = [attributes.index(a) for a in dependency.lhs]
+                rhs_positions = [attributes.index(a) for a in dependency.rhs]
+                groups: dict[tuple, set] = {}
+                for row in rows:
+                    groups.setdefault(
+                        tuple(row[i] for i in lhs_positions), set()
+                    ).add(tuple(row[i] for i in rhs_positions))
+                entry["funcdeps"].append(
+                    {
+                        "lhs": list(dependency.lhs),
+                        "rhs": list(dependency.rhs),
+                        "violations": sum(
+                            1
+                            for images in groups.values()
+                            if len(images) > 1
+                        ),
+                    }
+                )
+            report[name] = entry
+        return report
+
     # -- set-oriented batch serving ---------------------------------------------------
 
     def ask_many(
@@ -885,6 +1480,7 @@ class PrologDbSession:
         goals: Iterable[Union[str, Term]],
         max_solutions: Optional[int] = None,
         deadline: Optional[float] = None,
+        consistent: bool = False,
     ) -> list[list[dict[str, Value]]]:
         """Answer a batch of goals, one execution per warm goal shape.
 
@@ -912,10 +1508,32 @@ class PrologDbSession:
         backend reason — transient or permanent — degrades to the serial
         path, where each member goal gets the full per-ask retry and
         plan-recovery treatment.
+
+        ``consistent=True`` asks for *certain* answers (see
+        :meth:`ask_consistent`).  When every relation any batch member
+        can reach is violation-free, certain answers coincide with plain
+        answers and the batch executes through the ordinary set-oriented
+        machinery — warm consistent shapes batch at full speed.  A store
+        with violations serializes: each goal runs through
+        :meth:`ask_consistent`, whose certainty condition is inherently
+        per-goal (folding it into an ``IN (VALUES …)`` batch would be
+        unsound).
         """
         parsed = [
             parse_goal(goal) if isinstance(goal, str) else goal for goal in goals
         ]
+        if consistent:
+            reachable: set[str] = set()
+            for goal in parsed:
+                reachable |= self._relations_of_goal(goal)
+            self._merge_pending_for(reachable)
+            if self.cqa_detector.dirty_relations(sorted(reachable)):
+                with self.database.deadline(deadline):
+                    return [
+                        self.ask_consistent(goal, max_solutions)
+                        for goal in parsed
+                    ]
+            self.cqa_stats.incr("clean_fast_paths", len(parsed))
         answers: list[Optional[list[dict[str, Value]]]] = [None] * len(parsed)
         groups: dict[tuple, list[int]] = {}
         serial: list[int] = []
@@ -2244,6 +2862,7 @@ class PrologDbSession:
             "materialize": self.materialize.stats_dict(),
             "resilience": resilience,
             "observe": observe,
+            "cqa": self.cqa_stats.snapshot(),
         }
 
     def traces(self) -> list:

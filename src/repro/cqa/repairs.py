@@ -1,0 +1,195 @@
+"""Block-wise all-repairs enumeration — the certain-answer fallback.
+
+When a goal's shape has a cyclic attack graph (or is outside the
+self-join-free class the dichotomy covers), no first-order rewriting of
+its certain answers exists; the session falls back to the definition:
+intersect the goal's answers over **every repair** of the store.  The
+saving grace is that repairs only differ on the key-violating blocks
+the detector found — every singleton block contributes its tuple to
+*all* repairs — so enumeration branches over violating blocks alone:
+``∏ |block|`` repairs, not ``∏`` over all tuples.  The product is
+checked against a hard budget *before* any work and overflow raises
+:class:`~repro.errors.RepairSpaceExceeded` — failing closed beats
+sampling repairs and returning non-certain tuples.
+
+Per repair the conjunctive goal is evaluated in memory by a
+backtracking join over the predicate's rows (the repair is a handful of
+Python tuples; shipping each repair to SQLite would cost more than the
+join).  Value comparisons go through
+:func:`repro.dbcl.symbols.compare_values` so numeric cross-type
+equality matches SQLite's semantics, and intersection short-circuits
+the walk as soon as it hits empty.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..dbcl.predicate import DbclPredicate
+from ..dbcl.symbols import ConstSymbol, compare_values, is_star
+from ..errors import CqaError, RepairSpaceExceeded
+
+Row = tuple
+
+#: Ceiling on ``∏ |block|`` — enough for every seeded differential while
+#: bounding a pathological store to well under a second of enumeration.
+MAX_REPAIRS = 4096
+
+_OP_TESTS = {
+    "eq": lambda ordering: ordering == 0,
+    "neq": lambda ordering: ordering != 0,
+    "less": lambda ordering: ordering < 0,
+    "greater": lambda ordering: ordering > 0,
+    "leq": lambda ordering: ordering <= 0,
+    "geq": lambda ordering: ordering >= 0,
+}
+
+
+def split_blocks(
+    rows: Iterable[Row], key_positions: Sequence[int]
+) -> tuple[list[Row], list[tuple[Row, ...]]]:
+    """Partition one relation's rows into (fixed tuples, violating blocks).
+
+    Rows are deduplicated first (bag duplicates are not violations), then
+    grouped by their key projection; singleton groups are fixed across
+    all repairs, larger groups are the branching points.
+    """
+    grouped: dict[Row, list[Row]] = {}
+    for row in dict.fromkeys(tuple(r) for r in rows):
+        grouped.setdefault(
+            tuple(row[i] for i in key_positions), []
+        ).append(row)
+    fixed: list[Row] = []
+    blocks: list[tuple[Row, ...]] = []
+    for group in grouped.values():
+        if len(group) == 1:
+            fixed.extend(group)
+        else:
+            blocks.append(tuple(group))
+    return fixed, blocks
+
+
+def repair_count(blocks_by_relation: Mapping[str, Sequence[tuple]]) -> int:
+    count = 1
+    for blocks in blocks_by_relation.values():
+        for block in blocks:
+            count *= len(block)
+    return count
+
+
+def repair_instances(
+    fixed: Mapping[str, Sequence[Row]],
+    blocks_by_relation: Mapping[str, Sequence[tuple]],
+    limit: int = MAX_REPAIRS,
+) -> Iterator[dict[str, list[Row]]]:
+    """Yield every repair as a ``{relation: rows}`` in-memory instance."""
+    count = repair_count(blocks_by_relation)
+    if count > limit:
+        raise RepairSpaceExceeded(
+            f"{count} repairs exceed the enumeration budget of {limit}; "
+            "no first-order rewriting exists for this goal shape"
+        )
+    block_list = [
+        (relation, block)
+        for relation in sorted(blocks_by_relation)
+        for block in blocks_by_relation[relation]
+    ]
+    for choice in product(*(block for _, block in block_list)):
+        instance = {
+            relation: list(rows) for relation, rows in fixed.items()
+        }
+        for (relation, _), row in zip(block_list, choice):
+            instance.setdefault(relation, []).append(row)
+        yield instance
+
+
+def evaluate_conjunctive(
+    predicate: DbclPredicate, relations: Mapping[str, Sequence[Row]]
+) -> set[tuple]:
+    """Answers of a conjunctive DBCL predicate over an in-memory instance.
+
+    Returns target tuples ordered like ``predicate.target_symbols()``,
+    so the session can reuse its row→answer conversion unchanged.
+    """
+    schema = predicate.schema
+    patterns = []
+    for row in predicate.rows:
+        cells = []
+        for position, column in enumerate(
+            schema.columns_of_relation(row.tag)
+        ):
+            symbol = row.entries[column]
+            if not is_star(symbol):
+                cells.append((position, symbol))
+        patterns.append((row.tag, cells))
+    targets = predicate.target_symbols()
+    comparisons = predicate.comparisons
+    answers: set[tuple] = set()
+
+    def finish(env: dict) -> None:
+        for comparison in comparisons:
+            sides = []
+            for symbol in (comparison.left, comparison.right):
+                if isinstance(symbol, ConstSymbol):
+                    sides.append(symbol.value)
+                elif symbol in env:
+                    sides.append(env[symbol])
+                else:
+                    raise CqaError(
+                        f"comparison variable {symbol} is not bound by any "
+                        "relation row; goal is not evaluable over repairs"
+                    )
+            if not _OP_TESTS[comparison.op](compare_values(*sides)):
+                return
+        try:
+            answers.add(tuple(env[target] for target in targets))
+        except KeyError as missing:
+            raise CqaError(
+                f"target {missing} is not bound by any relation row"
+            ) from None
+
+    def walk(index: int, env: dict) -> None:
+        if index == len(patterns):
+            finish(env)
+            return
+        tag, cells = patterns[index]
+        for row in relations.get(tag, ()):
+            extended = dict(env)
+            consistent = True
+            for position, symbol in cells:
+                value = row[position]
+                if isinstance(symbol, ConstSymbol):
+                    if compare_values(value, symbol.value) != 0:
+                        consistent = False
+                        break
+                elif symbol in extended:
+                    if compare_values(value, extended[symbol]) != 0:
+                        consistent = False
+                        break
+                else:
+                    extended[symbol] = value
+            if consistent:
+                walk(index + 1, extended)
+
+    walk(0, {})
+    return answers
+
+
+def certain_answers(
+    predicate: DbclPredicate,
+    fixed: Mapping[str, Sequence[Row]],
+    blocks_by_relation: Mapping[str, Sequence[tuple]],
+    limit: int = MAX_REPAIRS,
+    stats=None,
+) -> frozenset:
+    """Intersection of the goal's answers across every repair."""
+    certain: Optional[set] = None
+    for instance in repair_instances(fixed, blocks_by_relation, limit):
+        if stats is not None:
+            stats.incr("repairs_enumerated")
+        found = evaluate_conjunctive(predicate, instance)
+        certain = found if certain is None else certain & found
+        if not certain:
+            break
+    return frozenset(certain or ())

@@ -1,0 +1,170 @@
+"""FO-rewritability of certain-answer queries (Koutris–Wijsen attack graph).
+
+For a self-join-free conjunctive query over relations with (possibly
+violated) primary keys, consistent query answering is first-order
+rewritable exactly when the query's *attack graph* is acyclic
+(Koutris & Wijsen, arXiv:1810.03386).  This module implements the test
+as iterative **peeling**: repeatedly find an atom no other atom attacks,
+emit it, treat its variables as bound, and recompute on the residue.
+Success yields the nesting order the SQL certainty condition follows
+(:func:`repro.sql.translate.certainty_suffix`); getting stuck certifies
+an attack cycle, and the caller falls back to repair enumeration.
+
+The attack relation, relative to a bound-variable set ``B`` (free
+variables of the goal plus anything already peeled):
+
+* ``F⁺`` is the closure of ``key(F) \\ B`` under the dependencies
+  ``{key(G) \\ B → vars(G) \\ B : G ≠ F}`` contributed by the other
+  remaining atoms;
+* ``F`` attacks ``G`` when a path of atoms pairwise sharing a variable
+  outside ``F⁺ ∪ B`` connects ``F`` to ``G``.
+
+Everything here is *instance-independent*: rewritability is a property
+of the goal shape and the schema's keys alone, never of which relations
+currently hold violations — which is what lets the session cache the
+decision (and the compiled rewriting) in the plan cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..dbcl.predicate import DbclPredicate
+from ..dbcl.symbols import TargetSymbol, VarSymbol, is_star
+
+#: A ``*`` cell acts as a fresh variable occurring exactly once; it can
+#: never carry an attack, but the closure bookkeeping still needs a
+#: hashable identity per occurrence (the shared ``STAR`` singleton would
+#: otherwise alias every anonymous cell of the query together).
+_StarToken = tuple
+
+
+@dataclass(frozen=True)
+class CqaAtom:
+    """One relation atom of the goal, in relation-column coordinates."""
+
+    row_index: int
+    tag: str
+    attributes: tuple[str, ...]
+    symbols: tuple
+    key_positions: tuple[int, ...]
+
+    def variables(self) -> frozenset:
+        return frozenset(
+            s
+            for s in self.symbols
+            if isinstance(s, (TargetSymbol, VarSymbol, _StarToken))
+        )
+
+    def key_variables(self) -> frozenset:
+        out = []
+        for position in self.key_positions:
+            symbol = self.symbols[position]
+            if isinstance(symbol, (TargetSymbol, VarSymbol, _StarToken)):
+                out.append(symbol)
+        return frozenset(out)
+
+
+def atoms_of(
+    predicate: DbclPredicate, keys_of: dict[str, tuple[str, ...]]
+) -> list[CqaAtom]:
+    """Project the predicate's global-width rows onto per-relation atoms."""
+    schema = predicate.schema
+    atoms = []
+    for row_index, row in enumerate(predicate.rows):
+        columns = schema.columns_of_relation(row.tag)
+        attributes = tuple(
+            predicate.attribute_of_column(column) for column in columns
+        )
+        symbols = tuple(
+            ("*", row_index, position) if is_star(row.entries[column])
+            else row.entries[column]
+            for position, column in enumerate(columns)
+        )
+        key = keys_of[row.tag]
+        key_positions = tuple(attributes.index(a) for a in key)
+        atoms.append(
+            CqaAtom(row_index, row.tag, attributes, symbols, key_positions)
+        )
+    return atoms
+
+
+def peel_order(
+    predicate: DbclPredicate, keys_of: dict[str, tuple[str, ...]]
+) -> Optional[list[CqaAtom]]:
+    """The certainty-condition nesting order, or ``None`` if not rewritable.
+
+    Conservative guards first: the dichotomy only covers self-join-free
+    queries, and comparisons are handled by leaving them to the outer
+    (plain) query — sound only while they mention no existential
+    variable, whose witness could differ between repairs.
+    """
+    atoms = atoms_of(predicate, keys_of)
+    if len({atom.tag for atom in atoms}) != len(atoms):
+        return None  # self-join: outside the dichotomy's query class
+    for comparison in predicate.comparisons:
+        for side in (comparison.left, comparison.right):
+            if isinstance(side, VarSymbol):
+                return None
+    bound = set(predicate.targets)
+    order: list[CqaAtom] = []
+    remaining = list(atoms)
+    while remaining:
+        pick = None
+        for candidate in remaining:
+            if not _attacked(candidate, remaining, bound):
+                pick = candidate
+                break
+        if pick is None:
+            return None  # every residual atom is attacked: cycle
+        order.append(pick)
+        bound |= pick.variables()
+        remaining = [atom for atom in remaining if atom is not pick]
+    return order
+
+
+def _attacked(target: CqaAtom, atoms: Sequence[CqaAtom], bound: set) -> bool:
+    return any(
+        attacker is not target and _attacks(attacker, target, atoms, bound)
+        for attacker in atoms
+    )
+
+
+def _attacks(
+    attacker: CqaAtom, target: CqaAtom, atoms: Sequence[CqaAtom], bound: set
+) -> bool:
+    dependencies = [
+        (atom.key_variables() - bound, atom.variables() - bound)
+        for atom in atoms
+        if atom is not attacker
+    ]
+    closure = set(attacker.key_variables() - bound)
+    changed = True
+    while changed:
+        changed = False
+        for lhs, rhs in dependencies:
+            if lhs <= closure and not rhs <= closure:
+                closure |= rhs
+                changed = True
+    blocked = closure | bound
+    frontier = attacker.variables() - blocked
+    visited_vars = set(frontier)
+    seen = {id(attacker)}
+    while frontier:
+        reached = [
+            atom
+            for atom in atoms
+            if id(atom) not in seen and (atom.variables() - blocked) & frontier
+        ]
+        if any(atom is target for atom in reached):
+            return True
+        if not reached:
+            return False
+        new_vars: set = set()
+        for atom in reached:
+            seen.add(id(atom))
+            new_vars |= atom.variables() - blocked
+        frontier = new_vars - visited_vars
+        visited_vars |= new_vars
+    return False

@@ -252,6 +252,8 @@ class ExternalDatabase:
             name="write",
         )
         self._deadlines = threading.local()
+        #: Per-thread fault-class override (see :meth:`fault_context`).
+        self._fault_classes = threading.local()
         if self._file_backed:
             # WAL lets pooled readers proceed while the owning connection
             # writes; harmless no-op for in-memory targets (skipped).
@@ -503,6 +505,27 @@ class ExternalDatabase:
         return getattr(self._deadlines, "current", None)
 
     @contextmanager
+    def fault_context(self, klass: str) -> Iterator[None]:
+        """Relabel this thread's statements for the fault injector.
+
+        Statements executed inside the scope present ``klass`` instead
+        of their connection class (``read``/``write``) to the fault
+        hook, making higher-level operations — CQA detector probes,
+        certain-answer rewritings — independently addressable fault
+        points in a :class:`~repro.resilience.faults.FaultSchedule`.
+        On a healthy backend (``_fault_point is None``) the override is
+        never read on the statement path; the scope costs two attribute
+        writes.
+        """
+        local = self._fault_classes
+        outer = getattr(local, "current", None)
+        local.current = klass
+        try:
+            yield
+        finally:
+            local.current = outer
+
+    @contextmanager
     def _deadline_guard(self, connection: sqlite3.Connection) -> Iterator[None]:
         """Interrupt ``connection`` from inside the VM once the budget dies.
 
@@ -589,7 +612,10 @@ class ExternalDatabase:
             fault = self._fault_point
             try:
                 if fault is not None:
-                    fault(klass, label)
+                    fault(
+                        getattr(self._fault_classes, "current", None) or klass,
+                        label,
+                    )
                 result = attempt_once()
             except (DeadlineExceeded, PoolExhaustedError):
                 raise  # already typed; budgets are not retryable here

@@ -233,6 +233,26 @@ class IntervalUnavailable(CouplingError):
     """
 
 
+class CqaError(CouplingError):
+    """Base class for consistent-query-answering failures.
+
+    Raised when ``ask_consistent`` cannot produce *certain* answers for
+    a goal — the one thing the CQA contract forbids is silently
+    returning possibly-wrong tuples, so every unservable shape surfaces
+    here as a typed refusal instead.
+    """
+
+
+class RepairSpaceExceeded(CqaError):
+    """The all-repairs enumeration fallback hit its branching budget.
+
+    The number of repairs is the product of the violating block sizes;
+    past the budget an exact intersection is no longer tractable and no
+    first-order rewriting exists for the goal's shape, so the ask fails
+    closed rather than sampling repairs and risking non-certain answers.
+    """
+
+
 class SingleProcessStoreError(CouplingError):
     """The backing store cannot be shared with worker processes.
 

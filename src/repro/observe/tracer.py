@@ -37,6 +37,7 @@ _OPTIONAL = (
     "recursion",
     "resilience",
     "deadline_remaining",
+    "cqa",
     "error",
     "explain",
 )
@@ -112,6 +113,7 @@ class AskTrace:
         "recursion",
         "resilience",
         "deadline_remaining",
+        "cqa",
         "rows",
         "statements",
         "last_sql",

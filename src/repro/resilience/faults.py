@@ -40,7 +40,19 @@ KIND_CLASSES = {
     "delta_fail": "delta",
 }
 
+#: Operational fault kinds — the default pool :meth:`FaultSchedule.random`
+#: draws from.  Captured *before* the CQA kinds register so existing
+#: seeded schedules keep their exact historical fault sequences.
 FAULT_KINDS = tuple(KIND_CLASSES)
+
+#: CQA statement classes (ROADMAP E19): the backend relabels detector
+#: probes and certain-answer rewriting statements via
+#: ``fault_context("cqa_probe"/"cqa_rewrite")``, giving each its own
+#: ordinal counter.  Both inject as transient I/O errors.  Deliberately
+#: outside :data:`FAULT_KINDS` — random schedules only target the CQA
+#: paths when a caller passes these kinds explicitly.
+CQA_FAULT_KINDS = ("cqa_probe", "cqa_rewrite")
+KIND_CLASSES.update({kind: kind for kind in CQA_FAULT_KINDS})
 
 
 @dataclass(frozen=True)
@@ -114,6 +126,10 @@ class FaultSchedule:
             "read": max(1, horizon),
             "write": max(2, horizon // 5),
             "delta": max(2, horizon // 4),
+            # CQA ordinals advance once per consistent ask (rewrite) or
+            # per relation generation (probe) — far slower than reads.
+            "cqa_probe": max(1, horizon // 4),
+            "cqa_rewrite": max(1, horizon // 2),
         }
         drawn = []
         for _ in range(events):
@@ -192,7 +208,8 @@ class FaultInjectingBackend(ExternalDatabase):
             return
         if event.kind in ("locked", "write_locked"):
             raise sqlite3.OperationalError("database is locked")
-        # io_error / delta_fail: a transient device hiccup
+        # io_error / delta_fail / cqa_probe / cqa_rewrite: a transient
+        # device hiccup on that statement class
         raise sqlite3.OperationalError("disk I/O error")
 
     def _poison_current_reader(self) -> None:

@@ -234,6 +234,27 @@ class ConstraintSet:
         all_attributes = set(self.schema.relation(relation).attributes)
         return self.closure(relation, attributes) >= all_attributes
 
+    def primary_key(self, relation: str) -> tuple[str, ...]:
+        """A minimal key of ``relation``, derived from the declared FDs.
+
+        Deterministic greedy reduction: starting from the full attribute
+        set, attributes are dropped in *reverse* schema order whenever
+        the remainder still determines the whole relation.  Reverse
+        order keeps the leading schema attributes (the conventional key
+        position) in preference to trailing ones, so ``empl`` yields
+        ``(eno,)`` rather than ``(nam,)`` even though both are keys.
+        When the FDs admit no proper key the full attribute tuple is
+        returned — under it every tuple is its own block, so the
+        relation can never hold a key violation.
+        """
+        attributes = list(self.schema.relation(relation).attributes)
+        keep = list(attributes)
+        for attribute in reversed(attributes):
+            trial = [a for a in keep if a != attribute]
+            if trial and self.is_key(relation, trial):
+                keep = trial
+        return tuple(keep)
+
     def implies_funcdep(self, fd: FuncDep) -> bool:
         """Is ``fd`` derivable from the declared FDs of its relation?"""
         return set(fd.rhs) <= self.closure(fd.relation, fd.lhs)

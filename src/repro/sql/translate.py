@@ -534,3 +534,120 @@ def interval_labeling(edge_text: str, gap: int) -> str:
         "WHERE e.lo = o.node AND e.hi = o.node) "
         "FROM ivl_ordered o"
     )
+
+
+# -- certain-answer rewriting (consistent query answering, ROADMAP E19) --------------
+
+
+def certainty_suffix(
+    predicate: DbclPredicate,
+    order,
+    parameters: Optional[Mapping[str, int]] = None,
+    alias_base: str = "v",
+    alias_start: int = 1,
+) -> tuple[str, list[str]]:
+    """The certainty condition appended to a plain translated query.
+
+    ``order`` is the attack-graph peel order
+    (:func:`repro.cqa.rewrite.peel_order`); the returned text is one
+    boolean SQL expression stating that the answer tuple selected by the
+    *outer* (plain) query survives **every** repair.  Per atom, in peel
+    order::
+
+        EXISTS (SELECT 1 FROM R c1 WHERE <key conds>
+            AND NOT EXISTS (SELECT 1 FROM R c1v
+                WHERE c1v.k = c1.k AND ...
+                  AND NOT (<non-key pattern conds> AND <next atom>)))
+
+    — some block of ``R`` matches the bound key values, and every tuple
+    of that block matches the atom's non-key pattern *and* lets the rest
+    of the chain succeed.  On a violation-free relation every block is a
+    singleton and the condition is trivially true, which is what makes
+    appending it sound regardless of which relations are currently
+    dirty.
+
+    Free variables of the goal reference the outer query's tuple
+    variables (``v1``, ``v2``, … — the translator's aliasing); the
+    chain's own aliases use the disjoint ``c``/``cv`` families.
+    Parameter markers render as ``?`` and the returned list names them
+    in placeholder order, to be appended after the plain query's own
+    ``parameter_order()``.
+    """
+    parameters = dict(parameters or {})
+    marker_order: list[str] = []
+
+    def outer_ref(symbol) -> str:
+        occurrence = predicate.first_occurrence(symbol)
+        return (
+            f"{_alias(occurrence.row, alias_base, alias_start)}"
+            f".{predicate.attribute_of_column(occurrence.column)}"
+        )
+
+    def render(symbol, env: dict) -> Optional[str]:
+        if isinstance(symbol, ConstSymbol):
+            if is_param_marker(symbol.value):
+                if symbol.value not in parameters:
+                    raise TranslationError(
+                        f"parameter marker {symbol.value!r} has no "
+                        "assigned index"
+                    )
+                marker_order.append(symbol.value)
+                return "?"
+            return str(Literal(symbol.value))
+        return env.get(symbol)
+
+    def build(depth: int, env: dict) -> Optional[str]:
+        if depth == len(order):
+            return None
+        atom = order[depth]
+        block = f"c{depth + 1}"
+        member = f"{block}v"
+        env = dict(env)
+        key_set = set(atom.key_positions)
+        key_conds: list[str] = []
+        for position in atom.key_positions:
+            symbol = atom.symbols[position]
+            if isinstance(symbol, tuple):
+                continue  # '*' key cell: unconstrained
+            attribute = atom.attributes[position]
+            bound = render(symbol, env)
+            if bound is not None:
+                key_conds.append(f"{block}.{attribute} = {bound}")
+            elif not isinstance(symbol, ConstSymbol):
+                env[symbol] = f"{block}.{attribute}"
+        same_key = [
+            f"{member}.{atom.attributes[j]} = {block}.{atom.attributes[j]}"
+            for j in atom.key_positions
+        ]
+        member_conds: list[str] = []
+        for position, symbol in enumerate(atom.symbols):
+            if position in key_set or isinstance(symbol, tuple):
+                continue
+            attribute = atom.attributes[position]
+            bound = render(symbol, env)
+            if bound is not None:
+                member_conds.append(f"{member}.{attribute} = {bound}")
+            elif not isinstance(symbol, ConstSymbol):
+                env[symbol] = f"{member}.{attribute}"
+        rest = build(depth + 1, env)
+        if rest is not None:
+            member_conds.append(rest)
+        clauses = list(key_conds)
+        if member_conds:
+            universal = " AND ".join(
+                same_key + [f"NOT ({' AND '.join(member_conds)})"]
+            )
+            clauses.append(
+                f"NOT EXISTS (SELECT 1 FROM {atom.tag} {member} "
+                f"WHERE {universal})"
+            )
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return f"EXISTS (SELECT 1 FROM {atom.tag} {block}{where})"
+
+    env: dict = {}
+    for target in predicate.targets:
+        env[target] = outer_ref(target)
+    text = build(0, env)
+    if text is None:
+        raise TranslationError("certainty condition needs at least one atom")
+    return text, marker_order

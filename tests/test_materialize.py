@@ -455,6 +455,7 @@ class TestSessionStats:
             "materialize",
             "resilience",
             "observe",
+            "cqa",
         }
         # Maintained views answered every ask here: no cold compiles.
         assert stats["compile_phases"]["cold_compilations"] == 0

@@ -470,3 +470,86 @@ class TestMetamorphicServing:
 
 def answer_sets(answers):
     return {frozenset(answer.items()) for answer in answers}
+
+
+# ---------------------------------------------------------------------------
+# consistent query answering (ROADMAP E19)
+# ---------------------------------------------------------------------------
+
+from repro.cqa import repair_instances, split_blocks  # noqa: E402
+from repro.dbms.sqlite_backend import ExternalDatabase  # noqa: E402
+
+#: Goal pool spanning both CQA regimes: the first four are self-join-free
+#: and FO-rewritable; the last self-joins empl and forces the block-wise
+#: repair enumerator.
+_CQA_GOALS = (
+    "empl(E, N, S, D)",
+    "empl(1, N, S, D)",
+    "empl(E, N, S, 10)",
+    "empl(E, N, S, D), dept(D, F, M)",
+    "empl(E, N, S, D), empl(M, N2, S2, D2), dept(D, F, M)",
+)
+_CQA_DEPT = [(10, "sales", 1), (20, "eng", 2)]
+
+# eno collisions are the point: up to 6 rows over 3 key values yields
+# plenty of violating blocks but at most a handful of repairs.  Salaries
+# stay inside the declared valuebound [10000, 90000].
+_cqa_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),
+        st.sampled_from(["ann", "bob", "cal", "dee"]),
+        st.sampled_from([20000, 30000, 40000]),
+        st.sampled_from([10, 20]),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestConsistentAnswerProperties:
+    """``ask_consistent`` ≡ intersection of plain ``ask`` over every
+    explicitly materialized repair, for randomized inconsistent stores —
+    across both the rewriting and the enumeration regime."""
+
+    @given(
+        rows=_cqa_rows,
+        goal_index=st.integers(min_value=0, max_value=len(_CQA_GOALS) - 1),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_ask_consistent_equals_repair_intersection(
+        self, rows, goal_index
+    ):
+        goal = _CQA_GOALS[goal_index]
+        schema = empdep_schema()
+        constraints = empdep_constraints(schema)
+        database = ExternalDatabase(schema, constraints=constraints)
+        database.insert_rows("empl", rows)
+        database.insert_rows("dept", _CQA_DEPT)
+        with PrologDbSession(
+            schema=schema, constraints=constraints, database=database
+        ) as session:
+            certain = answer_sets(session.ask_consistent(goal))
+
+        fixed, blocks = {}, {}
+        for name, data in (("empl", rows), ("dept", _CQA_DEPT)):
+            key = constraints.primary_key(name)
+            attributes = tuple(schema.relation(name).attributes)
+            positions = [attributes.index(a) for a in key]
+            fixed[name], blocks[name] = split_blocks(list(data), positions)
+        reference = None
+        for instance in repair_instances(fixed, blocks):
+            repair_db = ExternalDatabase(schema, constraints=constraints)
+            for name, data in instance.items():
+                repair_db.insert_rows(name, data)
+            with PrologDbSession(
+                schema=schema, constraints=constraints, database=repair_db
+            ) as repair_session:
+                found = answer_sets(repair_session.ask(goal))
+            reference = found if reference is None else reference & found
+            if not reference:
+                break
+        assert certain == (reference or set())
